@@ -1,0 +1,116 @@
+//! Criterion microbenchmarks of the core data structures: the page
+//! compressor, the n-bit column codec, the bitmap/interval-set types, the
+//! LRU, and the HG index. These measure *real* wall-clock performance of
+//! the reproduction's building blocks (the paper-level experiments use
+//! virtual time; see the `experiments` bench and the `repro` binary).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use iq_common::{Bitmap, DetRng, KeySet};
+use iq_engine::chunk::Col;
+use iq_engine::encode::{decode_column, encode_column};
+use iq_engine::HgIndex;
+use iq_storage::compress;
+
+fn bench_compress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compress");
+    let mut rng = DetRng::new(7);
+    // Low-entropy data resembling n-bit-packed column payloads.
+    let data: Vec<u8> = (0..64 * 1024).map(|_| (rng.below(16) * 4) as u8).collect();
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("lz_compress_64k", |b| b.iter(|| compress::compress(&data)));
+    let compressed = compress::compress(&data);
+    g.bench_function("lz_decompress_64k", |b| {
+        b.iter(|| compress::decompress(&compressed, data.len()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("column_codec");
+    let values: Vec<i64> = (0..8192).map(|i| 1_000_000 + (i % 97)).collect();
+    let col = Col::I64(values);
+    g.bench_function("nbit_encode_8k_rows", |b| {
+        b.iter(|| encode_column(&col, None).unwrap())
+    });
+    let encoded = encode_column(&col, None).unwrap();
+    g.bench_function("nbit_decode_8k_rows", |b| {
+        b.iter(|| decode_column(&encoded, None).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_bitmaps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmaps");
+    g.bench_function("freelist_bitmap_alloc_cycle", |b| {
+        b.iter_batched(
+            || Bitmap::with_capacity(65536),
+            |mut bm| {
+                for i in 0..1000u64 {
+                    bm.set_run(i * 16, 16);
+                }
+                for i in (0..1000u64).step_by(2) {
+                    bm.clear_run(i * 16, 16);
+                }
+                bm.count_ones()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("keyset_range_churn", |b| {
+        b.iter_batched(
+            KeySet::new,
+            |mut ks| {
+                for i in 0..500u64 {
+                    ks.insert_range(i * 100, i * 100 + 64);
+                }
+                for i in 0..500u64 {
+                    ks.remove_range(i * 100 + 16, i * 100 + 32);
+                }
+                ks.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_lru(c: &mut Criterion) {
+    c.bench_function("lru_insert_get_evict_10k", |b| {
+        b.iter_batched(
+            iq_buffer::LruCache::<u64, u64>::new,
+            |mut lru| {
+                for i in 0..10_000u64 {
+                    lru.insert(i, i);
+                    if lru.len() > 4096 {
+                        lru.pop_lru();
+                    }
+                    if i % 3 == 0 {
+                        lru.get(&(i / 2));
+                    }
+                }
+                lru.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_hg(c: &mut Criterion) {
+    let mut rng = DetRng::new(3);
+    let values: Vec<i64> = (0..50_000).map(|_| rng.below(5_000) as i64).collect();
+    let mut g = c.benchmark_group("hg_index");
+    g.bench_function("build_50k_postings", |b| b.iter(|| HgIndex::build(&values)));
+    let idx = HgIndex::build(&values);
+    g.bench_function("range_probe", |b| b.iter(|| idx.range(1000, 1100).len()));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compress,
+    bench_encode,
+    bench_bitmaps,
+    bench_lru,
+    bench_hg
+);
+criterion_main!(benches);

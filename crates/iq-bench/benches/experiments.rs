@@ -1,0 +1,89 @@
+//! Criterion wrappers over the paper-reproduction experiment drivers —
+//! one bench target per table/figure, so `cargo bench` regenerates the
+//! whole evaluation (at a tiny functional scale; use the `repro` binary
+//! with `--sf 0.01` or higher for the reported numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iq_bench::experiments;
+use iq_bench::runner::{PowerRun, RunConfig};
+use iq_objectstore::VolumeKind;
+
+const BENCH_SF: f64 = 0.002;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repro");
+    g.sample_size(10);
+    g.bench_function("table1_recovery_walkthrough", |b| {
+        b.iter(|| experiments::table1().unwrap())
+    });
+    g.finish();
+}
+
+fn bench_power_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repro");
+    g.sample_size(10);
+    // One bench per Table 2 volume (these also underlie Tables 3–4 and
+    // Figure 8).
+    for (name, volume) in [
+        ("table2_s3_power_run", VolumeKind::S3),
+        ("table2_ebs_power_run", VolumeKind::EbsGp2),
+        ("table2_efs_power_run", VolumeKind::Efs),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = RunConfig {
+                    volume,
+                    ..RunConfig::paper_default(BENCH_SF)
+                };
+                PowerRun::execute(cfg).unwrap().query_geomean()
+            })
+        });
+    }
+    // Table 5 / Figure 6 shape: the 4xlarge OCM-stressing run.
+    g.bench_function("table5_fig6_ocm_run", |b| {
+        b.iter(|| {
+            let cfg = RunConfig {
+                compute: iq_objectstore::ComputeProfile::m5ad_4xlarge(),
+                ..RunConfig::paper_default(BENCH_SF)
+            };
+            let run = PowerRun::execute(cfg).unwrap();
+            run.ocm_stats.hit_rate()
+        })
+    });
+    // Figure 7 scale-up: per-instance power run + fold.
+    g.bench_function("fig7_scaleup_point", |b| {
+        b.iter(|| {
+            let cfg = RunConfig {
+                compute: iq_objectstore::ComputeProfile::m5ad_12xlarge(),
+                ..RunConfig::paper_default(BENCH_SF)
+            };
+            let run = PowerRun::execute(cfg).unwrap();
+            run.phase_seconds(&run.load) + run.query_sweep_seconds()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig9_and_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repro");
+    g.sample_size(10);
+    g.bench_function("fig9_scaleout", |b| {
+        b.iter(|| experiments::fig9(BENCH_SF).unwrap())
+    });
+    g.bench_function("ablation_consistency", |b| {
+        b.iter(experiments::ablation_consistency)
+    });
+    g.bench_function("ablation_prefix", |b| b.iter(experiments::ablation_prefix));
+    g.bench_function("ablation_keyrange", |b| {
+        b.iter(experiments::ablation_keyrange)
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_power_runs,
+    bench_fig9_and_ablations
+);
+criterion_main!(benches);

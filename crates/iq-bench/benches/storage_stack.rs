@@ -1,0 +1,202 @@
+//! Criterion benchmarks of the storage path: page seal/unseal, simulated
+//! object-store PUT/GET (with and without the eventual-consistency retry
+//! loop), blockmap mutation + the Figure 2 flush cascade, OCM reads, and
+//! object-key generation.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use iq_common::{DbSpaceId, NodeId, ObjectKey, PageId, TxnId, VersionId};
+use iq_objectstore::{
+    BlockDeviceSim, ConsistencyConfig, ObjectBackend, ObjectStoreSim, RetryPolicy,
+};
+use iq_ocm::{Ocm, OcmConfig, WriteMode};
+use iq_storage::{Blockmap, CountingKeySource, DbSpace, Page, PageIo, PageKind, StorageConfig};
+use iq_txn::keygen::{CachePolicy, KeyGenerator, NodeKeyCache};
+use iq_txn::{RangeProvider, TxnLog};
+
+fn page(id: u64, len: usize) -> Page {
+    Page::new(
+        PageId(id),
+        VersionId(1),
+        PageKind::Data,
+        Bytes::from(vec![(id % 251) as u8; len]),
+    )
+}
+
+fn bench_page_seal(c: &mut Criterion) {
+    let cfg = StorageConfig {
+        page_size: 64 * 1024,
+    };
+    let p = page(1, 32 * 1024);
+    let mut g = c.benchmark_group("page");
+    g.throughput(Throughput::Bytes(32 * 1024));
+    g.bench_function("seal_32k", |b| b.iter(|| p.seal(&cfg).unwrap()));
+    let (image, _) = p.seal(&cfg).unwrap();
+    g.bench_function("unseal_32k", |b| b.iter(|| Page::unseal(&image).unwrap()));
+    g.finish();
+}
+
+fn bench_object_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("object_store");
+    let strong = ObjectStoreSim::new(ConsistencyConfig::strong());
+    let mut next = 0u64;
+    g.bench_function("put_4k", |b| {
+        b.iter(|| {
+            next += 1;
+            strong
+                .put(ObjectKey::from_offset(next), Bytes::from(vec![7u8; 4096]))
+                .unwrap()
+        })
+    });
+    strong
+        .put(ObjectKey::from_offset(0), Bytes::from(vec![7u8; 4096]))
+        .unwrap();
+    g.bench_function("get_4k_strong", |b| {
+        b.iter(|| strong.get(ObjectKey::from_offset(0)).unwrap())
+    });
+    // Retry loop over an eventually consistent store.
+    let eventual = ObjectStoreSim::new(ConsistencyConfig {
+        max_visibility_ops: 8,
+        delayed_fraction: 1.0,
+        ..ConsistencyConfig::default()
+    });
+    let policy = RetryPolicy::default();
+    let mut off = 1_000_000u64;
+    g.bench_function("put_get_with_retry_eventual", |b| {
+        b.iter(|| {
+            off += 1;
+            let k = ObjectKey::from_offset(off);
+            eventual.put(k, Bytes::from_static(b"x")).unwrap();
+            policy.get(&eventual, k).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn cloud_space() -> (Arc<DbSpace>, CountingKeySource) {
+    let store = Arc::new(ObjectStoreSim::new(ConsistencyConfig::strong()));
+    (
+        Arc::new(DbSpace::cloud(
+            DbSpaceId(1),
+            "bench",
+            StorageConfig::test_small(),
+            store,
+            RetryPolicy::default(),
+        )),
+        CountingKeySource::default(),
+    )
+}
+
+fn bench_blockmap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blockmap");
+    let (space, keys) = cloud_space();
+    g.bench_function("set_1k_mappings", |b| {
+        b.iter_batched(
+            || Blockmap::new(64),
+            |mut bm| {
+                let io = PageIo {
+                    space: &space,
+                    keys: &keys,
+                };
+                for i in 0..1000u64 {
+                    bm.set(
+                        PageId(i),
+                        iq_common::PhysicalLocator::Object(ObjectKey::from_offset(i)),
+                        &io,
+                    )
+                    .unwrap();
+                }
+                bm
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("figure2_flush_cascade", |b| {
+        b.iter_batched(
+            || {
+                let mut bm = Blockmap::new(64);
+                let io = PageIo {
+                    space: &space,
+                    keys: &keys,
+                };
+                for i in 0..1000u64 {
+                    bm.set(
+                        PageId(i),
+                        iq_common::PhysicalLocator::Object(ObjectKey::from_offset(i)),
+                        &io,
+                    )
+                    .unwrap();
+                }
+                bm
+            },
+            |mut bm| {
+                let io = PageIo {
+                    space: &space,
+                    keys: &keys,
+                };
+                bm.flush(VersionId(2), &io).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_ocm(c: &mut Criterion) {
+    let ssd = Arc::new(BlockDeviceSim::new(256, 1 << 16));
+    let store = Arc::new(ObjectStoreSim::new(ConsistencyConfig::strong()));
+    let ocm = Ocm::new(
+        ssd,
+        store.clone(),
+        OcmConfig {
+            slot_bytes: 4096,
+            capacity_bytes: 8 << 20,
+            retry: RetryPolicy::default(),
+        },
+    );
+    // Warm 512 objects through write-back.
+    let txn = TxnId(1);
+    for i in 0..512u64 {
+        ocm.write(
+            ObjectKey::from_offset(i),
+            Bytes::from(vec![1u8; 2048]),
+            txn,
+            WriteMode::WriteBack,
+        )
+        .unwrap();
+    }
+    ocm.flush_for_commit(txn).unwrap();
+    ocm.quiesce();
+    let mut g = c.benchmark_group("ocm");
+    let mut i = 0u64;
+    g.bench_function("cached_read_2k", |b| {
+        b.iter(|| {
+            i = (i + 1) % 512;
+            ocm.read(ObjectKey::from_offset(i)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_keygen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("keygen");
+    let log = Arc::new(TxnLog::new());
+    let kg: Arc<dyn RangeProvider> = Arc::new(KeyGenerator::new(log));
+    let cache = NodeKeyCache::new(NodeId(1), kg, CachePolicy::default());
+    g.bench_function("next_key_cached_range", |b| {
+        b.iter(|| iq_storage::KeySource::next_key(&cache).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_page_seal,
+    bench_object_store,
+    bench_blockmap,
+    bench_ocm,
+    bench_keygen
+);
+criterion_main!(benches);

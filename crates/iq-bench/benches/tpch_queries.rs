@@ -1,0 +1,47 @@
+//! Criterion benchmarks of the 22 TPC-H query plans (wall-clock, over an
+//! in-memory page store at a small scale factor). These measure the real
+//! engine; the paper-level timings come from the virtual-time model (see
+//! the `experiments` bench and the `repro` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iq_common::TxnId;
+use iq_engine::{MemPageStore, WorkMeter};
+use iq_tpch::queries::{run_query, Ctx};
+use iq_tpch::TpchDb;
+
+fn bench_queries(c: &mut Criterion) {
+    let store = MemPageStore::new();
+    let meter = WorkMeter::new();
+    let db = TpchDb::load(0.005, 42, &store, TxnId(1), &meter, 1024).expect("load");
+    let mut g = c.benchmark_group("tpch_sf0.005");
+    g.sample_size(20);
+    for n in 1..=22u32 {
+        g.bench_function(format!("q{n:02}"), |b| {
+            b.iter(|| {
+                let ctx = Ctx {
+                    db: &db,
+                    store: &store,
+                    meter: &meter,
+                };
+                run_query(n, &ctx).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tpch_load");
+    g.sample_size(10);
+    g.bench_function("load_sf0.002", |b| {
+        b.iter(|| {
+            let store = MemPageStore::new();
+            let meter = WorkMeter::new();
+            TpchDb::load(0.002, 42, &store, TxnId(1), &meter, 1024).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_load);
+criterion_main!(benches);

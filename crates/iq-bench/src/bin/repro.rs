@@ -1,0 +1,102 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p iq-bench --bin repro -- --all
+//! cargo run --release -p iq-bench --bin repro -- --table2 --sf 0.02
+//! ```
+
+use iq_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sf = 0.01f64;
+    let mut wanted: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "repro — regenerate the paper's evaluation\n\n\
+                     USAGE: repro [--sf <f64>] [--all] [SECTIONS...]\n\n\
+                     SECTIONS:\n\
+                       --table1     recovery & GC walkthrough\n\
+                       --table2     load + query times (S3/EBS/EFS)\n\
+                       --table3     compute cost of load and query sweep\n\
+                       --table4     monthly data-at-rest cost\n\
+                       --table5     OCM utilization\n\
+                       --fig6       OCM on/off per query, two instances\n\
+                       --fig7       scale-up (16/48/96 CPUs)\n\
+                       --fig8       network bandwidth during load\n\
+                       --fig9       scale-out (2/4/8 nodes)\n\
+                       --ablations  design-choice ablations\n\
+                       --explain    per-device time-model breakdown\n\n\
+                     --sf sets the functional scale factor (default 0.01);\n\
+                     results are projected to the paper's SF 1000."
+                );
+                return;
+            }
+            "--sf" => {
+                i += 1;
+                sf = args[i].parse().expect("--sf takes a number");
+            }
+            "--all" => wanted.push("all"),
+            flag if flag.starts_with("--") => wanted.push(Box::leak(
+                flag.trim_start_matches("--").to_string().into_boxed_str(),
+            )),
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    if wanted.is_empty() {
+        wanted.push("all");
+    }
+    let want = |name: &str| wanted.contains(&"all") || wanted.contains(&name);
+
+    println!("cloudiq reproduction harness — functional SF {sf}, projected to SF 1000\n");
+
+    let mut reports = Vec::new();
+    if want("table1") {
+        reports.push(experiments::table1().expect("table1"));
+    }
+    if want("table2") || want("table3") || want("table4") || want("table5") || want("fig8") {
+        let suite = experiments::run_volume_suite(sf).expect("volume suite");
+        if want("table2") {
+            reports.push(experiments::table2(&suite));
+        }
+        if want("table3") {
+            reports.push(experiments::table3(&suite));
+        }
+        if want("table4") {
+            reports.push(experiments::table4(&suite));
+        }
+        if want("table5") {
+            reports.push(experiments::table5(sf).expect("table5"));
+        }
+        if want("fig8") {
+            reports.push(experiments::fig8(&suite));
+        }
+    }
+    if want("fig6") {
+        reports.push(experiments::fig6(sf).expect("fig6"));
+    }
+    if want("fig7") {
+        reports.push(experiments::fig7(sf).expect("fig7"));
+    }
+    if wanted.contains(&"explain") {
+        experiments::explain(sf).expect("explain");
+        return;
+    }
+    if want("fig9") {
+        reports.push(experiments::fig9(sf).expect("fig9"));
+    }
+    if want("ablations") || want("all") {
+        reports.push(experiments::ablation_consistency());
+        reports.push(experiments::ablation_prefix());
+        reports.push(experiments::ablation_keyrange());
+        reports.push(experiments::ablation_ocm_mode());
+        reports.push(experiments::ablation_rollback_notify());
+    }
+    for r in &reports {
+        println!("{}", r.to_text());
+    }
+}

@@ -1,0 +1,416 @@
+//! Functional TPC-H runs with per-phase activity capture.
+
+use iq_common::{IqResult, SimDuration, TableId, GIB};
+use iq_core::{Database, DatabaseConfig};
+use iq_objectstore::timemodel::{DeviceLoad, PhaseLoad};
+use iq_objectstore::{
+    ComputeProfile, CostLedger, DeviceProfile, DeviceStats, IoOp, StatsSnapshot, TimeModel,
+    VolumeKind,
+};
+use iq_ocm::OcmStatsSnapshot;
+use iq_tpch::queries::{run_query, Ctx};
+use iq_tpch::TpchDb;
+use serde::Serialize;
+
+/// One experiment run's configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Functional scale factor (laptop scale).
+    pub sf: f64,
+    /// Scale factor the activity is projected to (the paper ran 1000).
+    pub target_sf: f64,
+    /// Data generator / workload seed.
+    pub seed: u64,
+    /// Where user dbspaces live.
+    pub volume: VolumeKind,
+    /// Instance shape.
+    pub compute: ComputeProfile,
+    /// OCM on/off (only meaningful on S3).
+    pub ocm_enabled: bool,
+    /// Row-group size for the TPC-H tables.
+    pub row_group_size: u32,
+    /// Cache-budget calibration: our generator compresses better than the
+    /// paper's dbgen (≈238 GiB vs ≈518 GiB at SF 1000), so RAM/SSD budgets
+    /// shrink by this additional factor to preserve the
+    /// working-set-to-cache ratios that drive the paper's cache dynamics.
+    pub capacity_calibration: f64,
+    /// Start the query sweep with cold caches (the paper's power runs
+    /// follow an instance restart; m5ad instance storage is ephemeral, so
+    /// the OCM is always cold — the source of Figure 6's warm-up arc).
+    pub cold_start_queries: bool,
+    /// CPU-work multiplier for the load phase: SAP IQ's load engine does
+    /// far more per-row work (full dbgen parsing, richer compression,
+    /// tiered HG maintenance) than our simplified encoders, and the
+    /// paper's Figure 7 shows the load is CPU-bound until ~96 cores.
+    pub load_cpu_factor: f64,
+}
+
+impl RunConfig {
+    /// The paper's primary configuration: S3 + OCM on an m5ad.24xlarge.
+    pub fn paper_default(sf: f64) -> Self {
+        Self {
+            sf,
+            target_sf: 1000.0,
+            seed: 20210620,
+            volume: VolumeKind::S3,
+            compute: ComputeProfile::m5ad_24xlarge(),
+            ocm_enabled: true,
+            row_group_size: 4096,
+            capacity_calibration: 238.0 / 518.0,
+            cold_start_queries: true,
+            load_cpu_factor: 26.0,
+        }
+    }
+
+    /// Scale ratio from functional to projected scale.
+    pub fn scale(&self) -> f64 {
+        self.target_sf / self.sf
+    }
+
+    /// RAM/SSD budgets shrink by the same ratio the data does, preserving
+    /// the working-set-to-cache ratios that drive the paper's cache
+    /// dynamics.
+    fn sf_ratio(&self) -> f64 {
+        self.sf / self.target_sf * self.capacity_calibration
+    }
+}
+
+/// Activity of one phase (load or one query).
+#[derive(Debug, Clone)]
+pub struct PhaseCapture {
+    /// Phase label (`load`, `Q1`…`Q22`).
+    pub name: String,
+    /// Unscaled per-device activity + CPU work.
+    pub load: PhaseLoad,
+    /// Rows produced (queries) or loaded.
+    pub rows: u64,
+}
+
+/// A full power run: load + 22 queries, with captured activity.
+pub struct PowerRun {
+    /// Configuration.
+    pub config: RunConfig,
+    /// Load-phase capture.
+    pub load: PhaseCapture,
+    /// Query captures, Q1..Q22 in order.
+    pub queries: Vec<PhaseCapture>,
+    /// OCM counters accumulated over the query phases (Table 5).
+    pub ocm_stats: OcmStatsSnapshot,
+    /// Compressed bytes at rest on the user volume (unscaled).
+    pub resident_bytes: u64,
+    /// Raw (uncompressed) input bytes the load read (unscaled estimate).
+    pub input_bytes: u64,
+    /// Load-phase S3 PUT trace buckets (Figure 8), unscaled.
+    pub load_buckets: Vec<iq_objectstore::metrics::TraceBucket>,
+}
+
+/// A phase folded into virtual time.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseTime {
+    /// Phase label.
+    pub name: String,
+    /// Elapsed virtual seconds at the projected scale.
+    pub seconds: f64,
+}
+
+fn user_volume_profile(cfg: &RunConfig, resident_scaled_gib: u64) -> DeviceProfile {
+    match cfg.volume {
+        VolumeKind::S3 => DeviceProfile::s3(),
+        // The paper used a 1 TB gp2 volume.
+        VolumeKind::EbsGp2 => DeviceProfile::ebs_gp2(1024),
+        VolumeKind::Efs => DeviceProfile::efs(resident_scaled_gib.max(1)),
+        other => panic!("user dbspaces live on S3/EBS/EFS, not {other:?}"),
+    }
+}
+
+impl PowerRun {
+    /// Execute the workload functionally and capture activity.
+    pub fn execute(config: RunConfig) -> IqResult<PowerRun> {
+        let ratio = config.sf_ratio();
+        let mut db_cfg = DatabaseConfig::default();
+        db_cfg.storage.page_size = 64 * 1024;
+        db_cfg.buffer_bytes =
+            ((config.compute.buffer_ram() as f64 * ratio) as usize).max(256 * 1024);
+        db_cfg.ocm_bytes = if config.ocm_enabled && config.volume == VolumeKind::S3 {
+            ((config.compute.ssd_bytes as f64 * ratio) as u64).max(1 << 20)
+        } else {
+            0
+        };
+        db_cfg.retention = None; // GC immediately; retention measured elsewhere
+        let db = Database::create(db_cfg)?;
+
+        let is_cloud = config.volume == VolumeKind::S3;
+        let space = if is_cloud {
+            db.create_cloud_dbspace("tpch")?
+        } else {
+            // Conventional volume sized 1 TB at target scale.
+            db.create_conventional_dbspace("tpch", (GIB as f64 * 1024.0 * ratio * 4.0) as u64)?
+        };
+        for t in 1..=8u32 {
+            db.create_table(TableId(t), space)?;
+        }
+
+        let user_space = db.dbspace(space)?;
+        let ssd = db.ssd();
+        let reset_all = || {
+            user_space.reset_backend_stats();
+            ssd.stats.reset();
+            db.buffer_stats().reset();
+        };
+        let user_stats_snapshot = || -> StatsSnapshot { user_space.backend_stats() };
+
+        // ---------------- Load phase ----------------
+        reset_all();
+        let meter_mark = db.meter().total();
+        let txn = db.begin();
+        let pager = db.pager(txn)?;
+        let tpch = TpchDb::load(
+            config.sf,
+            config.seed,
+            &pager,
+            txn,
+            db.meter(),
+            config.row_group_size,
+        )?;
+        db.commit(txn)?;
+        if let Some(ocm) = db.ocm() {
+            ocm.quiesce();
+        }
+        let resident_bytes = user_space.resident_bytes();
+        // dbgen flat files are roughly 2× the compressed resident size.
+        let input_bytes = resident_bytes * 2;
+        let user_snap = user_stats_snapshot();
+        let load_buckets = user_snap.buckets.clone();
+        let load = PhaseCapture {
+            name: "load".into(),
+            load: assemble_phase(
+                &config,
+                user_snap,
+                ssd.stats.snapshot(),
+                Some(input_bytes),
+                db.buffer_stats().demand_fraction(),
+                db.meter().since(meter_mark) as f64 * config.load_cpu_factor,
+                resident_bytes,
+            ),
+            rows: tpch.total_rows(),
+        };
+
+        // Instance restart between the load and the power run: RAM and
+        // the ephemeral instance-store SSD both come back empty.
+        if config.cold_start_queries {
+            db.shared().buffer.clear();
+            if let Some(ocm) = db.ocm() {
+                ocm.clear_cache();
+            }
+            for t in 1..=8u32 {
+                db.shared().table_store(TableId(t))?.invalidate_cache();
+            }
+        }
+
+        // ---------------- Query phases ----------------
+        let ocm_before = db
+            .ocm()
+            .map(|o| o.stats_snapshot())
+            .unwrap_or(OcmStatsSnapshot {
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            });
+        let mut queries = Vec::with_capacity(22);
+        let qtxn = db.begin();
+        let qpager = db.pager(qtxn)?;
+        for n in 1..=22u32 {
+            reset_all();
+            let mark = db.meter().total();
+            let ctx = Ctx {
+                db: &tpch,
+                store: &qpager,
+                meter: db.meter(),
+            };
+            let out = run_query(n, &ctx)?;
+            if let Some(ocm) = db.ocm() {
+                ocm.quiesce();
+            }
+            queries.push(PhaseCapture {
+                name: format!("Q{n}"),
+                load: assemble_phase(
+                    &config,
+                    user_stats_snapshot(),
+                    ssd.stats.snapshot(),
+                    None,
+                    db.buffer_stats().demand_fraction(),
+                    db.meter().since(mark) as f64,
+                    resident_bytes,
+                ),
+                rows: out.len() as u64,
+            });
+        }
+        db.rollback(qtxn)?;
+        let ocm_after = db
+            .ocm()
+            .map(|o| o.stats_snapshot())
+            .unwrap_or(OcmStatsSnapshot {
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            });
+        let ocm_stats = OcmStatsSnapshot {
+            hits: ocm_after.hits - ocm_before.hits,
+            misses: ocm_after.misses - ocm_before.misses,
+            evictions: ocm_after.evictions - ocm_before.evictions,
+        };
+
+        Ok(PowerRun {
+            config,
+            load,
+            queries,
+            ocm_stats,
+            resident_bytes,
+            input_bytes,
+            load_buckets,
+        })
+    }
+
+    /// Fold one captured phase into virtual seconds at the projected
+    /// scale under this run's compute profile.
+    pub fn phase_seconds(&self, phase: &PhaseCapture) -> f64 {
+        let model = TimeModel::new(self.config.compute.clone());
+        let scaled = scale_phase(&phase.load, self.config.scale());
+        model.phase_time(&scaled).as_secs_f64()
+    }
+
+    /// All phase timings (load first, then Q1..Q22).
+    pub fn timings(&self) -> Vec<PhaseTime> {
+        let mut out = Vec::with_capacity(23);
+        out.push(PhaseTime {
+            name: "load".into(),
+            seconds: self.phase_seconds(&self.load),
+        });
+        for q in &self.queries {
+            out.push(PhaseTime {
+                name: q.name.clone(),
+                seconds: self.phase_seconds(q),
+            });
+        }
+        out
+    }
+
+    /// Virtual duration of the whole query sweep.
+    pub fn query_sweep_seconds(&self) -> f64 {
+        self.queries.iter().map(|q| self.phase_seconds(q)).sum()
+    }
+
+    /// Geometric mean of the 22 query times.
+    pub fn query_geomean(&self) -> f64 {
+        let logs: f64 = self
+            .queries
+            .iter()
+            .map(|q| self.phase_seconds(q).max(1e-6).ln())
+            .sum();
+        (logs / self.queries.len() as f64).exp()
+    }
+
+    /// Request charges (scaled) over the given phases.
+    pub fn request_cost(&self, phases: &[&PhaseCapture]) -> CostLedger {
+        let mut ledger = CostLedger::default();
+        for p in phases {
+            for d in &p.load.devices {
+                // Same projection as the time model: the paper's 512 KiB
+                // page geometry, then the target scale.
+                ledger.charge_requests(
+                    &d.profile,
+                    &d.snapshot.rechunked(512 * 1024).scaled(self.config.scale()),
+                );
+            }
+        }
+        ledger
+    }
+
+    /// Data-at-rest bytes at the projected scale.
+    pub fn resident_bytes_scaled(&self) -> u64 {
+        (self.resident_bytes as f64 * self.config.scale()) as u64
+    }
+
+    /// The user-volume device profile for costing.
+    pub fn volume_profile(&self) -> DeviceProfile {
+        user_volume_profile(&self.config, self.resident_bytes_scaled() / GIB)
+    }
+}
+
+/// Build a [`PhaseLoad`] from raw snapshots.
+#[allow(clippy::too_many_arguments)]
+fn assemble_phase(
+    config: &RunConfig,
+    user: StatsSnapshot,
+    ssd: StatsSnapshot,
+    input_bytes: Option<u64>,
+    demand_fraction: f64,
+    cpu_work: f64,
+    resident_bytes: u64,
+) -> PhaseLoad {
+    let resident_scaled_gib = ((resident_bytes as f64 * config.scale()) as u64 / GIB).max(1);
+    let mut devices = vec![DeviceLoad {
+        profile: user_volume_profile(config, resident_scaled_gib),
+        snapshot: user,
+        serial_read_fraction: demand_fraction,
+    }];
+    // Input flat files always stream from S3 (§6: "all input files are
+    // stored in an S3 bucket").
+    if let Some(bytes) = input_bytes {
+        let input = DeviceStats::new();
+        const CHUNK: u64 = 8 * 1024 * 1024;
+        let chunks = bytes.div_ceil(CHUNK);
+        for i in 0..chunks {
+            input.record_prefixed(
+                IoOp::Get,
+                CHUNK.min(bytes - i * CHUNK),
+                Some((i % 512) as u16),
+            );
+        }
+        devices.push(DeviceLoad {
+            profile: DeviceProfile::s3(),
+            snapshot: input.snapshot(),
+            serial_read_fraction: 0.0,
+        });
+    }
+    // The OCM's local SSD.
+    if ssd.total_requests > 0 {
+        devices.push(DeviceLoad {
+            profile: DeviceProfile::local_nvme(config.compute.ssd_devices.max(1)),
+            snapshot: ssd,
+            serial_read_fraction: demand_fraction,
+        });
+    }
+    PhaseLoad { devices, cpu_work }
+}
+
+/// Scale a phase's activity to the projected scale factor.
+///
+/// Counts and bytes grow linearly with the data. *Serial* (demand-miss)
+/// reads do not: they are pipeline-fill stalls and index descents, which
+/// grow roughly with the square root of the data (more row groups, but
+/// proportionally deeper prefetch pipelines hide more of them). The
+/// serial fraction therefore shrinks by `sqrt(factor)` so the absolute
+/// serial count scales by `sqrt(factor)` rather than `factor`.
+pub fn scale_phase(phase: &PhaseLoad, factor: f64) -> PhaseLoad {
+    PhaseLoad {
+        devices: phase
+            .devices
+            .iter()
+            .map(|d| DeviceLoad {
+                profile: d.profile.clone(),
+                // Project to the paper's 512 KiB page geometry, then to
+                // the target scale factor.
+                snapshot: d.snapshot.rechunked(512 * 1024).scaled(factor),
+                serial_read_fraction: d.serial_read_fraction / factor.sqrt().max(1.0),
+            })
+            .collect(),
+        cpu_work: phase.cpu_work * factor,
+    }
+}
+
+/// Virtual time of a phase under an explicit model (scale-up sweeps reuse
+/// captures across compute profiles).
+pub fn phase_seconds_with(model: &TimeModel, phase: &PhaseCapture, scale: f64) -> SimDuration {
+    model.phase_time(&scale_phase(&phase.load, scale))
+}

@@ -1,0 +1,98 @@
+//! Smoke tests for the reproduction harness: every experiment driver
+//! produces a well-formed report at a tiny functional scale, and the
+//! reproduced *shapes* hold.
+
+use iq_bench::experiments;
+use iq_bench::runner::{PowerRun, RunConfig};
+use iq_objectstore::VolumeKind;
+
+const SF: f64 = 0.002;
+
+#[test]
+fn power_run_captures_all_phases() {
+    let run = PowerRun::execute(RunConfig::paper_default(SF)).unwrap();
+    assert_eq!(run.queries.len(), 22);
+    assert!(run.load.rows > 10_000);
+    assert!(run.resident_bytes > 0);
+    // Every phase folds to a positive, finite time.
+    for t in run.timings() {
+        assert!(t.seconds.is_finite() && t.seconds >= 0.0, "{t:?}");
+    }
+    assert!(run.query_geomean() > 0.0);
+}
+
+#[test]
+fn table2_shape_s3_beats_efs() {
+    let suite = experiments::run_volume_suite(SF).unwrap();
+    let s3 = &suite.runs["AWS S3"];
+    let efs = &suite.runs["AWS EFS"];
+    // The paper's headline: S3 wins the query sweep by a wide margin
+    // against EFS.
+    assert!(
+        s3.query_geomean() * 3.0 < efs.query_geomean(),
+        "s3={} efs={}",
+        s3.query_geomean(),
+        efs.query_geomean()
+    );
+    // Table 4's order-of-magnitude at-rest gap.
+    let t4 = experiments::table4(&suite);
+    assert_eq!(t4.rows.len(), 3);
+    // Figure 8 produces a non-trivial series.
+    let f8 = experiments::fig8(&suite);
+    assert!(f8.rows.len() >= 2);
+}
+
+#[test]
+fn table1_report_walks_all_clock_ticks() {
+    let r = experiments::table1().unwrap();
+    assert!(r.rows.len() >= 8);
+    let text = r.to_text();
+    assert!(text.contains("Coordinator recovers"));
+    assert!(text.contains("NOT notified"));
+}
+
+#[test]
+fn fig9_halves_with_node_count() {
+    let r = experiments::fig9(SF).unwrap();
+    assert_eq!(r.rows.len(), 3);
+    let t2: f64 = r.rows[0][1].trim().parse().unwrap();
+    let t8: f64 = r.rows[2][1].trim().parse().unwrap();
+    assert!(t8 * 3.0 < t2, "2 nodes {t2}, 8 nodes {t8}");
+}
+
+#[test]
+fn ablations_render() {
+    let c = experiments::ablation_consistency();
+    // Update-in-place must show stale reads, never-write-twice zero.
+    let stale_inplace: u64 = c.rows[0][3].parse().unwrap();
+    let stale_fresh: u64 = c.rows[1][3].parse().unwrap();
+    assert!(stale_inplace > 0);
+    assert_eq!(stale_fresh, 0);
+
+    let p = experiments::ablation_prefix();
+    let hot: f64 = p.rows[0][2].trim().parse().unwrap();
+    let spread: f64 = p.rows[1][2].trim().parse().unwrap();
+    assert!(hot > spread * 1.5);
+
+    let k = experiments::ablation_keyrange();
+    let singleton: u64 = k.rows[0][2].parse().unwrap();
+    let adaptive: u64 = k.rows[3][2].parse().unwrap();
+    assert!(singleton > adaptive * 1000);
+
+    let m = experiments::ablation_ocm_mode();
+    let wb: f64 = m.rows[0][2].trim().parse().unwrap();
+    let wt: f64 = m.rows[1][2].trim().parse().unwrap();
+    assert!(wb < wt, "write-back churn must be cheaper");
+}
+
+#[test]
+fn ebs_run_exercises_conventional_path() {
+    let cfg = RunConfig {
+        volume: VolumeKind::EbsGp2,
+        ..RunConfig::paper_default(SF)
+    };
+    let run = PowerRun::execute(cfg).unwrap();
+    // No OCM on a conventional volume.
+    assert_eq!(run.ocm_stats.hits + run.ocm_stats.misses, 0);
+    assert!(run.query_geomean() > 0.0);
+}

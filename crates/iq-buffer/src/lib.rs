@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! SAP IQ's buffer manager, extended for cloud dbspaces.
+//!
+//! "In SAP IQ, new pages get created in-memory first; that is, the
+//! lifetime of a page starts in the buffer cache. When a page is modified,
+//! it is marked as dirty. The buffer manager maintains a list of all the
+//! dirty pages associated with active transactions. Before a transaction
+//! commits, all associated dirty pages are flushed to permanent storage"
+//! (§3.1). This crate reproduces that machinery:
+//!
+//! * [`lru`] — an O(1) intrusive LRU used for frame replacement (SAP IQ's
+//!   buffer manager and the OCM both use LRU, §4).
+//! * [`manager`] — the buffer manager proper: a RAM-budgeted cache of
+//!   decompressed pages, per-transaction dirty lists, eviction through a
+//!   [`manager::FlushSink`] (which the storage layer implements with the
+//!   never-write-twice cloud flush path), and a prefetch entry point that
+//!   distinguishes demand misses from prefetched loads so the virtual-time
+//!   model can price unmasked latency.
+
+pub mod lru;
+pub mod manager;
+
+pub use lru::LruCache;
+pub use manager::{BufferManager, BufferStats, FlushCause, FlushSink, FrameKey};

@@ -1,0 +1,283 @@
+//! An O(1) LRU cache.
+//!
+//! Slab-backed doubly linked list + hash index. Used by the buffer
+//! manager's frame table and by the OCM's single read/write LRU list.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    /// `None` only while the slot sits on the free list.
+    occupied: Option<(K, V)>,
+    prev: usize,
+    next: usize,
+}
+
+/// LRU cache with O(1) insert, lookup, touch and pop-least-recent.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+impl<K: Eq + Hash + Clone, V> Default for LruCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Insert or replace; the entry becomes most-recently-used. Returns the
+    /// previous value if the key was present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if let Some(&idx) = self.map.get(&key) {
+            self.unlink(idx);
+            self.push_front(idx);
+            let slot = self.slab[idx]
+                .occupied
+                .as_mut()
+                .expect("mapped slot occupied");
+            return Some(std::mem::replace(&mut slot.1, value));
+        }
+        let entry = Entry {
+            occupied: Some((key.clone(), value)),
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = entry;
+                i
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
+        None
+    }
+
+    /// Look up and mark most-recently-used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        self.slab[idx].occupied.as_ref().map(|(_, v)| v)
+    }
+
+    /// Mutable lookup, marking most-recently-used.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let idx = *self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        self.slab[idx].occupied.as_mut().map(|(_, v)| v)
+    }
+
+    /// Look up without touching recency.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map
+            .get(key)
+            .and_then(|&idx| self.slab[idx].occupied.as_ref())
+            .map(|(_, v)| v)
+    }
+
+    /// Remove an entry.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.unlink(idx);
+        self.free.push(idx);
+        self.slab[idx].occupied.take().map(|(_, v)| v)
+    }
+
+    /// Evict and return the least-recently-used entry.
+    pub fn pop_lru(&mut self) -> Option<(K, V)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        self.unlink(idx);
+        self.free.push(idx);
+        let (key, value) = self.slab[idx].occupied.take().expect("tail slot occupied");
+        self.map.remove(&key);
+        Some((key, value))
+    }
+
+    /// Peek the least-recently-used key without evicting.
+    pub fn peek_lru(&self) -> Option<&K> {
+        (self.tail != NIL)
+            .then(|| self.slab[self.tail].occupied.as_ref().map(|(k, _)| k))
+            .flatten()
+    }
+
+    /// Iterate over entries from most to least recently used.
+    pub fn iter(&self) -> LruIter<'_, K, V> {
+        LruIter {
+            cache: self,
+            next: self.head,
+        }
+    }
+}
+
+/// Iterator over `(key, value)` pairs in recency order.
+pub struct LruIter<'a, K, V> {
+    cache: &'a LruCache<K, V>,
+    next: usize,
+}
+
+impl<'a, K: Eq + Hash + Clone, V> Iterator for LruIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next == NIL {
+            return None;
+        }
+        let e = &self.cache.slab[self.next];
+        self.next = e.next;
+        e.occupied.as_ref().map(|(k, v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_order() {
+        let mut lru = LruCache::new();
+        lru.insert(1, "a");
+        lru.insert(2, "b");
+        lru.insert(3, "c");
+        assert_eq!(lru.len(), 3);
+        // 1 is LRU.
+        assert_eq!(lru.peek_lru(), Some(&1));
+        // Touch 1; now 2 is LRU.
+        assert_eq!(lru.get(&1), Some(&"a"));
+        assert_eq!(lru.peek_lru(), Some(&2));
+        assert_eq!(lru.pop_lru(), Some((2, "b")));
+        assert_eq!(lru.pop_lru(), Some((3, "c")));
+        assert_eq!(lru.pop_lru(), Some((1, "a")));
+        assert_eq!(lru.pop_lru(), None);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn insert_replaces_and_touches() {
+        let mut lru = LruCache::new();
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert_eq!(lru.insert(1, 11), Some(10));
+        assert_eq!(lru.peek_lru(), Some(&2));
+        assert_eq!(lru.peek(&1), Some(&11));
+    }
+
+    #[test]
+    fn remove_and_reuse_slots() {
+        let mut lru = LruCache::new();
+        for i in 0..10 {
+            lru.insert(i, i * 10);
+        }
+        assert_eq!(lru.remove(&5), Some(50));
+        assert_eq!(lru.remove(&5), None);
+        assert_eq!(lru.len(), 9);
+        lru.insert(100, 1000); // reuses the freed slot
+        assert_eq!(lru.len(), 10);
+        assert_eq!(lru.peek(&100), Some(&1000));
+        // Full drain preserves order minus removals.
+        let mut keys = Vec::new();
+        while let Some((k, _)) = lru.pop_lru() {
+            keys.push(k);
+        }
+        assert_eq!(keys, vec![0, 1, 2, 3, 4, 6, 7, 8, 9, 100]);
+    }
+
+    #[test]
+    fn iter_runs_most_to_least_recent() {
+        let mut lru = LruCache::new();
+        lru.insert('a', 1);
+        lru.insert('b', 2);
+        lru.get(&'a');
+        let order: Vec<char> = lru.iter().map(|(k, _)| *k).collect();
+        assert_eq!(order, vec!['a', 'b']);
+    }
+
+    #[test]
+    fn heap_values_survive_slot_reuse() {
+        let mut lru: LruCache<u32, String> = LruCache::new();
+        for i in 0..100 {
+            lru.insert(i, format!("value-{i}"));
+        }
+        for i in 0..50 {
+            assert_eq!(lru.remove(&i), Some(format!("value-{i}")));
+        }
+        for i in 100..150 {
+            lru.insert(i, format!("value-{i}"));
+        }
+        assert_eq!(lru.len(), 100);
+        let mut n = 0;
+        while let Some((_, v)) = lru.pop_lru() {
+            assert!(v.starts_with("value-"));
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut lru = LruCache::new();
+        lru.insert(1, vec![1]);
+        lru.get_mut(&1).unwrap().push(2);
+        assert_eq!(lru.peek(&1), Some(&vec![1, 2]));
+    }
+}

@@ -1,0 +1,501 @@
+//! The buffer manager.
+//!
+//! A RAM-budgeted cache of decompressed pages keyed by `(table, logical
+//! page)`. "The buffer manager responds to requests from the query engine
+//! in the form of (logical-page-number, version-counter) and is
+//! responsible for locating the correct version of a page" (§2). Physical
+//! placement is delegated downward: on a miss the caller's loader resolves
+//! the blockmap and reads through the OCM; on eviction or commit, dirty
+//! pages leave through a [`FlushSink`] that implements the
+//! never-write-twice cloud flush (fresh key, blockmap update, RF/RB
+//! bookkeeping).
+//!
+//! The manager distinguishes **demand misses** (a query blocked on the
+//! read) from **prefetched loads** (latency was overlapped); the
+//! virtual-time model prices the former serially, which is what makes
+//! short queries on S3 slower than on EBS (the paper's Q2/Q19 exception).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use iq_common::{IqResult, PageId, TableId, TxnId};
+use iq_storage::Page;
+use parking_lot::Mutex;
+
+use crate::lru::LruCache;
+
+/// Cache key: table, logical page number, and table-version epoch.
+///
+/// The epoch keeps MVCC versions apart in the shared cache: a writer's
+/// uncommitted frames carry the next epoch, so concurrent readers of the
+/// committed version never observe them — the in-RAM counterpart of the
+/// paper's copy-on-write versioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameKey {
+    /// Owning table.
+    pub table: TableId,
+    /// Logical page.
+    pub page: PageId,
+    /// Table-version epoch the frame belongs to.
+    pub epoch: u64,
+}
+
+/// Why a dirty page is being written out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushCause {
+    /// Cache pressure during the churn phase — the OCM uses write-back.
+    Eviction,
+    /// Transaction commit — the OCM must write through to the store.
+    Commit,
+}
+
+/// Downstream writer for dirty pages.
+pub trait FlushSink {
+    /// Persist `page`. Implementations obtain a fresh object key for cloud
+    /// dbspaces, update the blockmap, and record RF/RB bitmap entries.
+    fn flush(&self, key: FrameKey, page: &Page, txn: TxnId, cause: FlushCause) -> IqResult<()>;
+}
+
+struct Frame {
+    page: Page,
+    /// `Some(txn)` while dirty.
+    dirty: Option<TxnId>,
+    bytes: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    frames: LruCache<FrameKey, Frame>,
+    used_bytes: usize,
+    dirty_by_txn: HashMap<TxnId, HashSet<FrameKey>>,
+}
+
+/// Counters exposed for tests and the benchmark harness.
+#[derive(Debug, Default)]
+pub struct BufferStats {
+    /// Cache hits.
+    pub hits: AtomicU64,
+    /// Misses where a query waited on the load.
+    pub demand_misses: AtomicU64,
+    /// Pages loaded by the prefetcher.
+    pub prefetched: AtomicU64,
+    /// Frames evicted (clean or dirty).
+    pub evictions: AtomicU64,
+    /// Dirty frames flushed due to eviction.
+    pub dirty_evictions: AtomicU64,
+    /// Dirty frames flushed at commit.
+    pub commit_flushes: AtomicU64,
+}
+
+impl BufferStats {
+    /// Zero all counters (benchmark phase boundaries).
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.demand_misses.store(0, Ordering::Relaxed);
+        self.prefetched.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.dirty_evictions.store(0, Ordering::Relaxed);
+        self.commit_flushes.store(0, Ordering::Relaxed);
+    }
+
+    /// Fraction of loads that were demand misses (serial latency).
+    pub fn demand_fraction(&self) -> f64 {
+        let d = self.demand_misses.load(Ordering::Relaxed) as f64;
+        let p = self.prefetched.load(Ordering::Relaxed) as f64;
+        if d + p == 0.0 {
+            0.0
+        } else {
+            d / (d + p)
+        }
+    }
+}
+
+/// The buffer manager.
+pub struct BufferManager {
+    capacity_bytes: usize,
+    inner: Mutex<Inner>,
+    /// Live counters.
+    pub stats: BufferStats,
+}
+
+impl BufferManager {
+    /// A manager with the given RAM budget (SAP IQ reserves half the
+    /// instance RAM for it, §6).
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            capacity_bytes,
+            inner: Mutex::new(Inner::default()),
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// RAM budget in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().used_bytes
+    }
+
+    /// Number of cached frames.
+    pub fn frame_count(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    fn frame_cost(page: &Page) -> usize {
+        page.body.len() + 128 // header + bookkeeping overhead estimate
+    }
+
+    /// Look up a page; `None` on miss (no load attempted).
+    pub fn get(&self, key: FrameKey) -> Option<Page> {
+        let mut inner = self.inner.lock();
+        let hit = inner.frames.get(&key).map(|f| f.page.clone());
+        if hit.is_some() {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Look up or load via `loader`. `demand=true` means a query is
+    /// blocked on this read; `false` means the prefetcher issued it.
+    pub fn get_or_load(
+        &self,
+        key: FrameKey,
+        demand: bool,
+        sink: &dyn FlushSink,
+        loader: impl FnOnce() -> IqResult<Page>,
+    ) -> IqResult<Page> {
+        if let Some(page) = self.get(key) {
+            return Ok(page);
+        }
+        let page = loader()?;
+        if demand {
+            self.stats.demand_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.prefetched.fetch_add(1, Ordering::Relaxed);
+        }
+        self.insert_clean(key, page.clone(), sink)?;
+        Ok(page)
+    }
+
+    fn insert_clean(&self, key: FrameKey, page: Page, sink: &dyn FlushSink) -> IqResult<()> {
+        let mut inner = self.inner.lock();
+        let cost = Self::frame_cost(&page);
+        if let Some(old) = inner.frames.insert(
+            key,
+            Frame {
+                page,
+                dirty: None,
+                bytes: cost,
+            },
+        ) {
+            inner.used_bytes -= old.bytes;
+            debug_assert!(old.dirty.is_none(), "clean insert over a dirty frame");
+        }
+        inner.used_bytes += cost;
+        self.evict_to_fit(&mut inner, sink)
+    }
+
+    /// Insert or overwrite a page dirtied by `txn`. May trigger eviction
+    /// (and therefore flushes of *other* dirty pages).
+    pub fn put_dirty(
+        &self,
+        key: FrameKey,
+        page: Page,
+        txn: TxnId,
+        sink: &dyn FlushSink,
+    ) -> IqResult<()> {
+        let mut inner = self.inner.lock();
+        let cost = Self::frame_cost(&page);
+        if let Some(old) = inner.frames.insert(
+            key,
+            Frame {
+                page,
+                dirty: Some(txn),
+                bytes: cost,
+            },
+        ) {
+            inner.used_bytes -= old.bytes;
+            if let Some(prev_txn) = old.dirty {
+                if prev_txn != txn {
+                    if let Some(set) = inner.dirty_by_txn.get_mut(&prev_txn) {
+                        set.remove(&key);
+                    }
+                }
+            }
+        }
+        inner.used_bytes += cost;
+        inner.dirty_by_txn.entry(txn).or_default().insert(key);
+        self.evict_to_fit(&mut inner, sink)
+    }
+
+    fn evict_to_fit(&self, inner: &mut Inner, sink: &dyn FlushSink) -> IqResult<()> {
+        while inner.used_bytes > self.capacity_bytes {
+            let Some((key, frame)) = inner.frames.pop_lru() else {
+                break;
+            };
+            inner.used_bytes -= frame.bytes;
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            if let Some(txn) = frame.dirty {
+                // "A dirty page can be flushed from the cache earlier as
+                // well (upon eviction), when the buffer manager needs to
+                // make room for a more recent page" (§3.1).
+                sink.flush(key, &frame.page, txn, FlushCause::Eviction)?;
+                self.stats.dirty_evictions.fetch_add(1, Ordering::Relaxed);
+                if let Some(set) = inner.dirty_by_txn.get_mut(&txn) {
+                    set.remove(&key);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush every dirty page of `txn` (commit path). Pages stay cached,
+    /// now clean. "Before a transaction commits, all associated dirty
+    /// pages are flushed to permanent storage" (§3.1).
+    pub fn flush_txn(&self, txn: TxnId, sink: &dyn FlushSink) -> IqResult<()> {
+        let mut inner = self.inner.lock();
+        let keys: Vec<FrameKey> = inner
+            .dirty_by_txn
+            .remove(&txn)
+            .map(|s| {
+                let mut v: Vec<_> = s.into_iter().collect();
+                v.sort(); // deterministic flush order
+                v
+            })
+            .unwrap_or_default();
+        for key in keys {
+            let Some(frame) = inner.frames.get_mut(&key) else {
+                continue;
+            };
+            if frame.dirty != Some(txn) {
+                continue;
+            }
+            let page = frame.page.clone();
+            frame.dirty = None;
+            sink.flush(key, &page, txn, FlushCause::Commit)?;
+            self.stats.commit_flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Discard (without flushing) every dirty page of a rolled-back
+    /// transaction; its writes must never reach storage from here.
+    pub fn discard_txn(&self, txn: TxnId) {
+        let mut inner = self.inner.lock();
+        let keys: Vec<FrameKey> = inner
+            .dirty_by_txn
+            .remove(&txn)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
+        for key in keys {
+            if let Some(frame) = inner.frames.peek(&key) {
+                if frame.dirty == Some(txn) {
+                    if let Some(f) = inner.frames.remove(&key) {
+                        inner.used_bytes -= f.bytes;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop a frame (e.g. after its table version is garbage collected).
+    pub fn invalidate(&self, key: FrameKey) {
+        let mut inner = self.inner.lock();
+        if let Some(f) = inner.frames.remove(&key) {
+            inner.used_bytes -= f.bytes;
+            if let Some(txn) = f.dirty {
+                if let Some(set) = inner.dirty_by_txn.get_mut(&txn) {
+                    set.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Number of dirty pages currently held for `txn`.
+    pub fn dirty_count(&self, txn: TxnId) -> usize {
+        self.inner
+            .lock()
+            .dirty_by_txn
+            .get(&txn)
+            .map_or(0, |s| s.len())
+    }
+
+    /// Whether a frame is cached, without touching recency or stats.
+    pub fn contains(&self, key: FrameKey) -> bool {
+        self.inner.lock().frames.peek(&key).is_some()
+    }
+
+    /// Drop every frame and dirty list without flushing (crash simulation
+    /// and point-in-time restore — RAM contents do not survive either).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        *inner = Inner::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use iq_common::VersionId;
+    use iq_storage::PageKind;
+    use parking_lot::Mutex as PMutex;
+
+    fn key(t: u32, p: u64) -> FrameKey {
+        FrameKey {
+            table: TableId(t),
+            page: PageId(p),
+            epoch: 0,
+        }
+    }
+
+    fn page(p: u64, len: usize) -> Page {
+        Page::new(
+            PageId(p),
+            VersionId(1),
+            PageKind::Data,
+            Bytes::from(vec![p as u8; len]),
+        )
+    }
+
+    /// Sink that records flushes.
+    #[derive(Default)]
+    struct RecordingSink {
+        flushed: PMutex<Vec<(FrameKey, TxnId, FlushCause)>>,
+    }
+
+    impl FlushSink for RecordingSink {
+        fn flush(
+            &self,
+            key: FrameKey,
+            _page: &Page,
+            txn: TxnId,
+            cause: FlushCause,
+        ) -> IqResult<()> {
+            self.flushed.lock().push((key, txn, cause));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let bm = BufferManager::new(1 << 20);
+        let sink = RecordingSink::default();
+        let p = bm
+            .get_or_load(key(1, 1), true, &sink, || Ok(page(1, 100)))
+            .unwrap();
+        assert_eq!(p.body[0], 1);
+        assert_eq!(bm.stats.demand_misses.load(Ordering::Relaxed), 1);
+        // Second access hits.
+        let _ = bm
+            .get_or_load(key(1, 1), true, &sink, || {
+                panic!("loader must not run on hit")
+            })
+            .unwrap();
+        assert_eq!(bm.stats.hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn prefetch_counts_separately() {
+        let bm = BufferManager::new(1 << 20);
+        let sink = RecordingSink::default();
+        for p in 0..4 {
+            bm.get_or_load(key(1, p), false, &sink, || Ok(page(p, 64)))
+                .unwrap();
+        }
+        bm.get_or_load(key(1, 9), true, &sink, || Ok(page(9, 64)))
+            .unwrap();
+        assert_eq!(bm.stats.prefetched.load(Ordering::Relaxed), 4);
+        assert_eq!(bm.stats.demand_misses.load(Ordering::Relaxed), 1);
+        assert!((bm.stats.demand_fraction() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_flushes_dirty_lru_first() {
+        // Capacity fits ~3 frames of 1000+128 bytes.
+        let bm = BufferManager::new(3500);
+        let sink = RecordingSink::default();
+        let txn = TxnId(7);
+        bm.put_dirty(key(1, 1), page(1, 1000), txn, &sink).unwrap();
+        bm.put_dirty(key(1, 2), page(2, 1000), txn, &sink).unwrap();
+        bm.put_dirty(key(1, 3), page(3, 1000), txn, &sink).unwrap();
+        assert_eq!(bm.dirty_count(txn), 3);
+        // Fourth page exceeds the budget; page 1 (LRU) is flushed out.
+        bm.put_dirty(key(1, 4), page(4, 1000), txn, &sink).unwrap();
+        let flushed = sink.flushed.lock();
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0], (key(1, 1), txn, FlushCause::Eviction));
+        drop(flushed);
+        assert_eq!(bm.dirty_count(txn), 3);
+        assert!(bm.get(key(1, 1)).is_none());
+    }
+
+    #[test]
+    fn commit_flushes_all_dirty_then_clean() {
+        let bm = BufferManager::new(1 << 20);
+        let sink = RecordingSink::default();
+        let txn = TxnId(1);
+        for p in 0..5 {
+            bm.put_dirty(key(1, p), page(p, 100), txn, &sink).unwrap();
+        }
+        bm.flush_txn(txn, &sink).unwrap();
+        let flushed = sink.flushed.lock();
+        assert_eq!(flushed.len(), 5);
+        assert!(flushed
+            .iter()
+            .all(|&(_, t, c)| t == txn && c == FlushCause::Commit));
+        drop(flushed);
+        assert_eq!(bm.dirty_count(txn), 0);
+        // Pages remain cached.
+        assert!(bm.get(key(1, 0)).is_some());
+        // Re-flushing does nothing.
+        bm.flush_txn(txn, &sink).unwrap();
+        assert_eq!(sink.flushed.lock().len(), 5);
+    }
+
+    #[test]
+    fn rollback_discards_without_flushing() {
+        let bm = BufferManager::new(1 << 20);
+        let sink = RecordingSink::default();
+        let txn = TxnId(2);
+        bm.put_dirty(key(1, 1), page(1, 100), txn, &sink).unwrap();
+        bm.discard_txn(txn);
+        assert!(sink.flushed.lock().is_empty());
+        assert!(bm.get(key(1, 1)).is_none());
+        assert_eq!(bm.used_bytes(), 0);
+    }
+
+    #[test]
+    fn two_txns_tracked_independently() {
+        let bm = BufferManager::new(1 << 20);
+        let sink = RecordingSink::default();
+        bm.put_dirty(key(1, 1), page(1, 100), TxnId(1), &sink)
+            .unwrap();
+        bm.put_dirty(key(1, 2), page(2, 100), TxnId(2), &sink)
+            .unwrap();
+        bm.flush_txn(TxnId(1), &sink).unwrap();
+        assert_eq!(sink.flushed.lock().len(), 1);
+        assert_eq!(bm.dirty_count(TxnId(2)), 1);
+        // Redirtying a page under a new txn moves ownership.
+        bm.put_dirty(key(1, 2), page(2, 100), TxnId(3), &sink)
+            .unwrap();
+        assert_eq!(bm.dirty_count(TxnId(2)), 0);
+        assert_eq!(bm.dirty_count(TxnId(3)), 1);
+    }
+
+    #[test]
+    fn invalidate_releases_budget() {
+        let bm = BufferManager::new(1 << 20);
+        let sink = RecordingSink::default();
+        bm.get_or_load(key(1, 1), true, &sink, || Ok(page(1, 100)))
+            .unwrap();
+        let used = bm.used_bytes();
+        assert!(used > 0);
+        bm.invalidate(key(1, 1));
+        assert_eq!(bm.used_bytes(), 0);
+        assert_eq!(bm.frame_count(), 0);
+    }
+}

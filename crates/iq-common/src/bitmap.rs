@@ -1,0 +1,390 @@
+//! Bitmap types.
+//!
+//! Two representations back the paper's bookkeeping structures:
+//!
+//! * [`Bitmap`] — a dense, growable bitmap. This is the freelist
+//!   representation: "a bit set in the freelist indicates that the block is
+//!   in use" (§2). Dense is right because block numbers on a conventional
+//!   dbspace are small and contiguous.
+//! * [`KeySet`] — a sorted interval set over `u64`. This is how the cloud
+//!   half of the RF/RB bitmaps and the key generator's *active sets* are
+//!   held: object keys live in `[2^63, 2^64)` and are allocated in
+//!   contiguous ranges, so intervals are compact, and range insert/remove
+//!   (the "key-ranges as opposed to singleton keys" optimization of §3.2)
+//!   is O(log n).
+
+use serde::{Deserialize, Serialize};
+
+/// A dense, growable bitmap over `u64` indexes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitmap {
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A bitmap pre-sized for `bits` indexes.
+    pub fn with_capacity(bits: u64) -> Self {
+        Self {
+            words: vec![0; (bits as usize).div_ceil(64)],
+        }
+    }
+
+    fn index(bit: u64) -> (usize, u64) {
+        ((bit / 64) as usize, 1u64 << (bit % 64))
+    }
+
+    /// Set `bit`; grows as needed. Returns the previous value.
+    pub fn set(&mut self, bit: u64) -> bool {
+        let (w, m) = Self::index(bit);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let prev = self.words[w] & m != 0;
+        self.words[w] |= m;
+        prev
+    }
+
+    /// Clear `bit`. Returns the previous value.
+    pub fn clear(&mut self, bit: u64) -> bool {
+        let (w, m) = Self::index(bit);
+        if w >= self.words.len() {
+            return false;
+        }
+        let prev = self.words[w] & m != 0;
+        self.words[w] &= !m;
+        prev
+    }
+
+    /// Test `bit`.
+    pub fn get(&self, bit: u64) -> bool {
+        let (w, m) = Self::index(bit);
+        self.words.get(w).is_some_and(|word| word & m != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Find the first run of `len` consecutive clear bits at or after `from`,
+    /// scanning up to `limit` bits. Used by the freelist's contiguous block
+    /// allocator (pages occupy 1–16 contiguous blocks).
+    pub fn find_clear_run(&self, from: u64, len: u32, limit: u64) -> Option<u64> {
+        debug_assert!(len > 0);
+        let mut start = from;
+        let mut run = 0u32;
+        let mut bit = from;
+        while bit < limit {
+            if self.get(bit) {
+                run = 0;
+                start = bit + 1;
+            } else {
+                run += 1;
+                if run == len {
+                    return Some(start);
+                }
+            }
+            bit += 1;
+        }
+        None
+    }
+
+    /// Set `len` bits starting at `start`.
+    pub fn set_run(&mut self, start: u64, len: u32) {
+        for b in start..start + len as u64 {
+            self.set(b);
+        }
+    }
+
+    /// Clear `len` bits starting at `start`.
+    pub fn clear_run(&mut self, start: u64, len: u32) {
+        for b in start..start + len as u64 {
+            self.clear(b);
+        }
+    }
+
+    /// Iterate over set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u64> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let base = wi as u64 * 64;
+            BitIter { word, base }
+        })
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros() as u64;
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+/// A sorted set of `u64` values stored as disjoint half-open intervals
+/// `[start, end)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeySet {
+    /// Disjoint, sorted, non-adjacent intervals.
+    runs: Vec<(u64, u64)>,
+}
+
+impl KeySet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert the half-open range `[start, end)`, merging as needed.
+    pub fn insert_range(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        // Find insertion window: all runs overlapping or adjacent to [start, end).
+        let lo = self.runs.partition_point(|&(_, e)| e < start);
+        let hi = self.runs.partition_point(|&(s, _)| s <= end);
+        let mut new_start = start;
+        let mut new_end = end;
+        if lo < hi {
+            new_start = new_start.min(self.runs[lo].0);
+            new_end = new_end.max(self.runs[hi - 1].1);
+        }
+        self.runs
+            .splice(lo..hi, std::iter::once((new_start, new_end)));
+    }
+
+    /// Insert a single value.
+    pub fn insert(&mut self, v: u64) {
+        self.insert_range(v, v + 1);
+    }
+
+    /// Remove the half-open range `[start, end)`.
+    pub fn remove_range(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let lo = self.runs.partition_point(|&(_, e)| e <= start);
+        let hi = self.runs.partition_point(|&(s, _)| s < end);
+        if lo >= hi {
+            return;
+        }
+        let mut replacement = Vec::with_capacity(2);
+        let (first_s, _) = self.runs[lo];
+        let (_, last_e) = self.runs[hi - 1];
+        if first_s < start {
+            replacement.push((first_s, start));
+        }
+        if last_e > end {
+            replacement.push((end, last_e));
+        }
+        self.runs.splice(lo..hi, replacement);
+    }
+
+    /// Remove a single value.
+    pub fn remove(&mut self, v: u64) {
+        self.remove_range(v, v + 1);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: u64) -> bool {
+        let i = self.runs.partition_point(|&(_, e)| e <= v);
+        self.runs.get(i).is_some_and(|&(s, _)| s <= v)
+    }
+
+    /// Number of values in the set.
+    pub fn len(&self) -> u64 {
+        self.runs.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The disjoint sorted intervals.
+    pub fn runs(&self) -> &[(u64, u64)] {
+        &self.runs
+    }
+
+    /// Iterate over all values in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.runs.iter().flat_map(|&(s, e)| s..e)
+    }
+
+    /// Union with another set.
+    pub fn union_with(&mut self, other: &KeySet) {
+        for &(s, e) in &other.runs {
+            self.insert_range(s, e);
+        }
+    }
+
+    /// Subtract another set.
+    pub fn subtract(&mut self, other: &KeySet) {
+        for &(s, e) in &other.runs {
+            self.remove_range(s, e);
+        }
+    }
+}
+
+impl FromIterator<u64> for KeySet {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut set = KeySet::new();
+        for v in iter {
+            set.insert(v);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bitmap_set_get_clear() {
+        let mut b = Bitmap::new();
+        assert!(!b.set(100));
+        assert!(b.get(100));
+        assert!(b.set(100));
+        assert!(b.clear(100));
+        assert!(!b.get(100));
+        assert!(!b.clear(100));
+        assert!(!b.get(100_000)); // out of range reads are false
+    }
+
+    #[test]
+    fn bitmap_runs_and_count() {
+        let mut b = Bitmap::with_capacity(256);
+        b.set_run(10, 16);
+        assert_eq!(b.count_ones(), 16);
+        assert!(b.get(10) && b.get(25) && !b.get(26));
+        b.clear_run(10, 8);
+        assert_eq!(b.count_ones(), 8);
+        assert_eq!(
+            b.iter_ones().collect::<Vec<_>>(),
+            (18..26).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bitmap_find_clear_run() {
+        let mut b = Bitmap::with_capacity(64);
+        b.set_run(0, 4);
+        b.set_run(6, 2);
+        // holes: [4,6), [8,..)
+        assert_eq!(b.find_clear_run(0, 2, 64), Some(4));
+        assert_eq!(b.find_clear_run(0, 3, 64), Some(8));
+        assert_eq!(b.find_clear_run(5, 1, 64), Some(5));
+        assert_eq!(b.find_clear_run(0, 60, 64), None);
+    }
+
+    #[test]
+    fn keyset_insert_merges() {
+        let mut s = KeySet::new();
+        s.insert_range(10, 20);
+        s.insert_range(30, 40);
+        s.insert_range(20, 30); // bridges the gap
+        assert_eq!(s.runs(), &[(10, 40)]);
+        assert_eq!(s.len(), 30);
+    }
+
+    #[test]
+    fn keyset_remove_splits() {
+        let mut s = KeySet::new();
+        s.insert_range(0, 100);
+        s.remove_range(40, 60);
+        assert_eq!(s.runs(), &[(0, 40), (60, 100)]);
+        assert!(s.contains(39) && !s.contains(40) && !s.contains(59) && s.contains(60));
+    }
+
+    #[test]
+    fn keyset_table1_scenario() {
+        // The active-set bookkeeping from Table 1: allocate 101-200 to W1,
+        // commit of T1 trims 101-130, rollback of T2 does NOT update the set.
+        let mut active = KeySet::new();
+        active.insert_range(101, 201);
+        active.remove_range(101, 131); // T1 commits
+        assert_eq!(active.runs(), &[(131, 201)]);
+        // T2 rolls back: deliberately no change (the paper's optimization).
+        assert_eq!(active.runs(), &[(131, 201)]);
+    }
+
+    #[test]
+    fn keyset_union_subtract() {
+        let a: KeySet = [1, 2, 3, 10].into_iter().collect();
+        let b: KeySet = [3, 4, 5].into_iter().collect();
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 5, 10]);
+        let mut d = u.clone();
+        d.subtract(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 2, 10]);
+    }
+
+    proptest! {
+        #[test]
+        fn keyset_matches_btreeset(ops in proptest::collection::vec(
+            (0u8..4, 0u64..200, 1u64..20), 0..60)) {
+            let mut ks = KeySet::new();
+            let mut reference = std::collections::BTreeSet::new();
+            for (op, start, len) in ops {
+                let end = start + len;
+                match op {
+                    0 | 2 => {
+                        ks.insert_range(start, end);
+                        reference.extend(start..end);
+                    }
+                    _ => {
+                        ks.remove_range(start, end);
+                        for v in start..end { reference.remove(&v); }
+                    }
+                }
+                // Invariants: runs are sorted, disjoint, non-adjacent.
+                for w in ks.runs().windows(2) {
+                    prop_assert!(w[0].1 < w[1].0);
+                }
+                prop_assert_eq!(ks.iter().collect::<Vec<_>>(),
+                                reference.iter().copied().collect::<Vec<_>>());
+                prop_assert_eq!(ks.len(), reference.len() as u64);
+            }
+        }
+
+        #[test]
+        fn bitmap_matches_btreeset(ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..500), 0..100)) {
+            let mut bm = Bitmap::new();
+            let mut reference = std::collections::BTreeSet::new();
+            for (set, bit) in ops {
+                if set {
+                    bm.set(bit);
+                    reference.insert(bit);
+                } else {
+                    bm.clear(bit);
+                    reference.remove(&bit);
+                }
+            }
+            prop_assert_eq!(bm.iter_ones().collect::<Vec<_>>(),
+                            reference.iter().copied().collect::<Vec<_>>());
+            prop_assert_eq!(bm.count_ones(), reference.len() as u64);
+        }
+    }
+}

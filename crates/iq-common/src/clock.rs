@@ -1,0 +1,223 @@
+//! Virtual time.
+//!
+//! All reported "seconds" in the reproduction are *virtual*: simulated
+//! devices charge [`SimDuration`]s, and the bench harness folds the charges
+//! into elapsed time. Nothing reads the wall clock, so every run is
+//! deterministic and laptop-fast regardless of the simulated scale.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of virtual time with nanosecond resolution.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration {
+    nanos: u64,
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration { nanos: 0 };
+
+    /// From nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Self { nanos }
+    }
+
+    /// From microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        Self {
+            nanos: micros * 1_000,
+        }
+    }
+
+    /// From milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Self {
+            nanos: millis * 1_000_000,
+        }
+    }
+
+    /// From whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Self {
+            nanos: secs * 1_000_000_000,
+        }
+    }
+
+    /// From fractional seconds (saturating at zero for negative input).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        Self {
+            nanos: (secs.max(0.0) * 1e9) as u64,
+        }
+    }
+
+    /// Nanoseconds in this duration.
+    pub const fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// Duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration {
+            nanos: self.nanos.saturating_sub(rhs.nanos),
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration {
+            nanos: self.nanos + rhs.nanos,
+        }
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.nanos += rhs.nanos;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration {
+            nanos: self.nanos - rhs.nanos,
+        }
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration {
+            nanos: self.nanos * rhs,
+        }
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration {
+            nanos: self.nanos / rhs,
+        }
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs_f64();
+        if s >= 1.0 {
+            write!(f, "{s:.3}s")
+        } else if s >= 1e-3 {
+            write!(f, "{:.3}ms", s * 1e3)
+        } else {
+            write!(f, "{:.3}us", s * 1e6)
+        }
+    }
+}
+
+/// A point on the virtual timeline (nanoseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimInstant {
+    nanos: u64,
+}
+
+impl SimInstant {
+    /// The start of the simulation.
+    pub const EPOCH: SimInstant = SimInstant { nanos: 0 };
+
+    /// From nanoseconds since epoch.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Self { nanos }
+    }
+
+    /// Nanoseconds since epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// Time elapsed since `earlier` (zero if `earlier` is later).
+    pub fn duration_since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration::from_nanos(self.nanos.saturating_sub(earlier.nanos))
+    }
+}
+
+impl Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant {
+            nanos: self.nanos + rhs.as_nanos(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = SimDuration::from_millis(2);
+        let b = SimDuration::from_micros(500);
+        assert_eq!((a + b).as_nanos(), 2_500_000);
+        assert_eq!((a - b).as_nanos(), 1_500_000);
+        assert_eq!((a * 3).as_nanos(), 6_000_000);
+        assert_eq!((a / 2).as_nanos(), 1_000_000);
+    }
+
+    #[test]
+    fn secs_f64_roundtrip() {
+        let d = SimDuration::from_secs_f64(1.25);
+        assert!((d.as_secs_f64() - 1.25).abs() < 1e-9);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn instants() {
+        let t0 = SimInstant::EPOCH;
+        let t1 = t0 + SimDuration::from_secs(3);
+        assert_eq!(t1.duration_since(t0), SimDuration::from_secs(3));
+        assert_eq!(t0.duration_since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+        assert_eq!(SimDuration::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(SimDuration::from_micros(7).to_string(), "7.000us");
+    }
+
+    #[test]
+    fn sum_folds() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total, SimDuration::from_millis(10));
+    }
+}

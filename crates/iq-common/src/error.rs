@@ -1,0 +1,125 @@
+//! The unified error type used across the workspace.
+
+use std::fmt;
+
+use crate::ids::{ObjectKey, PageId, TxnId};
+
+/// Result alias used throughout the workspace.
+pub type IqResult<T> = Result<T, IqError>;
+
+/// Errors surfaced by the cloudiq storage stack.
+///
+/// The variants mirror the failure modes discussed in the paper: eventual
+/// consistency manifests as [`IqError::ObjectNotFound`] (scenario 3 in §3),
+/// a stale read on an update-in-place store as [`IqError::StaleRead`]
+/// (scenario 2 — impossible under the never-write-twice policy, but
+/// observable in the ablation baseline), and exhausted retries roll a
+/// transaction back ([`IqError::RetriesExhausted`], §4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IqError {
+    /// A GET raced the object's visibility window (eventual consistency) or
+    /// the object was deleted. Callers are expected to retry fresh keys.
+    ObjectNotFound(ObjectKey),
+    /// An object was read successfully but carried a version older than the
+    /// latest write. Only possible when objects are overwritten in place.
+    StaleRead(ObjectKey),
+    /// An attempt was made to overwrite an existing object key. The
+    /// never-write-twice policy forbids this; the simulated store enforces it.
+    DuplicateObjectKey(ObjectKey),
+    /// A configurable retry budget was exhausted; the paper rolls the owning
+    /// transaction back in this case.
+    RetriesExhausted {
+        /// Key whose read/write kept failing.
+        key: ObjectKey,
+        /// Number of attempts made before giving up.
+        attempts: u32,
+    },
+    /// A logical page was requested that the blockmap does not know about.
+    PageNotFound(PageId),
+    /// The freelist could not satisfy a contiguous block allocation.
+    OutOfBlocks {
+        /// Number of contiguous blocks requested.
+        requested: u32,
+    },
+    /// A page image failed its checksum or decompression.
+    Corruption(String),
+    /// Transaction-level failure (conflict, rolled back, unknown id, …).
+    Txn {
+        /// Transaction involved.
+        txn: TxnId,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// A node that is required for the operation is down (simulated crash).
+    NodeDown(String),
+    /// Catalog / metadata inconsistency.
+    Catalog(String),
+    /// The requested dbspace, table or index does not exist.
+    NotFound(String),
+    /// Invalid argument or unsupported configuration.
+    Invalid(String),
+    /// Wrapped I/O error (spill files, OCM disk area, …).
+    Io(String),
+}
+
+impl fmt::Display for IqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IqError::ObjectNotFound(k) => write!(f, "object not found: {k}"),
+            IqError::StaleRead(k) => write!(f, "stale read of object {k}"),
+            IqError::DuplicateObjectKey(k) => {
+                write!(f, "attempt to write object {k} more than once")
+            }
+            IqError::RetriesExhausted { key, attempts } => {
+                write!(
+                    f,
+                    "retries exhausted for object {key} after {attempts} attempts"
+                )
+            }
+            IqError::PageNotFound(p) => write!(f, "logical page not found: {p}"),
+            IqError::OutOfBlocks { requested } => {
+                write!(f, "freelist cannot satisfy {requested} contiguous blocks")
+            }
+            IqError::Corruption(msg) => write!(f, "corruption detected: {msg}"),
+            IqError::Txn { txn, reason } => write!(f, "transaction {txn} failed: {reason}"),
+            IqError::NodeDown(n) => write!(f, "node is down: {n}"),
+            IqError::Catalog(msg) => write!(f, "catalog error: {msg}"),
+            IqError::NotFound(what) => write!(f, "not found: {what}"),
+            IqError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+            IqError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IqError {}
+
+impl From<std::io::Error> for IqError {
+    fn from(e: std::io::Error) -> Self {
+        IqError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ObjectKey;
+
+    #[test]
+    fn display_is_informative() {
+        let k = ObjectKey::from_offset(42);
+        let e = IqError::ObjectNotFound(k);
+        assert!(e.to_string().contains("object not found"));
+        let e = IqError::RetriesExhausted {
+            key: k,
+            attempts: 7,
+        };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("boom");
+        let e: IqError = io.into();
+        assert!(matches!(e, IqError::Io(_)));
+    }
+}

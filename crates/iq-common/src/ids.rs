@@ -1,0 +1,274 @@
+//! Strongly typed identifiers.
+//!
+//! The most interesting type here is [`ObjectKey`]: the paper stores object
+//! keys in the *same* 64-bit field the blockmap already used for physical
+//! block numbers. Block numbers are capped at `2^48 - 1`, so the range
+//! `[2^63, 2^64)` is reserved for object keys, and the two cases are
+//! distinguished by inspecting the value (§3.1). [`PhysicalLocator`]
+//! reproduces exactly that encoding.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The value below which a raw 64-bit locator is a physical block number.
+/// SAP IQ's maximum physical block number is `2^48 - 1`.
+pub const MAX_BLOCK_NUM: u64 = (1 << 48) - 1;
+
+/// The lowest raw value that denotes an object key: `2^63`.
+pub const OBJECT_KEY_BASE: u64 = 1 << 63;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident($inner:ty)) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Logical page number. The query engine addresses pages by
+    /// `(PageId, VersionId)`; the blockmap resolves the physical location.
+    PageId(u64)
+);
+id_type!(
+    /// Version counter attached to a table (table-level versioning) or to a
+    /// page request.
+    VersionId(u64)
+);
+id_type!(
+    /// Identifier of a dbspace (a named collection of storage).
+    DbSpaceId(u32)
+);
+id_type!(
+    /// Identifier of a user table.
+    TableId(u32)
+);
+id_type!(
+    /// Transaction identifier, unique across the multiplex.
+    TxnId(u64)
+);
+id_type!(
+    /// A multiplex node. Node 0 is conventionally the coordinator.
+    NodeId(u32)
+);
+
+/// Physical block number on a conventional (block device) dbspace.
+///
+/// Pages occupy 1–16 contiguous blocks; a block run is `(BlockNum, count)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockNum(pub u64);
+
+impl BlockNum {
+    /// Construct, checking the IQ cap of `2^48 - 1`.
+    pub fn new(v: u64) -> Option<Self> {
+        (v <= MAX_BLOCK_NUM).then_some(Self(v))
+    }
+}
+
+impl fmt::Display for BlockNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BlockNum({})", self.0)
+    }
+}
+
+/// Key of an object stored in an object store.
+///
+/// Internally a 64-bit integer in `[2^63, 2^64)`. The *offset* (key minus
+/// `2^63`) is what the Object Key Generator hands out monotonically; the
+/// full S3 key string additionally gets a hashed prefix (see
+/// `prefixed_name`) so that consecutive keys land on distinct S3 prefixes
+/// and dodge per-prefix request-rate limits (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectKey(u64);
+
+impl ObjectKey {
+    /// Construct from a raw 64-bit value; `None` unless in `[2^63, 2^64)`.
+    pub fn from_raw(raw: u64) -> Option<Self> {
+        (raw >= OBJECT_KEY_BASE).then_some(Self(raw))
+    }
+
+    /// Construct from a monotone offset (the generator's counter value).
+    pub fn from_offset(offset: u64) -> Self {
+        debug_assert!(offset < OBJECT_KEY_BASE, "offset overflows the key range");
+        Self(OBJECT_KEY_BASE | offset)
+    }
+
+    /// The raw 64-bit representation, as stored in the blockmap field.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The monotone offset within the reserved range.
+    pub fn offset(self) -> u64 {
+        self.0 & !OBJECT_KEY_BASE
+    }
+
+    /// The randomized prefix prepended to the key on the object store.
+    ///
+    /// The paper applies "a computationally efficient hash function" to the
+    /// 64-bit value so that request-rate limits, which AWS applies *per
+    /// prefix*, spread across many prefixes. We use the SplitMix64 finalizer
+    /// (a cheap, well-distributed 64→64 mixer) and keep 16 bits of prefix.
+    pub fn hashed_prefix(self) -> u16 {
+        let mut z = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) as u16
+    }
+
+    /// Full object name as uploaded to the store: `"{prefix:04x}/{key:016x}"`.
+    pub fn prefixed_name(self) -> String {
+        format!("{:04x}/{:016x}", self.hashed_prefix(), self.0)
+    }
+
+    /// The next key in offset order (used for range iteration).
+    pub fn successor(self) -> ObjectKey {
+        ObjectKey(self.0 + 1)
+    }
+}
+
+impl fmt::Display for ObjectKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjectKey(+{})", self.offset())
+    }
+}
+
+/// Where a page version physically lives: a run of blocks on a conventional
+/// dbspace, or an object in an object store. Serialized as the single
+/// overloaded 64-bit field plus the run length (which is 0 for objects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhysicalLocator {
+    /// `count` contiguous blocks starting at `start` (1–16 per page).
+    Blocks {
+        /// First block of the run.
+        start: BlockNum,
+        /// Number of blocks in the run.
+        count: u8,
+    },
+    /// A single object holding the whole page image.
+    Object(ObjectKey),
+}
+
+impl PhysicalLocator {
+    /// Encode into the overloaded `(u64, u8)` on-disk representation.
+    pub fn encode(self) -> (u64, u8) {
+        match self {
+            PhysicalLocator::Blocks { start, count } => (start.0, count),
+            PhysicalLocator::Object(key) => (key.raw(), 0),
+        }
+    }
+
+    /// Decode from the on-disk representation; distinguishes the two cases
+    /// "by simply looking at the range in which" the value falls (§3.3).
+    pub fn decode(raw: u64, count: u8) -> Option<Self> {
+        if raw >= OBJECT_KEY_BASE {
+            Some(PhysicalLocator::Object(ObjectKey::from_raw(raw)?))
+        } else if raw <= MAX_BLOCK_NUM && (1..=16).contains(&count) {
+            Some(PhysicalLocator::Blocks {
+                start: BlockNum(raw),
+                count,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// True if this locator points into an object store.
+    pub fn is_cloud(self) -> bool {
+        matches!(self, PhysicalLocator::Object(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_key_roundtrip() {
+        let k = ObjectKey::from_offset(12345);
+        assert_eq!(k.offset(), 12345);
+        assert!(k.raw() >= OBJECT_KEY_BASE);
+        assert_eq!(ObjectKey::from_raw(k.raw()), Some(k));
+        assert_eq!(ObjectKey::from_raw(12345), None);
+    }
+
+    #[test]
+    fn successor_is_monotone() {
+        let k = ObjectKey::from_offset(7);
+        assert_eq!(k.successor().offset(), 8);
+        assert!(k.successor() > k);
+    }
+
+    #[test]
+    fn hashed_prefixes_spread() {
+        // Consecutive keys must not share a prefix in general; count distinct
+        // prefixes over a consecutive run.
+        let mut prefixes = std::collections::HashSet::new();
+        for off in 0..1000u64 {
+            prefixes.insert(ObjectKey::from_offset(off).hashed_prefix());
+        }
+        assert!(
+            prefixes.len() > 900,
+            "prefixes too clustered: {}",
+            prefixes.len()
+        );
+    }
+
+    #[test]
+    fn prefixed_name_format() {
+        let k = ObjectKey::from_offset(1);
+        let name = k.prefixed_name();
+        let (p, rest) = name.split_once('/').unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(rest.len(), 16);
+        assert_eq!(u64::from_str_radix(rest, 16).unwrap(), k.raw());
+    }
+
+    #[test]
+    fn locator_encode_decode() {
+        let b = PhysicalLocator::Blocks {
+            start: BlockNum(99),
+            count: 4,
+        };
+        let (raw, n) = b.encode();
+        assert_eq!(PhysicalLocator::decode(raw, n), Some(b));
+        assert!(!b.is_cloud());
+
+        let o = PhysicalLocator::Object(ObjectKey::from_offset(5));
+        let (raw, n) = o.encode();
+        assert_eq!(n, 0);
+        assert_eq!(PhysicalLocator::decode(raw, n), Some(o));
+        assert!(o.is_cloud());
+    }
+
+    #[test]
+    fn locator_decode_rejects_garbage() {
+        // Block number beyond the 2^48-1 cap but below the key base.
+        assert_eq!(PhysicalLocator::decode(1 << 50, 1), None);
+        // Zero-length block run.
+        assert_eq!(PhysicalLocator::decode(100, 0), None);
+        // 17-block run.
+        assert_eq!(PhysicalLocator::decode(100, 17), None);
+    }
+
+    #[test]
+    fn block_num_cap() {
+        assert!(BlockNum::new(MAX_BLOCK_NUM).is_some());
+        assert!(BlockNum::new(MAX_BLOCK_NUM + 1).is_none());
+    }
+}

@@ -1,0 +1,70 @@
+//! Database configuration.
+
+use iq_common::{SimDuration, GIB, MIB};
+use iq_objectstore::{ConsistencyConfig, RetryPolicy};
+use iq_storage::StorageConfig;
+
+/// Configuration of a [`crate::Database`].
+#[derive(Debug, Clone)]
+pub struct DatabaseConfig {
+    /// Page geometry shared by all dbspaces.
+    pub storage: StorageConfig,
+    /// Buffer-manager RAM budget ("½ of the RAM is reserved for SAP IQ's
+    /// buffer manager", §6).
+    pub buffer_bytes: usize,
+    /// OCM SSD budget; 0 disables the OCM.
+    pub ocm_bytes: u64,
+    /// Object-store consistency model.
+    pub consistency: ConsistencyConfig,
+    /// Retry budget for object-store operations.
+    pub retry: RetryPolicy,
+    /// Snapshot retention period; `None` disables retention (pages die as
+    /// soon as the chain releases them).
+    pub retention: Option<SimDuration>,
+    /// Writer secondaries in the multiplex.
+    pub writers: u32,
+    /// Reader secondaries in the multiplex.
+    pub readers: u32,
+    /// Blockmap fanout (entries per blockmap page).
+    pub blockmap_fanout: usize,
+    /// System-dbspace device capacity in bytes (catalog + freelists).
+    pub system_bytes: u64,
+    /// XOR-cipher key for cloud page images; `None` disables encryption.
+    /// Stands in for the paper's "pages are handed to the OCM in encrypted
+    /// form" (§4).
+    pub encryption_key: Option<u64>,
+}
+
+impl Default for DatabaseConfig {
+    fn default() -> Self {
+        Self {
+            storage: StorageConfig {
+                page_size: 64 * 1024,
+            },
+            buffer_bytes: 256 * MIB as usize,
+            ocm_bytes: GIB,
+            consistency: ConsistencyConfig::default(),
+            retry: RetryPolicy::default(),
+            retention: Some(SimDuration::from_secs(24 * 3600)),
+            writers: 1,
+            readers: 0,
+            blockmap_fanout: 128,
+            system_bytes: 64 * MIB,
+            encryption_key: None,
+        }
+    }
+}
+
+impl DatabaseConfig {
+    /// Small geometry for tests.
+    pub fn test_small() -> Self {
+        Self {
+            storage: StorageConfig::test_small(),
+            buffer_bytes: 4 * MIB as usize,
+            ocm_bytes: 2 * MIB,
+            system_bytes: 4 * MIB,
+            blockmap_fanout: 16,
+            ..Self::default()
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The pager: the engine-facing [`PageStore`] bound to one transaction,
+//! and the buffer manager's [`FlushSink`] implementing the cloud flush
+//! path.
+//!
+//! This is where the paper's write discipline lives: a dirty cloud page
+//! leaving the buffer cache is sealed, (optionally) encrypted, uploaded
+//! under a **fresh object key** — write-back through the OCM during churn,
+//! write-through at commit — then recorded in the working blockmap
+//! (superseding the previous version into the RF bitmap) and in the RB
+//! bitmap.
+
+use bytes::Bytes;
+use iq_buffer::{FlushCause, FlushSink, FrameKey};
+use iq_common::{IqError, IqResult, PageId, PhysicalLocator, TableId, TxnId, VersionId};
+use iq_engine::PageStore;
+use iq_ocm::WriteMode;
+use iq_storage::{Page, PageIo, PageKind};
+
+use crate::database::Shared;
+use crate::encrypt;
+
+/// Transaction-bound page access.
+pub struct Pager {
+    pub(crate) shared: std::sync::Arc<Shared>,
+    pub(crate) txn: TxnId,
+    pub(crate) keys: std::sync::Arc<iq_txn::NodeKeyCache>,
+}
+
+impl Pager {
+    /// The transaction this pager acts for.
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+
+    fn load_page(&self, table: TableId, page: PageId) -> IqResult<Page> {
+        let ts = self.shared.table_store(table)?;
+        let space = self.shared.space(ts.space)?;
+        let io = PageIo {
+            space: &space,
+            keys: self.keys.as_ref(),
+        };
+        let loc = ts
+            .resolve(self.txn, page, &io)?
+            .ok_or(IqError::PageNotFound(page))?;
+        match loc {
+            PhysicalLocator::Object(key) => {
+                let image = match self.shared.ocm_for(ts.space) {
+                    Some(ocm) => ocm.read(key)?,
+                    None => space.get_raw(key)?,
+                };
+                let image = match self.shared.config.encryption_key {
+                    Some(k) => encrypt::apply(k, &image),
+                    None => image,
+                };
+                Page::unseal(&image)
+            }
+            PhysicalLocator::Blocks { .. } => space.read_page(loc),
+        }
+    }
+}
+
+impl PageStore for Pager {
+    fn read_page(&self, table: TableId, page: PageId, demand: bool) -> IqResult<Page> {
+        let epoch = self.shared.table_store(table)?.frame_epoch(self.txn);
+        let key = FrameKey { table, page, epoch };
+        self.shared
+            .buffer
+            .get_or_load(key, demand, self, || self.load_page(table, page))
+    }
+
+    fn write_page(
+        &self,
+        table: TableId,
+        page: PageId,
+        kind: PageKind,
+        body: Bytes,
+        txn: TxnId,
+    ) -> IqResult<()> {
+        debug_assert_eq!(txn, self.txn, "pager is bound to one transaction");
+        let epoch = self.shared.table_store(table)?.declare_writer(txn)?;
+        let p = Page::new(page, VersionId(txn.0), kind, body);
+        self.shared
+            .buffer
+            .put_dirty(FrameKey { table, page, epoch }, p, txn, self)
+    }
+
+    fn prefetch(&self, table: TableId, pages: &[PageId]) -> IqResult<()> {
+        let epoch = self.shared.table_store(table)?.frame_epoch(self.txn);
+        for &page in pages {
+            let key = FrameKey { table, page, epoch };
+            if self.shared.buffer.contains(key) {
+                continue;
+            }
+            // Prefetched loads are charged as overlapped I/O, not demand
+            // misses — the prefetcher "goes far beyond sequential
+            // block-based prefetching" (§1); ours is plan-driven.
+            self.shared
+                .buffer
+                .get_or_load(key, false, self, || self.load_page(table, page))?;
+        }
+        Ok(())
+    }
+}
+
+impl FlushSink for Pager {
+    fn flush(&self, key: FrameKey, page: &Page, txn: TxnId, cause: FlushCause) -> IqResult<()> {
+        let ts = self.shared.table_store(key.table)?;
+        let space = self.shared.space(ts.space)?;
+        let io = PageIo {
+            space: &space,
+            keys: self.keys.as_ref(),
+        };
+
+        let loc = if space.is_cloud() {
+            // Never write an object twice: a fresh key for every flush.
+            let obj_key = iq_storage::KeySource::next_key(self.keys.as_ref())?;
+            let (image, _) = page.seal(&space.config)?;
+            let image = match self.shared.config.encryption_key {
+                Some(k) => encrypt::apply(k, &image),
+                None => image,
+            };
+            match self.shared.ocm_for(ts.space) {
+                Some(ocm) => {
+                    // Churn-phase evictions use write-back; commit-phase
+                    // flushes write through (§4).
+                    let mode = match cause {
+                        FlushCause::Eviction => WriteMode::WriteBack,
+                        FlushCause::Commit => WriteMode::WriteThrough,
+                    };
+                    ocm.write(obj_key, image, txn, mode)?;
+                }
+                None => space.put_raw(obj_key, image)?,
+            }
+            PhysicalLocator::Object(obj_key)
+        } else {
+            space.write_page(page, self.keys.as_ref())?
+        };
+
+        // Blockmap update (dirties the path — the Figure 2 cascade) and
+        // RF/RB bookkeeping.
+        let superseded = ts.map(txn, key.page, loc, &io)?;
+        self.shared.txns.record_alloc(txn, ts.space, loc)?;
+        if let Some(old) = superseded {
+            self.shared.txns.record_free(txn, ts.space, old)?;
+        }
+        Ok(())
+    }
+}

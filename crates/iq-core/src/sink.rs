@@ -1,0 +1,111 @@
+//! The database's deletion sink.
+//!
+//! Object keys are unique across the whole database (one generator), so a
+//! cloud deletion resolves by polling the cloud dbspaces; block-run
+//! deletions resolve by dbspace id. When retention is enabled the
+//! transaction manager sees a `RetainingSink` wrapping this one, so cloud
+//! pages divert into the snapshot manager instead (§5).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use iq_common::{DbSpaceId, IqError, IqResult, PhysicalLocator};
+use iq_storage::DbSpace;
+use iq_txn::DeletionSink;
+use parking_lot::RwLock;
+
+/// Deletes pages against the database's registered dbspaces.
+#[derive(Default)]
+pub struct DatabaseSink {
+    spaces: RwLock<HashMap<u32, Arc<DbSpace>>>,
+}
+
+impl DatabaseSink {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a dbspace.
+    pub fn register(&self, space: Arc<DbSpace>) {
+        self.spaces.write().insert(space.id.0, space);
+    }
+}
+
+impl DeletionSink for DatabaseSink {
+    fn delete_page(&self, space: DbSpaceId, loc: PhysicalLocator) -> IqResult<()> {
+        match loc {
+            PhysicalLocator::Object(key) => {
+                // Keys are globally unique: poll every cloud dbspace; the
+                // one holding the object deletes it. Unflushed keys poll
+                // as absent everywhere, which is fine (§3.3).
+                for s in self.spaces.read().values() {
+                    if s.is_cloud() && s.poll_delete(key)? {
+                        return Ok(());
+                    }
+                }
+                Ok(())
+            }
+            PhysicalLocator::Blocks { .. } => {
+                let spaces = self.spaces.read();
+                let s = spaces
+                    .get(&space.0)
+                    .ok_or_else(|| IqError::NotFound(format!("dbspace {space}")))?;
+                s.release(loc)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use iq_common::{ObjectKey, PageId, VersionId};
+    use iq_objectstore::{BlockDeviceSim, ConsistencyConfig, ObjectStoreSim, RetryPolicy};
+    use iq_storage::{CountingKeySource, Page, PageKind, StorageConfig};
+
+    #[test]
+    fn routes_cloud_and_block_deletions() {
+        let sink = DatabaseSink::new();
+        let store = Arc::new(ObjectStoreSim::new(ConsistencyConfig::strong()));
+        let cloud = Arc::new(DbSpace::cloud(
+            DbSpaceId(1),
+            "c",
+            StorageConfig::test_small(),
+            store.clone(),
+            RetryPolicy::default(),
+        ));
+        let dev = Arc::new(BlockDeviceSim::new(
+            StorageConfig::test_small().block_size(),
+            256,
+        ));
+        let conv = Arc::new(
+            DbSpace::conventional(DbSpaceId(2), "m", StorageConfig::test_small(), dev).unwrap(),
+        );
+        sink.register(cloud.clone());
+        sink.register(conv.clone());
+
+        let keys = CountingKeySource::default();
+        let page = Page::new(
+            PageId(1),
+            VersionId(1),
+            PageKind::Data,
+            Bytes::from(vec![1; 64]),
+        );
+        let cloud_loc = cloud.write_page(&page, &keys).unwrap();
+        let conv_loc = conv.write_page(&page, &keys).unwrap();
+
+        sink.delete_page(DbSpaceId(u32::MAX), cloud_loc).unwrap();
+        assert_eq!(store.object_count(), 0);
+        sink.delete_page(DbSpaceId(2), conv_loc).unwrap();
+        // Deleting a never-written key is a no-op.
+        sink.delete_page(
+            DbSpaceId(u32::MAX),
+            PhysicalLocator::Object(ObjectKey::from_offset(12345)),
+        )
+        .unwrap();
+        // Unknown dbspace for block runs errors.
+        assert!(sink.delete_page(DbSpaceId(9), conv_loc).is_err());
+    }
+}

@@ -1,0 +1,749 @@
+//! Vectorized expressions.
+//!
+//! Expressions are evaluated column-at-a-time over [`Chunk`]s. The
+//! feature set is exactly what the 22 TPC-H queries need: comparisons,
+//! boolean algebra, arithmetic, `LIKE` patterns, `IN` lists, `BETWEEN`,
+//! `CASE WHEN`, `SUBSTRING` and `EXTRACT(YEAR)`. [`Expr::prune_checks`]
+//! extracts zone-map-prunable conjuncts so scans can skip row groups.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use iq_common::{IqError, IqResult};
+
+use crate::chunk::{Chunk, Col};
+use crate::value::{year_of, Value};
+use crate::zonemap::PruneOp;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (integers only)
+    Mod,
+}
+
+/// A vectorized expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Input column by index.
+    Col(usize),
+    /// Literal value.
+    Lit(Value),
+    /// Comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// SQL LIKE with `%` and `_` wildcards.
+    Like(Box<Expr>, String),
+    /// Membership in a literal list.
+    InList(Box<Expr>, Vec<Value>),
+    /// `CASE WHEN cond THEN a ELSE b END`.
+    Case(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `SUBSTRING(expr, start, len)` (1-based start, as in SQL).
+    Substr(Box<Expr>, usize, usize),
+    /// `EXTRACT(YEAR FROM expr)` on dates.
+    Year(Box<Expr>),
+}
+
+// The builder names (`add`, `not`, …) intentionally mirror SQL operators;
+// they are associated constructors, not operator-trait methods.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    // ------------------------------------------------------------------
+    // Builders
+    // ------------------------------------------------------------------
+
+    /// Column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Integer literal.
+    pub fn lit_i64(v: i64) -> Expr {
+        Expr::Lit(Value::I64(v))
+    }
+
+    /// Float literal.
+    pub fn lit_f64(v: f64) -> Expr {
+        Expr::Lit(Value::F64(v))
+    }
+
+    /// String literal.
+    pub fn lit_str(s: &str) -> Expr {
+        Expr::Lit(Value::Str(Arc::from(s)))
+    }
+
+    /// Date literal (days since epoch).
+    pub fn lit_date(days: i32) -> Expr {
+        Expr::Lit(Value::Date(days))
+    }
+
+    /// `a = b`
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, a.into(), b.into())
+    }
+
+    /// `a <> b`
+    pub fn ne(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ne, a.into(), b.into())
+    }
+
+    /// `a < b`
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, a.into(), b.into())
+    }
+
+    /// `a <= b`
+    pub fn le(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, a.into(), b.into())
+    }
+
+    /// `a > b`
+    pub fn gt(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, a.into(), b.into())
+    }
+
+    /// `a >= b`
+    pub fn ge(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, a.into(), b.into())
+    }
+
+    /// `a AND b`
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::And(a.into(), b.into())
+    }
+
+    /// Conjunction of several terms.
+    pub fn and_all(terms: Vec<Expr>) -> Expr {
+        terms
+            .into_iter()
+            .reduce(Expr::and)
+            .expect("and_all needs at least one term")
+    }
+
+    /// `a OR b`
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::Or(a.into(), b.into())
+    }
+
+    /// `NOT a`
+    pub fn not(a: Expr) -> Expr {
+        Expr::Not(a.into())
+    }
+
+    /// `a + b`
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Arith(ArithOp::Add, a.into(), b.into())
+    }
+
+    /// `a - b`
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Arith(ArithOp::Sub, a.into(), b.into())
+    }
+
+    /// `a * b`
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Arith(ArithOp::Mul, a.into(), b.into())
+    }
+
+    /// `a / b`
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Arith(ArithOp::Div, a.into(), b.into())
+    }
+
+    /// `a % b`
+    pub fn modulo(a: Expr, b: Expr) -> Expr {
+        Expr::Arith(ArithOp::Mod, a.into(), b.into())
+    }
+
+    /// `a LIKE pattern`
+    pub fn like(a: Expr, pattern: &str) -> Expr {
+        Expr::Like(a.into(), pattern.to_string())
+    }
+
+    /// `a IN (values...)`
+    pub fn in_list(a: Expr, values: Vec<Value>) -> Expr {
+        Expr::InList(a.into(), values)
+    }
+
+    /// `a BETWEEN lo AND hi` (inclusive).
+    pub fn between(a: Expr, lo: Expr, hi: Expr) -> Expr {
+        Expr::and(Expr::ge(a.clone(), lo), Expr::le(a, hi))
+    }
+
+    /// `CASE WHEN cond THEN t ELSE e END`
+    pub fn case(cond: Expr, t: Expr, e: Expr) -> Expr {
+        Expr::Case(cond.into(), t.into(), e.into())
+    }
+
+    /// `SUBSTRING(a, start, len)` — 1-based.
+    pub fn substr(a: Expr, start: usize, len: usize) -> Expr {
+        Expr::Substr(a.into(), start, len)
+    }
+
+    /// `EXTRACT(YEAR FROM a)`
+    pub fn year(a: Expr) -> Expr {
+        Expr::Year(a.into())
+    }
+
+    // ------------------------------------------------------------------
+    // Analysis
+    // ------------------------------------------------------------------
+
+    /// All column indexes referenced.
+    pub fn columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Col(i) => out.push(*i),
+            Expr::Lit(_) => {}
+            Expr::Cmp(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) | Expr::Arith(_, a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(a) | Expr::Like(a, _) | Expr::Substr(a, _, _) | Expr::Year(a) => {
+                a.collect_columns(out)
+            }
+            Expr::InList(a, _) => a.collect_columns(out),
+            Expr::Case(c, t, e) => {
+                c.collect_columns(out);
+                t.collect_columns(out);
+                e.collect_columns(out);
+            }
+        }
+    }
+
+    /// Zone-prunable checks: top-level AND conjuncts of the form
+    /// `col op literal` (either side).
+    pub fn prune_checks(&self) -> Vec<(usize, PruneOp, Value)> {
+        let mut out = Vec::new();
+        self.collect_prunes(&mut out);
+        out
+    }
+
+    fn collect_prunes(&self, out: &mut Vec<(usize, PruneOp, Value)>) {
+        match self {
+            Expr::And(a, b) => {
+                a.collect_prunes(out);
+                b.collect_prunes(out);
+            }
+            Expr::Cmp(op, a, b) => {
+                let entry = match (a.as_ref(), b.as_ref()) {
+                    (Expr::Col(i), Expr::Lit(v)) => cmp_to_prune(*op).map(|p| (*i, p, v.clone())),
+                    (Expr::Lit(v), Expr::Col(i)) => {
+                        cmp_to_prune(flip(*op)).map(|p| (*i, p, v.clone()))
+                    }
+                    _ => None,
+                };
+                out.extend(entry);
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation
+    // ------------------------------------------------------------------
+
+    /// Evaluate to a boolean mask. `remap` maps schema column indexes to
+    /// chunk positions.
+    pub fn eval_mask(&self, chunk: &Chunk, remap: &BTreeMap<usize, usize>) -> IqResult<Vec<bool>> {
+        match self.eval(chunk, remap)? {
+            Col::Bool(v) => Ok(v),
+            other => Err(IqError::Invalid(format!(
+                "predicate evaluated to {:?}, expected booleans",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// Evaluate to a column.
+    pub fn eval(&self, chunk: &Chunk, remap: &BTreeMap<usize, usize>) -> IqResult<Col> {
+        let n = chunk.len();
+        match self {
+            Expr::Col(i) => {
+                let pos = remap
+                    .get(i)
+                    .copied()
+                    .ok_or_else(|| IqError::Invalid(format!("column {i} not in chunk")))?;
+                Ok(chunk.col(pos).clone())
+            }
+            Expr::Lit(v) => Ok(broadcast(v, n)),
+            Expr::Cmp(op, a, b) => {
+                let a = a.eval(chunk, remap)?;
+                let b = b.eval(chunk, remap)?;
+                eval_cmp(*op, &a, &b)
+            }
+            Expr::And(a, b) => {
+                let a = a.eval(chunk, remap)?;
+                let b = b.eval(chunk, remap)?;
+                Ok(Col::Bool(
+                    a.bools()
+                        .iter()
+                        .zip(b.bools())
+                        .map(|(&x, &y)| x && y)
+                        .collect(),
+                ))
+            }
+            Expr::Or(a, b) => {
+                let a = a.eval(chunk, remap)?;
+                let b = b.eval(chunk, remap)?;
+                Ok(Col::Bool(
+                    a.bools()
+                        .iter()
+                        .zip(b.bools())
+                        .map(|(&x, &y)| x || y)
+                        .collect(),
+                ))
+            }
+            Expr::Not(a) => {
+                let a = a.eval(chunk, remap)?;
+                Ok(Col::Bool(a.bools().iter().map(|&x| !x).collect()))
+            }
+            Expr::Arith(op, a, b) => {
+                let a = a.eval(chunk, remap)?;
+                let b = b.eval(chunk, remap)?;
+                eval_arith(*op, &a, &b)
+            }
+            Expr::Like(a, pattern) => {
+                let a = a.eval(chunk, remap)?;
+                Ok(Col::Bool(
+                    a.strs().iter().map(|s| like_match(s, pattern)).collect(),
+                ))
+            }
+            Expr::InList(a, values) => {
+                let a = a.eval(chunk, remap)?;
+                let mask = match &a {
+                    Col::Str(v) => {
+                        let set: Vec<&str> = values.iter().filter_map(Value::as_str).collect();
+                        v.iter().map(|s| set.contains(&s.as_ref())).collect()
+                    }
+                    Col::I64(v) => {
+                        let set: Vec<i64> = values.iter().filter_map(Value::as_i64).collect();
+                        v.iter().map(|x| set.contains(x)).collect()
+                    }
+                    other => {
+                        return Err(IqError::Invalid(format!(
+                            "IN list over {:?}",
+                            other.data_type()
+                        )))
+                    }
+                };
+                Ok(Col::Bool(mask))
+            }
+            Expr::Case(c, t, e) => {
+                let c = c.eval(chunk, remap)?;
+                let t = t.eval(chunk, remap)?;
+                let e = e.eval(chunk, remap)?;
+                let mask = c.bools();
+                match (&t, &e) {
+                    (Col::F64(tv), Col::F64(ev)) => Ok(Col::F64(
+                        (0..n)
+                            .map(|i| if mask[i] { tv[i] } else { ev[i] })
+                            .collect(),
+                    )),
+                    (Col::I64(tv), Col::I64(ev)) => Ok(Col::I64(
+                        (0..n)
+                            .map(|i| if mask[i] { tv[i] } else { ev[i] })
+                            .collect(),
+                    )),
+                    (Col::Str(tv), Col::Str(ev)) => Ok(Col::Str(
+                        (0..n)
+                            .map(|i| Arc::clone(if mask[i] { &tv[i] } else { &ev[i] }))
+                            .collect(),
+                    )),
+                    _ => Err(IqError::Invalid("CASE branches must match types".into())),
+                }
+            }
+            Expr::Substr(a, start, len) => {
+                let a = a.eval(chunk, remap)?;
+                let s0 = start.saturating_sub(1);
+                Ok(Col::Str(
+                    a.strs()
+                        .iter()
+                        .map(|s| {
+                            let end = (s0 + len).min(s.len());
+                            Arc::from(&s[s0.min(s.len())..end])
+                        })
+                        .collect(),
+                ))
+            }
+            Expr::Year(a) => {
+                let a = a.eval(chunk, remap)?;
+                Ok(Col::I64(
+                    a.dates().iter().map(|&d| year_of(d) as i64).collect(),
+                ))
+            }
+        }
+    }
+}
+
+fn broadcast(v: &Value, n: usize) -> Col {
+    match v {
+        Value::I64(x) => Col::I64(vec![*x; n]),
+        Value::F64(x) => Col::F64(vec![*x; n]),
+        Value::Str(s) => Col::Str(vec![Arc::clone(s); n]),
+        Value::Date(d) => Col::Date(vec![*d; n]),
+    }
+}
+
+fn cmp_to_prune(op: CmpOp) -> Option<PruneOp> {
+    match op {
+        CmpOp::Eq => Some(PruneOp::Eq),
+        CmpOp::Lt => Some(PruneOp::Lt),
+        CmpOp::Le => Some(PruneOp::Le),
+        CmpOp::Gt => Some(PruneOp::Gt),
+        CmpOp::Ge => Some(PruneOp::Ge),
+        CmpOp::Ne => None,
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
+}
+
+fn cmp_bools<T: PartialOrd>(op: CmpOp, a: &[T], b: &[T]) -> Vec<bool> {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| match op {
+            CmpOp::Eq => x == y,
+            CmpOp::Ne => x != y,
+            CmpOp::Lt => x < y,
+            CmpOp::Le => x <= y,
+            CmpOp::Gt => x > y,
+            CmpOp::Ge => x >= y,
+        })
+        .collect()
+}
+
+fn eval_cmp(op: CmpOp, a: &Col, b: &Col) -> IqResult<Col> {
+    let mask = match (a, b) {
+        (Col::I64(x), Col::I64(y)) => cmp_bools(op, x, y),
+        (Col::Date(x), Col::Date(y)) => cmp_bools(op, x, y),
+        (Col::F64(x), Col::F64(y)) => cmp_bools(op, x, y),
+        (Col::Str(x), Col::Str(y)) => {
+            let xs: Vec<&str> = x.iter().map(AsRef::as_ref).collect();
+            let ys: Vec<&str> = y.iter().map(AsRef::as_ref).collect();
+            cmp_bools(op, &xs, &ys)
+        }
+        // Numeric promotion.
+        (Col::I64(x), Col::F64(y)) => {
+            let xs: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+            cmp_bools(op, &xs, y)
+        }
+        (Col::F64(x), Col::I64(y)) => {
+            let ys: Vec<f64> = y.iter().map(|&v| v as f64).collect();
+            cmp_bools(op, x, &ys)
+        }
+        // Year() yields I64; allow comparing against date columns' years is
+        // not needed, but I64 vs Date comparisons are (partition keys).
+        (Col::Date(x), Col::I64(y)) => {
+            let xs: Vec<i64> = x.iter().map(|&v| v as i64).collect();
+            cmp_bools(op, &xs, y)
+        }
+        (Col::I64(x), Col::Date(y)) => {
+            let ys: Vec<i64> = y.iter().map(|&v| v as i64).collect();
+            cmp_bools(op, x, &ys)
+        }
+        (a, b) => {
+            return Err(IqError::Invalid(format!(
+                "cannot compare {:?} with {:?}",
+                a.data_type(),
+                b.data_type()
+            )))
+        }
+    };
+    Ok(Col::Bool(mask))
+}
+
+fn eval_arith(op: ArithOp, a: &Col, b: &Col) -> IqResult<Col> {
+    match (a, b) {
+        (Col::I64(x), Col::I64(y)) if op == ArithOp::Mod => Ok(Col::I64(
+            x.iter()
+                .zip(y)
+                .map(|(&p, &q)| if q == 0 { 0 } else { p % q })
+                .collect(),
+        )),
+        (Col::I64(x), Col::I64(y)) if matches!(op, ArithOp::Add | ArithOp::Sub | ArithOp::Mul) => {
+            Ok(Col::I64(
+                x.iter()
+                    .zip(y)
+                    .map(|(&p, &q)| match op {
+                        ArithOp::Add => p + q,
+                        ArithOp::Sub => p - q,
+                        _ => p * q,
+                    })
+                    .collect(),
+            ))
+        }
+        // Date arithmetic: date ± integer days.
+        (Col::Date(x), Col::I64(y)) if matches!(op, ArithOp::Add | ArithOp::Sub) => Ok(Col::Date(
+            x.iter()
+                .zip(y)
+                .map(|(&d, &k)| {
+                    if op == ArithOp::Add {
+                        d + k as i32
+                    } else {
+                        d - k as i32
+                    }
+                })
+                .collect(),
+        )),
+        _ => {
+            let xs = to_f64(a)?;
+            let ys = to_f64(b)?;
+            Ok(Col::F64(
+                xs.iter()
+                    .zip(&ys)
+                    .map(|(&p, &q)| match op {
+                        ArithOp::Add => p + q,
+                        ArithOp::Sub => p - q,
+                        ArithOp::Mul => p * q,
+                        ArithOp::Div => p / q,
+                        ArithOp::Mod => p % q,
+                    })
+                    .collect(),
+            ))
+        }
+    }
+}
+
+fn to_f64(c: &Col) -> IqResult<Vec<f64>> {
+    match c {
+        Col::F64(v) => Ok(v.clone()),
+        Col::I64(v) => Ok(v.iter().map(|&x| x as f64).collect()),
+        other => Err(IqError::Invalid(format!(
+            "arithmetic on {:?} column",
+            other.data_type()
+        ))),
+    }
+}
+
+/// SQL LIKE matcher: `%` matches any run, `_` one character. Iterative
+/// two-pointer algorithm with backtracking to the last `%`.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s = s.as_bytes();
+    let p = pattern.as_bytes();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star, mut star_s) = (None::<usize>, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == b'_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == b'%' {
+            star = Some(pi);
+            star_s = si;
+            pi += 1;
+        } else if let Some(sp) = star {
+            pi = sp + 1;
+            star_s += 1;
+            si = star_s;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::parse_date;
+
+    fn chunk() -> (Chunk, BTreeMap<usize, usize>) {
+        let c = Chunk::new(vec![
+            Col::I64(vec![1, 2, 3, 4]),
+            Col::F64(vec![10.0, 20.0, 30.0, 40.0]),
+            Col::Str(vec![
+                "AIR".into(),
+                "RAIL".into(),
+                "AIR REG".into(),
+                "SHIP".into(),
+            ]),
+            Col::Date(vec![
+                parse_date("1994-01-01").unwrap(),
+                parse_date("1994-06-01").unwrap(),
+                parse_date("1995-01-01").unwrap(),
+                parse_date("1995-06-01").unwrap(),
+            ]),
+        ]);
+        let remap = (0..4).map(|i| (i, i)).collect();
+        (c, remap)
+    }
+
+    #[test]
+    fn comparisons_and_boolean_algebra() {
+        let (c, m) = chunk();
+        let e = Expr::and(
+            Expr::gt(Expr::col(0), Expr::lit_i64(1)),
+            Expr::lt(Expr::col(1), Expr::lit_f64(40.0)),
+        );
+        assert_eq!(e.eval_mask(&c, &m).unwrap(), vec![false, true, true, false]);
+        let e = Expr::or(
+            Expr::eq(Expr::col(2), Expr::lit_str("AIR")),
+            Expr::eq(Expr::col(2), Expr::lit_str("SHIP")),
+        );
+        assert_eq!(e.eval_mask(&c, &m).unwrap(), vec![true, false, false, true]);
+        let e = Expr::not(Expr::le(Expr::col(0), Expr::lit_i64(2)));
+        assert_eq!(e.eval_mask(&c, &m).unwrap(), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn numeric_promotion_in_comparisons() {
+        let (c, m) = chunk();
+        // i64 column vs float literal.
+        let e = Expr::ge(Expr::col(0), Expr::lit_f64(2.5));
+        assert_eq!(e.eval_mask(&c, &m).unwrap(), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn date_comparisons_and_ranges() {
+        let (c, m) = chunk();
+        let e = Expr::and(
+            Expr::ge(
+                Expr::col(3),
+                Expr::lit_date(parse_date("1994-01-01").unwrap()),
+            ),
+            Expr::lt(
+                Expr::col(3),
+                Expr::lit_date(parse_date("1995-01-01").unwrap()),
+            ),
+        );
+        assert_eq!(e.eval_mask(&c, &m).unwrap(), vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn arithmetic_and_case() {
+        let (c, m) = chunk();
+        // price * (1 - 0.1)
+        let e = Expr::mul(
+            Expr::col(1),
+            Expr::sub(Expr::lit_f64(1.0), Expr::lit_f64(0.1)),
+        );
+        let out = e.eval(&c, &m).unwrap();
+        assert!((out.f64s()[1] - 18.0).abs() < 1e-9);
+        // CASE WHEN k > 2 THEN price ELSE 0
+        let e = Expr::case(
+            Expr::gt(Expr::col(0), Expr::lit_i64(2)),
+            Expr::col(1),
+            Expr::lit_f64(0.0),
+        );
+        assert_eq!(e.eval(&c, &m).unwrap().f64s(), &[0.0, 0.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("AIR REG", "AIR%"));
+        assert!(like_match("AIR REG", "%REG"));
+        assert!(like_match("forest green metal", "%green%"));
+        assert!(!like_match("forest blue metal", "%green%"));
+        assert!(like_match(
+            "special packages requests",
+            "%special%requests%"
+        ));
+        assert!(!like_match("special packages", "%special%requests%"));
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("MEDIUM POLISHED", "MEDIUM POLISHED%"));
+    }
+
+    #[test]
+    fn in_list_substr_year() {
+        let (c, m) = chunk();
+        let e = Expr::in_list(
+            Expr::col(2),
+            vec![Value::Str("AIR".into()), Value::Str("SHIP".into())],
+        );
+        assert_eq!(e.eval_mask(&c, &m).unwrap(), vec![true, false, false, true]);
+        let e = Expr::substr(Expr::col(2), 1, 3);
+        assert_eq!(e.eval(&c, &m).unwrap().strs()[2].as_ref(), "AIR");
+        let e = Expr::eq(Expr::year(Expr::col(3)), Expr::lit_i64(1995));
+        assert_eq!(e.eval_mask(&c, &m).unwrap(), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn prune_check_extraction() {
+        let e = Expr::and(
+            Expr::lt(Expr::col(3), Expr::lit_date(100)),
+            Expr::and(
+                Expr::ge(Expr::lit_i64(5), Expr::col(0)), // flipped: col0 <= 5
+                Expr::like(Expr::col(2), "%x%"),          // not prunable
+            ),
+        );
+        let checks = e.prune_checks();
+        assert_eq!(checks.len(), 2);
+        assert_eq!(checks[0].0, 3);
+        assert_eq!(checks[0].1, PruneOp::Lt);
+        assert_eq!(checks[1], (0, PruneOp::Le, Value::I64(5)));
+        // OR at top level: nothing prunable.
+        let e = Expr::or(Expr::lt(Expr::col(0), Expr::lit_i64(1)), Expr::lit_i64(1));
+        assert!(Expr::prune_checks(&e).is_empty());
+    }
+
+    #[test]
+    fn columns_collected() {
+        let e = Expr::and(
+            Expr::gt(Expr::col(3), Expr::col(1)),
+            Expr::like(Expr::col(2), "%"),
+        );
+        assert_eq!(e.columns(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn errors_on_type_confusion() {
+        let (c, m) = chunk();
+        assert!(Expr::eq(Expr::col(0), Expr::lit_str("x"))
+            .eval(&c, &m)
+            .is_err());
+        assert!(Expr::col(9).eval(&c, &m).is_err());
+        assert!(Expr::lit_i64(1).eval_mask(&c, &m).is_err());
+    }
+}

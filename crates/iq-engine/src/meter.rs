@@ -1,0 +1,95 @@
+//! Abstract CPU-work accounting.
+//!
+//! Operators report work units (roughly: rows touched, weighted by
+//! operator cost). The benchmark harness snapshots the meter per phase and
+//! the virtual-time model converts units into CPU seconds under the
+//! instance's core count. Keeping this abstract decouples reported results
+//! from the host machine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone work-unit counter.
+#[derive(Debug, Default)]
+pub struct WorkMeter {
+    units: AtomicU64,
+}
+
+/// Relative operator costs (work units per row).
+pub mod cost {
+    /// Scanning/decoding one row of one column.
+    pub const SCAN: u64 = 1;
+    /// Evaluating a predicate on one row.
+    pub const FILTER: u64 = 1;
+    /// Hashing/probing one row.
+    pub const JOIN: u64 = 4;
+    /// Updating one aggregate state.
+    pub const AGG: u64 = 3;
+    /// One comparison in a sort.
+    pub const SORT: u64 = 2;
+    /// Encoding one row of one column at load.
+    pub const LOAD: u64 = 2;
+}
+
+impl WorkMeter {
+    /// Fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` work units.
+    pub fn add(&self, n: u64) {
+        self.units.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn total(&self) -> u64 {
+        self.units.load(Ordering::Relaxed)
+    }
+
+    /// Total since `mark` (phase accounting).
+    pub fn since(&self, mark: u64) -> u64 {
+        self.total() - mark
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.units.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_marks() {
+        let m = WorkMeter::new();
+        m.add(10);
+        let mark = m.total();
+        m.add(5);
+        assert_eq!(m.total(), 15);
+        assert_eq!(m.since(mark), 5);
+        m.reset();
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn concurrent_adds() {
+        use std::sync::Arc;
+        let m = Arc::new(WorkMeter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.add(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.total(), 4000);
+    }
+}

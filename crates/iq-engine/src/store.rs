@@ -1,0 +1,108 @@
+//! The page-store boundary between the engine and the storage stack.
+//!
+//! The engine addresses pages logically — `(table, logical page number)` —
+//! and never sees physical placement, mirroring SAP IQ's logical/physical
+//! split (§2). `iq-core` implements [`PageStore`] with the full cloud
+//! stack (buffer manager → OCM → dbspace, blockmap resolution, RF/RB
+//! bookkeeping); unit tests use [`MemPageStore`].
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use iq_common::{IqError, IqResult, PageId, TableId, TxnId};
+use iq_storage::{Page, PageKind};
+use parking_lot::Mutex;
+
+/// Logical page I/O used by tables.
+pub trait PageStore: Send + Sync {
+    /// Read a page. `demand=true` marks a read a query is blocked on;
+    /// `false` marks a prefetched read (the distinction feeds the
+    /// latency model).
+    fn read_page(&self, table: TableId, page: PageId, demand: bool) -> IqResult<Page>;
+
+    /// Write (or supersede) a page on behalf of `txn`.
+    fn write_page(
+        &self,
+        table: TableId,
+        page: PageId,
+        kind: PageKind,
+        body: Bytes,
+        txn: TxnId,
+    ) -> IqResult<()>;
+
+    /// Hint that `pages` will be read soon; implementations overlap the
+    /// fetches ("prefetching techniques have been specifically tuned",
+    /// §1).
+    fn prefetch(&self, table: TableId, pages: &[PageId]) -> IqResult<()>;
+}
+
+/// In-memory page store for engine unit tests.
+#[derive(Default)]
+pub struct MemPageStore {
+    pages: Mutex<HashMap<(u32, u64), Page>>,
+}
+
+impl MemPageStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.lock().len()
+    }
+}
+
+impl PageStore for MemPageStore {
+    fn read_page(&self, table: TableId, page: PageId, _demand: bool) -> IqResult<Page> {
+        self.pages
+            .lock()
+            .get(&(table.0, page.0))
+            .cloned()
+            .ok_or(IqError::PageNotFound(page))
+    }
+
+    fn write_page(
+        &self,
+        table: TableId,
+        page: PageId,
+        kind: PageKind,
+        body: Bytes,
+        _txn: TxnId,
+    ) -> IqResult<()> {
+        self.pages.lock().insert(
+            (table.0, page.0),
+            Page::new(page, iq_common::VersionId(0), kind, body),
+        );
+        Ok(())
+    }
+
+    fn prefetch(&self, _table: TableId, _pages: &[PageId]) -> IqResult<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_store_roundtrip() {
+        let s = MemPageStore::new();
+        let t = TableId(1);
+        assert!(s.read_page(t, PageId(0), true).is_err());
+        s.write_page(
+            t,
+            PageId(0),
+            PageKind::Data,
+            Bytes::from_static(b"abc"),
+            TxnId(1),
+        )
+        .unwrap();
+        let p = s.read_page(t, PageId(0), true).unwrap();
+        assert_eq!(&p.body[..], b"abc");
+        s.prefetch(t, &[PageId(0)]).unwrap();
+        assert_eq!(s.page_count(), 1);
+    }
+}

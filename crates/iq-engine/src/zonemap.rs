@@ -1,0 +1,184 @@
+//! Zone maps: per-row-group min/max used to prune pages.
+//!
+//! "It uses zone-maps to early-prune pages that are not needed for a
+//! query" (§1). A [`ZoneEntry`] summarizes one column within one row
+//! group; the scan consults it before touching the page, so pruned groups
+//! cost zero I/O — which matters doubly on a high-latency object store.
+
+use serde::{Deserialize, Serialize};
+
+use crate::chunk::Col;
+
+/// Min/max summary of one column in one row group. Strings are summarized
+/// by their dictionary codes' min/max only when code order is not
+/// meaningful, so string zones store the lexical min/max directly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ZoneEntry {
+    /// Integer/date range (dates widen to i64).
+    Num {
+        /// Minimum value.
+        min: i64,
+        /// Maximum value.
+        max: i64,
+    },
+    /// Float range.
+    Flt {
+        /// Minimum value.
+        min: f64,
+        /// Maximum value.
+        max: f64,
+    },
+    /// Lexical string range.
+    Txt {
+        /// Minimum value.
+        min: String,
+        /// Maximum value.
+        max: String,
+    },
+    /// No summary (empty group).
+    None,
+}
+
+impl ZoneEntry {
+    /// Summarize a column.
+    pub fn of(col: &Col) -> ZoneEntry {
+        match col {
+            Col::I64(v) => match (v.iter().min(), v.iter().max()) {
+                (Some(&min), Some(&max)) => ZoneEntry::Num { min, max },
+                _ => ZoneEntry::None,
+            },
+            Col::Date(v) => match (v.iter().min(), v.iter().max()) {
+                (Some(&min), Some(&max)) => ZoneEntry::Num {
+                    min: min as i64,
+                    max: max as i64,
+                },
+                _ => ZoneEntry::None,
+            },
+            Col::F64(v) => {
+                if v.is_empty() {
+                    ZoneEntry::None
+                } else {
+                    let mut min = f64::INFINITY;
+                    let mut max = f64::NEG_INFINITY;
+                    for &x in v {
+                        min = min.min(x);
+                        max = max.max(x);
+                    }
+                    ZoneEntry::Flt { min, max }
+                }
+            }
+            Col::Str(v) => match (v.iter().min(), v.iter().max()) {
+                (Some(min), Some(max)) => ZoneEntry::Txt {
+                    min: min.to_string(),
+                    max: max.to_string(),
+                },
+                _ => ZoneEntry::None,
+            },
+            Col::Bool(_) => ZoneEntry::None,
+        }
+    }
+
+    /// Could any row satisfy `value cmp op`? Conservative: `true` when
+    /// unknown.
+    pub fn may_match_num(&self, op: PruneOp, lit: i64) -> bool {
+        match self {
+            ZoneEntry::Num { min, max } => match op {
+                PruneOp::Eq => lit >= *min && lit <= *max,
+                PruneOp::Lt => *min < lit,
+                PruneOp::Le => *min <= lit,
+                PruneOp::Gt => *max > lit,
+                PruneOp::Ge => *max >= lit,
+            },
+            _ => true,
+        }
+    }
+
+    /// Float variant of [`ZoneEntry::may_match_num`].
+    pub fn may_match_flt(&self, op: PruneOp, lit: f64) -> bool {
+        match self {
+            ZoneEntry::Flt { min, max } => match op {
+                PruneOp::Eq => lit >= *min && lit <= *max,
+                PruneOp::Lt => *min < lit,
+                PruneOp::Le => *min <= lit,
+                PruneOp::Gt => *max > lit,
+                PruneOp::Ge => *max >= lit,
+            },
+            _ => true,
+        }
+    }
+
+    /// String variant (lexical comparison).
+    pub fn may_match_txt(&self, op: PruneOp, lit: &str) -> bool {
+        match self {
+            ZoneEntry::Txt { min, max } => match op {
+                PruneOp::Eq => lit >= min.as_str() && lit <= max.as_str(),
+                PruneOp::Lt => min.as_str() < lit,
+                PruneOp::Le => min.as_str() <= lit,
+                PruneOp::Gt => max.as_str() > lit,
+                PruneOp::Ge => max.as_str() >= lit,
+            },
+            _ => true,
+        }
+    }
+}
+
+/// Comparison shapes the pruner understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneOp {
+    /// Equality.
+    Eq,
+    /// Strictly less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_zone_prunes_correctly() {
+        let z = ZoneEntry::of(&Col::I64(vec![10, 20, 30]));
+        assert!(z.may_match_num(PruneOp::Eq, 20));
+        assert!(!z.may_match_num(PruneOp::Eq, 31));
+        assert!(!z.may_match_num(PruneOp::Lt, 10));
+        assert!(z.may_match_num(PruneOp::Lt, 11));
+        assert!(!z.may_match_num(PruneOp::Gt, 30));
+        assert!(z.may_match_num(PruneOp::Ge, 30));
+    }
+
+    #[test]
+    fn date_zone_widens() {
+        let z = ZoneEntry::of(&Col::Date(vec![100, 200]));
+        assert_eq!(z, ZoneEntry::Num { min: 100, max: 200 });
+    }
+
+    #[test]
+    fn float_and_text_zones() {
+        let z = ZoneEntry::of(&Col::F64(vec![1.5, -2.5]));
+        assert!(z.may_match_flt(PruneOp::Le, -2.5));
+        assert!(!z.may_match_flt(PruneOp::Gt, 1.5));
+        let z = ZoneEntry::of(&Col::Str(vec!["BRAZIL".into(), "PERU".into()]));
+        assert!(z.may_match_txt(PruneOp::Eq, "CANADA"));
+        assert!(!z.may_match_txt(PruneOp::Eq, "ZAMBIA"));
+    }
+
+    #[test]
+    fn mismatched_kind_is_conservative() {
+        let z = ZoneEntry::of(&Col::I64(vec![1]));
+        // Asking a numeric zone a text question: must not prune.
+        assert!(z.may_match_txt(PruneOp::Eq, "x"));
+        assert!(ZoneEntry::None.may_match_num(PruneOp::Eq, 5));
+    }
+
+    #[test]
+    fn empty_columns_yield_none() {
+        assert_eq!(ZoneEntry::of(&Col::I64(vec![])), ZoneEntry::None);
+        assert_eq!(ZoneEntry::of(&Col::Str(vec![])), ZoneEntry::None);
+    }
+}

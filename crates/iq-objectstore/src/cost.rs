@@ -1,0 +1,150 @@
+//! Monetary cost accounting (Tables 3 and 4).
+//!
+//! The paper reports two kinds of cost:
+//!
+//! * **Compute cost** of a run (Table 3): instance hours × on-demand price,
+//!   plus request charges (S3 PUT/GET), plus the EBS volumes carried for
+//!   the system dbspaces.
+//! * **Data-at-rest cost** (Table 4): compressed resident bytes × the
+//!   volume's monthly rate.
+//!
+//! [`CostLedger`] folds a device's request snapshot into request charges;
+//! [`CostSummary`] combines them with instance time.
+
+use iq_common::{SimDuration, GIB};
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{IoOp, StatsSnapshot};
+use crate::profiles::{ComputeProfile, DeviceProfile};
+
+/// Accumulates the cost components of one benchmark run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CostLedger {
+    /// USD charged for PUT/DELETE-class requests.
+    pub put_request_usd: f64,
+    /// USD charged for GET/HEAD-class requests.
+    pub get_request_usd: f64,
+}
+
+impl CostLedger {
+    /// Charge the request costs in `snap` at `profile`'s rates.
+    pub fn charge_requests(&mut self, profile: &DeviceProfile, snap: &StatsSnapshot) {
+        let puts = snap.count_for(&[IoOp::Put, IoOp::Delete]);
+        // Failed (visibility-window) GETs are still billed requests.
+        let gets = snap.count_for(&[IoOp::Get, IoOp::GetMiss, IoOp::Head]);
+        self.put_request_usd += puts as f64 * profile.usd_per_put;
+        self.get_request_usd += gets as f64 * profile.usd_per_get;
+    }
+
+    /// Total request charges.
+    pub fn request_usd(&self) -> f64 {
+        self.put_request_usd + self.get_request_usd
+    }
+}
+
+/// Full cost of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostSummary {
+    /// USD for instance time.
+    pub compute_usd: f64,
+    /// USD for requests.
+    pub request_usd: f64,
+    /// USD for auxiliary EBS system-dbspace volumes over the run duration.
+    pub system_volume_usd: f64,
+}
+
+impl CostSummary {
+    /// Compute the cost of running `instances` copies of `profile` for
+    /// `elapsed` virtual time, with `ledger` request charges and
+    /// `system_volume_gib` of EBS carried for system dbspaces.
+    pub fn for_run(
+        profile: &ComputeProfile,
+        instances: u32,
+        elapsed: SimDuration,
+        ledger: &CostLedger,
+        system_volume_gib: u64,
+    ) -> Self {
+        let hours = elapsed.as_secs_f64() / 3600.0;
+        // EBS is billed per GB-month; pro-rate to the run duration.
+        let ebs_rate = DeviceProfile::ebs_gp2(system_volume_gib.max(1)).usd_per_gb_month;
+        let month_hours = 730.0;
+        Self {
+            compute_usd: hours * profile.usd_per_hour * instances as f64,
+            request_usd: ledger.request_usd(),
+            system_volume_usd: system_volume_gib as f64 * ebs_rate * hours / month_hours,
+        }
+    }
+
+    /// Total USD.
+    pub fn total(&self) -> f64 {
+        self.compute_usd + self.request_usd + self.system_volume_usd
+    }
+}
+
+/// Monthly data-at-rest cost of `resident_bytes` on `profile` (Table 4).
+pub fn monthly_storage_usd(profile: &DeviceProfile, resident_bytes: u64) -> f64 {
+    resident_bytes as f64 / GIB as f64 * profile.usd_per_gb_month
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::DeviceStats;
+
+    #[test]
+    fn request_charges_match_s3_pricing() {
+        let stats = DeviceStats::new();
+        for _ in 0..1000 {
+            stats.record(IoOp::Put, 1);
+        }
+        for _ in 0..10_000 {
+            stats.record(IoOp::Get, 1);
+        }
+        let mut ledger = CostLedger::default();
+        ledger.charge_requests(&DeviceProfile::s3(), &stats.snapshot());
+        assert!((ledger.put_request_usd - 0.005).abs() < 1e-9);
+        assert!((ledger.get_request_usd - 0.004).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_volumes_have_no_request_charges() {
+        let stats = DeviceStats::new();
+        stats.record(IoOp::BlockRead, 4096);
+        stats.record(IoOp::BlockWrite, 4096);
+        let mut ledger = CostLedger::default();
+        ledger.charge_requests(&DeviceProfile::ebs_gp2(1024), &stats.snapshot());
+        assert_eq!(ledger.request_usd(), 0.0);
+    }
+
+    #[test]
+    fn table4_shape_s3_an_order_of_magnitude_cheaper() {
+        // ~518 GiB compressed (what SF1000 compresses to per the paper's
+        // pricing arithmetic).
+        let bytes = 518 * GIB;
+        let s3 = monthly_storage_usd(&DeviceProfile::s3(), bytes);
+        let ebs = monthly_storage_usd(&DeviceProfile::ebs_gp2(1024), bytes);
+        let efs = monthly_storage_usd(&DeviceProfile::efs(518), bytes);
+        assert!((s3 - 11.9).abs() < 0.5, "s3={s3}");
+        assert!((ebs - 51.8).abs() < 0.5, "ebs={ebs}");
+        assert!((efs - 155.4).abs() < 1.0, "efs={efs}");
+    }
+
+    #[test]
+    fn run_cost_includes_all_components() {
+        let ledger = CostLedger {
+            put_request_usd: 1.0,
+            get_request_usd: 0.5,
+        };
+        let c = CostSummary::for_run(
+            &ComputeProfile::m5ad_24xlarge(),
+            1,
+            SimDuration::from_secs(3600),
+            &ledger,
+            1024,
+        );
+        assert!((c.compute_usd - 4.944).abs() < 1e-6);
+        assert!((c.request_usd - 1.5).abs() < 1e-9);
+        assert!(c.system_volume_usd > 0.0);
+        assert!(c.total() > c.compute_usd);
+    }
+}

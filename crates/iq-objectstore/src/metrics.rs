@@ -1,0 +1,347 @@
+//! Per-device request ledgers.
+//!
+//! Every simulated device owns a [`DeviceStats`]. Functional code records
+//! each request as it happens; the time model and the cost model fold the
+//! ledger afterwards. The ledger also keeps:
+//!
+//! * a **per-prefix spread** histogram for object stores, from which the
+//!   time model derives the effective per-prefix throttling (S3 limits
+//!   request rates *per key prefix* — the reason the paper hashes key
+//!   prefixes, §3.1);
+//! * **time-series buckets** (requests/bytes per fixed op-count window) so
+//!   Figure 8's bandwidth-over-time plot can be regenerated;
+//! * **queue-depth samples** from the OCM's asynchronous write queue, which
+//!   drive the SSD write-pressure model behind the paper's Q3/Q4 anomaly.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// The kind of request issued to a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoOp {
+    /// Object GET that returned data.
+    Get,
+    /// Object GET that failed inside the visibility window (retried).
+    GetMiss,
+    /// Object PUT.
+    Put,
+    /// Object DELETE.
+    Delete,
+    /// Object existence poll (GC).
+    Head,
+    /// Block-device read.
+    BlockRead,
+    /// Block-device write.
+    BlockWrite,
+}
+
+impl IoOp {
+    /// All op kinds, for iteration in reports.
+    pub const ALL: [IoOp; 7] = [
+        IoOp::Get,
+        IoOp::GetMiss,
+        IoOp::Put,
+        IoOp::Delete,
+        IoOp::Head,
+        IoOp::BlockRead,
+        IoOp::BlockWrite,
+    ];
+}
+
+/// Counters for one op kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounter {
+    /// Number of requests.
+    pub count: u64,
+    /// Total payload bytes moved.
+    pub bytes: u64,
+}
+
+/// One bucket of the request time series (bucketed by request ordinal).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct TraceBucket {
+    /// Requests that landed in this bucket.
+    pub requests: u64,
+    /// Payload bytes in this bucket.
+    pub bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    ops: HashMap<IoOp, OpCounter>,
+    prefix_spread: HashMap<u16, u64>,
+    buckets: Vec<TraceBucket>,
+    total_requests: u64,
+    queue_depth_sum: u64,
+    queue_depth_samples: u64,
+    queue_depth_max: u64,
+}
+
+/// Thread-safe request ledger for one device.
+#[derive(Debug, Default)]
+pub struct DeviceStats {
+    inner: Mutex<Inner>,
+    /// Requests per time-series bucket (ordinal bucketing).
+    bucket_width: u64,
+}
+
+impl DeviceStats {
+    /// New ledger with the default time-series bucket width.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::default(),
+            bucket_width: 32,
+        }
+    }
+
+    /// New ledger with an explicit time-series bucket width (requests per
+    /// bucket).
+    pub fn with_bucket_width(bucket_width: u64) -> Self {
+        Self {
+            inner: Mutex::default(),
+            bucket_width: bucket_width.max(1),
+        }
+    }
+
+    /// Record one request.
+    pub fn record(&self, op: IoOp, bytes: u64) {
+        self.record_prefixed(op, bytes, None);
+    }
+
+    /// Record one request carrying an object-store key prefix.
+    pub fn record_prefixed(&self, op: IoOp, bytes: u64, prefix: Option<u16>) {
+        let mut g = self.inner.lock();
+        let c = g.ops.entry(op).or_default();
+        c.count += 1;
+        c.bytes += bytes;
+        if let Some(p) = prefix {
+            *g.prefix_spread.entry(p).or_default() += 1;
+        }
+        let bucket = (g.total_requests / self.bucket_width) as usize;
+        if g.buckets.len() <= bucket {
+            g.buckets.resize(bucket + 1, TraceBucket::default());
+        }
+        g.buckets[bucket].requests += 1;
+        g.buckets[bucket].bytes += bytes;
+        g.total_requests += 1;
+    }
+
+    /// Record an observed async-write queue depth (OCM SSD pressure).
+    pub fn record_queue_depth(&self, depth: u64) {
+        let mut g = self.inner.lock();
+        g.queue_depth_sum += depth;
+        g.queue_depth_samples += 1;
+        g.queue_depth_max = g.queue_depth_max.max(depth);
+    }
+
+    /// Snapshot all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let g = self.inner.lock();
+        let mut ops: Vec<(IoOp, OpCounter)> = g.ops.iter().map(|(k, v)| (*k, *v)).collect();
+        ops.sort_by_key(|(op, _)| format!("{op:?}"));
+        StatsSnapshot {
+            ops,
+            prefix_count: g.prefix_spread.len() as u64,
+            effective_prefixes: effective_prefixes(&g.prefix_spread),
+            buckets: g.buckets.clone(),
+            bucket_width: self.bucket_width,
+            total_requests: g.total_requests,
+            mean_queue_depth: if g.queue_depth_samples == 0 {
+                0.0
+            } else {
+                g.queue_depth_sum as f64 / g.queue_depth_samples as f64
+            },
+            max_queue_depth: g.queue_depth_max,
+        }
+    }
+
+    /// Reset all counters (between benchmark phases).
+    pub fn reset(&self) {
+        *self.inner.lock() = Inner::default();
+    }
+}
+
+/// Effective number of prefixes sharing the load: the inverse Simpson index
+/// `(Σc)² / Σc²`. A perfectly uniform spread over N prefixes yields N; a
+/// single hot prefix yields 1. The time model multiplies the per-prefix
+/// request-rate limit by this number.
+fn effective_prefixes(spread: &HashMap<u16, u64>) -> f64 {
+    let total: u64 = spread.values().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let sum_sq: f64 = spread.values().map(|&c| (c as f64) * (c as f64)).sum();
+    (total as f64) * (total as f64) / sum_sq
+}
+
+/// Immutable snapshot of a [`DeviceStats`] ledger.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Per-op counters, sorted by op name for stable output.
+    pub ops: Vec<(IoOp, OpCounter)>,
+    /// Number of distinct key prefixes seen.
+    pub prefix_count: u64,
+    /// Inverse-Simpson effective prefix count (see [`DeviceStats`]).
+    pub effective_prefixes: f64,
+    /// Request time series.
+    pub buckets: Vec<TraceBucket>,
+    /// Requests per bucket.
+    pub bucket_width: u64,
+    /// Total requests across all ops.
+    pub total_requests: u64,
+    /// Mean sampled async-write queue depth.
+    pub mean_queue_depth: f64,
+    /// Max sampled async-write queue depth.
+    pub max_queue_depth: u64,
+}
+
+impl StatsSnapshot {
+    /// Scale every count and byte figure by `factor` — how the benchmark
+    /// harness projects a small-scale-factor functional run to the
+    /// paper's SF 1000 (counts grow linearly with SF; cache dynamics and
+    /// queue depths are taken from the real run). The effective prefix
+    /// count scales too, capped at the 16-bit prefix space.
+    pub fn scaled(&self, factor: f64) -> StatsSnapshot {
+        let mut out = self.clone();
+        for (_, c) in &mut out.ops {
+            c.count = (c.count as f64 * factor).round() as u64;
+            c.bytes = (c.bytes as f64 * factor).round() as u64;
+        }
+        out.total_requests = (out.total_requests as f64 * factor).round() as u64;
+        out.effective_prefixes = (out.effective_prefixes * factor).min(65_536.0);
+        for b in &mut out.buckets {
+            b.requests = (b.requests as f64 * factor).round() as u64;
+            b.bytes = (b.bytes as f64 * factor).round() as u64;
+        }
+        out
+    }
+
+    /// Re-chunk request counts to a target transfer size: byte-carrying
+    /// ops become `ceil(bytes / chunk)` requests; zero-byte ops (retry
+    /// misses, existence polls, deletes) shrink by the same ratio as
+    /// their byte-carrying sibling. Projects our small-page functional
+    /// runs onto the paper's 512 KiB page geometry (SAP IQ issues one
+    /// object per 512 KiB page).
+    pub fn rechunked(&self, chunk: u64) -> StatsSnapshot {
+        let mut out = self.clone();
+        let ratio_of = |c: OpCounter| -> f64 {
+            if c.count == 0 {
+                1.0
+            } else {
+                (c.bytes.div_ceil(chunk).max(1)) as f64 / c.count as f64
+            }
+        };
+        let get_ratio = ratio_of(self.op(IoOp::Get));
+        let put_ratio = ratio_of(self.op(IoOp::Put));
+        for (op, c) in &mut out.ops {
+            let ratio = match op {
+                IoOp::Get | IoOp::BlockRead if c.bytes > 0 => ratio_of(*c),
+                IoOp::Put | IoOp::BlockWrite if c.bytes > 0 => ratio_of(*c),
+                IoOp::GetMiss | IoOp::Head => get_ratio,
+                IoOp::Delete => put_ratio,
+                _ => 1.0,
+            };
+            c.count = ((c.count as f64 * ratio).round() as u64).max(u64::from(c.count > 0));
+        }
+        out.total_requests = out.ops.iter().map(|(_, c)| c.count).sum();
+        out
+    }
+
+    /// Counter for one op kind (zero if never recorded).
+    pub fn op(&self, op: IoOp) -> OpCounter {
+        self.ops
+            .iter()
+            .find_map(|(o, c)| (*o == op).then_some(*c))
+            .unwrap_or_default()
+    }
+
+    /// Total bytes across a set of ops.
+    pub fn bytes_for(&self, ops: &[IoOp]) -> u64 {
+        ops.iter().map(|&o| self.op(o).bytes).sum()
+    }
+
+    /// Total request count across a set of ops.
+    pub fn count_for(&self, ops: &[IoOp]) -> u64 {
+        ops.iter().map(|&o| self.op(o).count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let s = DeviceStats::new();
+        s.record(IoOp::Get, 1000);
+        s.record(IoOp::Get, 500);
+        s.record(IoOp::Put, 200);
+        let snap = s.snapshot();
+        assert_eq!(
+            snap.op(IoOp::Get),
+            OpCounter {
+                count: 2,
+                bytes: 1500
+            }
+        );
+        assert_eq!(
+            snap.op(IoOp::Put),
+            OpCounter {
+                count: 1,
+                bytes: 200
+            }
+        );
+        assert_eq!(snap.op(IoOp::Delete), OpCounter::default());
+        assert_eq!(snap.total_requests, 3);
+    }
+
+    #[test]
+    fn effective_prefixes_uniform_vs_hot() {
+        let s = DeviceStats::new();
+        for p in 0..100u16 {
+            s.record_prefixed(IoOp::Put, 1, Some(p));
+        }
+        let snap = s.snapshot();
+        assert!((snap.effective_prefixes - 100.0).abs() < 1e-9);
+
+        let hot = DeviceStats::new();
+        for _ in 0..100 {
+            hot.record_prefixed(IoOp::Put, 1, Some(7));
+        }
+        let snap = hot.snapshot();
+        assert!((snap.effective_prefixes - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buckets_fill_in_order() {
+        let s = DeviceStats::with_bucket_width(2);
+        for _ in 0..5 {
+            s.record(IoOp::BlockWrite, 10);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.buckets.len(), 3);
+        assert_eq!(snap.buckets[0].requests, 2);
+        assert_eq!(snap.buckets[2].requests, 1);
+        assert_eq!(snap.buckets[1].bytes, 20);
+    }
+
+    #[test]
+    fn queue_depth_stats() {
+        let s = DeviceStats::new();
+        s.record_queue_depth(2);
+        s.record_queue_depth(10);
+        let snap = s.snapshot();
+        assert_eq!(snap.max_queue_depth, 10);
+        assert!((snap.mean_queue_depth - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let s = DeviceStats::new();
+        s.record(IoOp::Get, 10);
+        s.reset();
+        assert_eq!(s.snapshot().total_requests, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! The read-after-write retry layer.
+//!
+//! Under the never-write-twice policy a GET of a freshly written key either
+//! returns the one and only version or fails with `ObjectNotFound` inside
+//! the eventual-consistency window. "In case of an error, we have modified
+//! the storage subsystem to retry until the object is found, up to a
+//! configurable number of retries" (§3). Similarly, "a failed write is
+//! retried; but after a pre-determined number of failures of the same page,
+//! the transaction is rolled back" (§4).
+
+use bytes::Bytes;
+use iq_common::{IqError, IqResult, ObjectKey};
+
+use crate::traits::ObjectBackend;
+
+/// Retry budget for object-store operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts (including the first) before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 32 }
+    }
+}
+
+impl RetryPolicy {
+    /// GET with retry-on-NotFound. In the simulation each attempt advances
+    /// the store's operation clock, so a bounded visibility window always
+    /// resolves within a bounded number of attempts.
+    pub fn get(&self, store: &dyn ObjectBackend, key: ObjectKey) -> IqResult<Bytes> {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match store.get(key) {
+                Ok(bytes) => return Ok(bytes),
+                Err(IqError::ObjectNotFound(_)) if attempts < self.max_attempts => continue,
+                Err(IqError::ObjectNotFound(_)) => {
+                    return Err(IqError::RetriesExhausted { key, attempts })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// PUT with retry on transient I/O failure. `DuplicateObjectKey` is
+    /// *not* retried: it is a policy violation, not a transient fault.
+    pub fn put(&self, store: &dyn ObjectBackend, key: ObjectKey, data: Bytes) -> IqResult<()> {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match store.put(key, data.clone()) {
+                Ok(()) => return Ok(()),
+                Err(IqError::Io(_)) if attempts < self.max_attempts => continue,
+                Err(IqError::Io(_)) => return Err(IqError::RetriesExhausted { key, attempts }),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object_store::{ConsistencyConfig, ObjectStoreSim};
+
+    fn key(off: u64) -> ObjectKey {
+        ObjectKey::from_offset(off)
+    }
+
+    #[test]
+    fn retry_masks_visibility_window() {
+        let cfg = ConsistencyConfig {
+            max_visibility_ops: 10,
+            delayed_fraction: 1.0,
+            ..ConsistencyConfig::default()
+        };
+        let store = ObjectStoreSim::new(cfg);
+        let policy = RetryPolicy { max_attempts: 32 };
+        for off in 0..50 {
+            store.put(key(off), Bytes::from(vec![off as u8])).unwrap();
+            let got = policy.get(&store, key(off)).unwrap();
+            assert_eq!(got[0], off as u8);
+        }
+    }
+
+    #[test]
+    fn retries_exhaust_on_truly_missing_object() {
+        let store = ObjectStoreSim::new(ConsistencyConfig::strong());
+        let policy = RetryPolicy { max_attempts: 3 };
+        let err = policy.get(&store, key(99)).unwrap_err();
+        assert_eq!(
+            err,
+            IqError::RetriesExhausted {
+                key: key(99),
+                attempts: 3
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_put_is_not_retried() {
+        let store = ObjectStoreSim::new(ConsistencyConfig::strong());
+        let policy = RetryPolicy::default();
+        policy
+            .put(&store, key(1), Bytes::from_static(b"a"))
+            .unwrap();
+        let err = policy
+            .put(&store, key(1), Bytes::from_static(b"b"))
+            .unwrap_err();
+        assert_eq!(err, IqError::DuplicateObjectKey(key(1)));
+        assert_eq!(store.write_count(key(1)), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Backend traits implemented by the simulated devices.
+
+use bytes::Bytes;
+use iq_common::{BlockNum, IqResult, ObjectKey};
+
+use crate::metrics::StatsSnapshot;
+
+/// An object store: flat key space, whole-object PUT/GET, no in-place
+/// update (unless an ablation explicitly enables overwrites).
+///
+/// Implementations are internally synchronized; `&self` methods may be
+/// called from many threads (the OCM's background writer, the prefetcher
+/// and query workers all hit the store concurrently).
+pub trait ObjectBackend: Send + Sync {
+    /// Upload a new object. Fails with `DuplicateObjectKey` if the key was
+    /// already written and overwrites are disallowed (the default; the
+    /// never-write-twice policy of §3).
+    fn put(&self, key: ObjectKey, data: Bytes) -> IqResult<()>;
+
+    /// Fetch an object. May fail with `ObjectNotFound` inside the
+    /// eventual-consistency visibility window even though the PUT
+    /// succeeded; callers retry (see [`crate::retry::RetryPolicy`]).
+    fn get(&self, key: ObjectKey) -> IqResult<Bytes>;
+
+    /// Delete an object. Deleting a key that does not exist is a no-op:
+    /// the paper's garbage collector *polls* whole key ranges, many of
+    /// which were never flushed (§3.3).
+    fn delete(&self, key: ObjectKey) -> IqResult<()>;
+
+    /// Whether the object currently exists (ignores the visibility window;
+    /// used by tests and the GC's existence poll).
+    fn exists(&self, key: ObjectKey) -> bool;
+
+    /// Total bytes currently resident (for data-at-rest costing).
+    fn resident_bytes(&self) -> u64;
+
+    /// Snapshot of the request ledger.
+    fn stats_snapshot(&self) -> StatsSnapshot;
+
+    /// Reset the request ledger (benchmark phase boundaries).
+    fn reset_stats(&self);
+}
+
+/// A block device: fixed-size blocks, strong consistency, in-place writes.
+/// Models EBS/EFS dbspaces and the OCM's local SSD area.
+pub trait BlockBackend: Send + Sync {
+    /// Size of one block in bytes.
+    fn block_size(&self) -> u32;
+
+    /// Device capacity in blocks.
+    fn capacity_blocks(&self) -> u64;
+
+    /// Write `data` starting at block `start`. `data.len()` must be a
+    /// multiple of the block size.
+    fn write_blocks(&self, start: BlockNum, data: &[u8]) -> IqResult<()>;
+
+    /// Read `count` blocks starting at `start`.
+    fn read_blocks(&self, start: BlockNum, count: u32) -> IqResult<Bytes>;
+
+    /// Discard `count` blocks starting at `start` (frees simulated space).
+    fn trim_blocks(&self, start: BlockNum, count: u32) -> IqResult<()>;
+
+    /// Total bytes currently resident (for data-at-rest costing).
+    fn resident_bytes(&self) -> u64;
+
+    /// Snapshot of the request ledger.
+    fn stats_snapshot(&self) -> StatsSnapshot;
+
+    /// Reset the request ledger (benchmark phase boundaries).
+    fn reset_stats(&self);
+}

@@ -1,0 +1,641 @@
+//! The OCM proper: single-LRU SSD cache with an asynchronous write queue.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use iq_buffer::LruCache;
+use iq_common::{IqError, IqResult, ObjectKey, TxnId};
+use iq_objectstore::{BlockBackend, BlockDeviceSim, ObjectBackend, RetryPolicy};
+use parking_lot::{Condvar, Mutex};
+use serde::Serialize;
+
+use crate::slots::SlotAllocator;
+
+/// How a write interacts with the SSD cache and the object store (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteMode {
+    /// Churn phase: synchronous SSD write, asynchronous store upload.
+    WriteBack,
+    /// Commit phase: synchronous store upload, asynchronous SSD caching.
+    WriteThrough,
+}
+
+/// OCM configuration.
+#[derive(Debug, Clone)]
+pub struct OcmConfig {
+    /// Slot size: the maximum sealed page image (one page per slot).
+    pub slot_bytes: u32,
+    /// SSD cache area in bytes.
+    pub capacity_bytes: u64,
+    /// Retry budget for object-store operations.
+    pub retry: RetryPolicy,
+}
+
+/// Hit/miss/eviction counters — exactly the Table 5 columns.
+#[derive(Debug, Default)]
+pub struct OcmStats {
+    /// Objects served from the SSD cache.
+    pub hits: AtomicU64,
+    /// Objects read through to the object store.
+    pub misses: AtomicU64,
+    /// Cache entries evicted to make room.
+    pub evictions: AtomicU64,
+}
+
+/// A snapshot of [`OcmStats`].
+#[derive(Debug, Clone, Copy, Serialize, PartialEq, Eq)]
+pub struct OcmStatsSnapshot {
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+    /// Evictions.
+    pub evictions: u64,
+}
+
+impl OcmStatsSnapshot {
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    slot: u32,
+    len: u32,
+}
+
+enum Job {
+    /// Write-back upload; `cache_slot` already holds the bytes on SSD.
+    StorePut {
+        txn: TxnId,
+        key: ObjectKey,
+        data: Bytes,
+        cache_slot: Option<u32>,
+    },
+    /// Asynchronous SSD population after a read-through or write-through.
+    CachePopulate { key: ObjectKey, data: Bytes },
+}
+
+impl Job {
+    fn txn(&self) -> Option<TxnId> {
+        match self {
+            Job::StorePut { txn, .. } => Some(*txn),
+            Job::CachePopulate { .. } => None,
+        }
+    }
+}
+
+struct Inner {
+    lru: LruCache<ObjectKey, CacheEntry>,
+    slots: SlotAllocator,
+    queue: VecDeque<Job>,
+    /// Outstanding asynchronous store uploads per transaction.
+    pending_puts: HashMap<TxnId, usize>,
+    /// First upload failure per transaction (forces rollback).
+    txn_errors: HashMap<TxnId, IqError>,
+    /// Transactions that signalled FlushForCommit; their writes are
+    /// forced to write-through from then on.
+    commit_mode: HashSet<TxnId>,
+    shutdown: bool,
+}
+
+/// The Object Cache Manager.
+pub struct Ocm {
+    inner: Arc<Mutex<Inner>>,
+    work_cv: Arc<Condvar>,
+    done_cv: Arc<Condvar>,
+    ssd: Arc<BlockDeviceSim>,
+    store: Arc<dyn ObjectBackend>,
+    config: OcmConfig,
+    /// Live counters (Table 5).
+    pub stats: Arc<OcmStats>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Ocm {
+    /// Build an OCM over `ssd` (the instance-local device) caching objects
+    /// from `store`.
+    pub fn new(ssd: Arc<BlockDeviceSim>, store: Arc<dyn ObjectBackend>, config: OcmConfig) -> Self {
+        let block = ssd.block_size();
+        assert!(
+            config.slot_bytes.is_multiple_of(block),
+            "slot must be whole blocks"
+        );
+        let blocks_per_slot = config.slot_bytes / block;
+        let device_slots = (ssd.capacity_blocks() / blocks_per_slot as u64) as u32;
+        let budget_slots = (config.capacity_bytes / config.slot_bytes as u64) as u32;
+        let total_slots = device_slots.min(budget_slots);
+        let inner = Arc::new(Mutex::new(Inner {
+            lru: LruCache::new(),
+            slots: SlotAllocator::new(total_slots, blocks_per_slot),
+            queue: VecDeque::new(),
+            pending_puts: HashMap::new(),
+            txn_errors: HashMap::new(),
+            commit_mode: HashSet::new(),
+            shutdown: false,
+        }));
+        let work_cv = Arc::new(Condvar::new());
+        let done_cv = Arc::new(Condvar::new());
+        let stats = Arc::new(OcmStats::default());
+
+        let worker = {
+            let inner = Arc::clone(&inner);
+            let work_cv = Arc::clone(&work_cv);
+            let done_cv = Arc::clone(&done_cv);
+            let ssd = Arc::clone(&ssd);
+            let store = Arc::clone(&store);
+            let stats = Arc::clone(&stats);
+            let retry = config.retry;
+            std::thread::Builder::new()
+                .name("ocm-writer".into())
+                .spawn(move || {
+                    worker_loop(
+                        &inner,
+                        &work_cv,
+                        &done_cv,
+                        &ssd,
+                        store.as_ref(),
+                        &stats,
+                        retry,
+                    )
+                })
+                .expect("spawn OCM worker")
+        };
+
+        Self {
+            inner,
+            work_cv,
+            done_cv,
+            ssd,
+            store,
+            config,
+            stats,
+            worker: Some(worker),
+        }
+    }
+
+    /// Cache capacity in slots.
+    pub fn capacity_slots(&self) -> u32 {
+        self.inner.lock().slots.total()
+    }
+
+    /// Entries currently cached.
+    pub fn cached_objects(&self) -> usize {
+        self.inner.lock().lru.len()
+    }
+
+    /// Snapshot the Table 5 counters.
+    pub fn stats_snapshot(&self) -> OcmStatsSnapshot {
+        OcmStatsSnapshot {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Read an object: SSD cache hit, or read-through with asynchronous
+    /// cache population.
+    pub fn read(&self, key: ObjectKey) -> IqResult<Bytes> {
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.lru.get(&key).copied() {
+            // Sample the async-write queue depth: deep queues inflate SSD
+            // read latency in the time model (Figure 6's anomaly).
+            let depth = inner.queue.len() as u64;
+            self.ssd.stats.record_queue_depth(depth);
+            let start = inner.slots.slot_start(entry.slot);
+            // Read only the blocks the object actually covers.
+            let blocks = entry.len.div_ceil(self.ssd.block_size()).max(1);
+            // Hold the lock across the SSD read so eviction cannot recycle
+            // the slot underneath us (the simulation's equivalent of a pin).
+            let image = self.ssd.read_blocks(start, blocks)?;
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(image.slice(0..entry.len as usize));
+        }
+        drop(inner);
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let data = self.config.retry.get(self.store.as_ref(), key)?;
+        // Asynchronously cache for future lookups (read-through).
+        let mut inner = self.inner.lock();
+        inner.queue.push_back(Job::CachePopulate {
+            key,
+            data: data.clone(),
+        });
+        self.work_cv.notify_one();
+        Ok(data)
+    }
+
+    /// Write an object on behalf of `txn`. The mode is upgraded to
+    /// write-through once the transaction has signalled FlushForCommit.
+    pub fn write(&self, key: ObjectKey, data: Bytes, txn: TxnId, mode: WriteMode) -> IqResult<()> {
+        if data.len() > self.config.slot_bytes as usize {
+            return Err(IqError::Invalid(format!(
+                "object of {} bytes exceeds OCM slot size {}",
+                data.len(),
+                self.config.slot_bytes
+            )));
+        }
+        let mut inner = self.inner.lock();
+        let effective = if inner.commit_mode.contains(&txn) {
+            WriteMode::WriteThrough
+        } else {
+            mode
+        };
+        match effective {
+            WriteMode::WriteBack => {
+                let cache_slot = allocate_slot(&mut inner, &self.stats);
+                let slot_meta =
+                    cache_slot.map(|s| (inner.slots.slot_start(s), inner.slots.blocks_per_slot()));
+                *inner.pending_puts.entry(txn).or_insert(0) += 1;
+                drop(inner);
+                // Synchronous SSD write; "if a write to the locally
+                // attached storage fails, the error is ignored" (§4).
+                let mut final_slot = cache_slot;
+                if let Some((start, _)) = slot_meta {
+                    // Write only the blocks the object needs within its slot.
+                    let blocks = (data.len() as u32).div_ceil(self.ssd.block_size()).max(1);
+                    let image =
+                        pad_to_blocks(&data, blocks as usize * self.ssd.block_size() as usize);
+                    if self.ssd.write_blocks(start, &image).is_err() {
+                        let mut inner = self.inner.lock();
+                        if let Some(s) = cache_slot {
+                            inner.slots.free(s);
+                        }
+                        final_slot = None;
+                    }
+                }
+                let mut inner = self.inner.lock();
+                inner.queue.push_back(Job::StorePut {
+                    txn,
+                    key,
+                    data,
+                    cache_slot: final_slot,
+                });
+                self.work_cv.notify_one();
+                Ok(())
+            }
+            WriteMode::WriteThrough => {
+                drop(inner);
+                // Synchronous upload; failure rolls the transaction back
+                // at the caller.
+                self.config
+                    .retry
+                    .put(self.store.as_ref(), key, data.clone())?;
+                let mut inner = self.inner.lock();
+                inner.queue.push_back(Job::CachePopulate { key, data });
+                self.work_cv.notify_one();
+                Ok(())
+            }
+        }
+    }
+
+    /// FlushForCommit: prioritize `txn`'s queued uploads, switch it to
+    /// write-through, and wait for its uploads to drain. An upload failure
+    /// surfaces here so the caller rolls the transaction back.
+    pub fn flush_for_commit(&self, txn: TxnId) -> IqResult<()> {
+        let mut inner = self.inner.lock();
+        inner.commit_mode.insert(txn);
+        // Stable-partition: this transaction's jobs move to the head,
+        // preserving their relative order.
+        let (mine, rest): (VecDeque<Job>, VecDeque<Job>) =
+            inner.queue.drain(..).partition(|j| j.txn() == Some(txn));
+        inner.queue = mine;
+        inner.queue.extend(rest);
+        self.work_cv.notify_all();
+        loop {
+            if let Some(err) = inner.txn_errors.remove(&txn) {
+                return Err(err);
+            }
+            if inner.pending_puts.get(&txn).copied().unwrap_or(0) == 0 {
+                return Ok(());
+            }
+            self.done_cv.wait(&mut inner);
+        }
+    }
+
+    /// Forget a finished transaction's OCM state (commit-mode flag and any
+    /// unobserved error).
+    pub fn end_txn(&self, txn: TxnId) {
+        let mut inner = self.inner.lock();
+        inner.commit_mode.remove(&txn);
+        inner.txn_errors.remove(&txn);
+        inner.pending_puts.remove(&txn);
+    }
+
+    /// Wait for the queue to drain entirely (tests and shutdown barriers).
+    pub fn quiesce(&self) {
+        let mut inner = self.inner.lock();
+        while !inner.queue.is_empty() || inner.pending_puts.values().any(|&n| n > 0) {
+            self.done_cv.wait(&mut inner);
+        }
+    }
+
+    /// Whether an object is currently cached (does not touch recency).
+    pub fn contains(&self, key: ObjectKey) -> bool {
+        self.inner.lock().lru.peek(&key).is_some()
+    }
+
+    /// Snapshot of the SSD device's request ledger (queue-depth samples
+    /// feed the write-pressure model).
+    pub fn ssd_stats(&self) -> iq_objectstore::StatsSnapshot {
+        self.ssd.stats.snapshot()
+    }
+
+    /// Drop every cached entry (instance restart: instance storage is
+    /// ephemeral, so the OCM always restarts cold).
+    pub fn clear_cache(&self) {
+        let mut inner = self.inner.lock();
+        while let Some((_, e)) = inner.lru.pop_lru() {
+            inner.slots.free(e.slot);
+        }
+    }
+}
+
+impl Drop for Ocm {
+    fn drop(&mut self) {
+        {
+            let mut inner = self.inner.lock();
+            inner.shutdown = true;
+            self.work_cv.notify_all();
+        }
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Allocate a slot, evicting the LRU entry if the pool is exhausted.
+fn allocate_slot(inner: &mut Inner, stats: &OcmStats) -> Option<u32> {
+    if let Some(s) = inner.slots.allocate() {
+        return Some(s);
+    }
+    if let Some((_, old)) = inner.lru.pop_lru() {
+        stats.evictions.fetch_add(1, Ordering::Relaxed);
+        inner.slots.free(old.slot);
+        return inner.slots.allocate();
+    }
+    None
+}
+
+fn pad_to_blocks(data: &[u8], target: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(target);
+    v.extend_from_slice(data);
+    v.resize(target, 0);
+    v
+}
+
+fn worker_loop(
+    inner: &Mutex<Inner>,
+    work_cv: &Condvar,
+    done_cv: &Condvar,
+    ssd: &BlockDeviceSim,
+    store: &dyn ObjectBackend,
+    stats: &OcmStats,
+    retry: RetryPolicy,
+) {
+    let mut guard = inner.lock();
+    loop {
+        if guard.shutdown {
+            return;
+        }
+        let Some(job) = guard.queue.pop_front() else {
+            work_cv.wait(&mut guard);
+            continue;
+        };
+        match job {
+            Job::StorePut {
+                txn,
+                key,
+                data,
+                cache_slot,
+            } => {
+                drop(guard);
+                let len = data.len() as u32;
+                let result = retry.put(store, key, data);
+                guard = inner.lock();
+                if let Some(n) = guard.pending_puts.get_mut(&txn) {
+                    *n = n.saturating_sub(1);
+                }
+                match result {
+                    Ok(()) => {
+                        // Only now does the entry join the LRU: "a page is
+                        // not added to the LRU list until it has been
+                        // successfully written to the underlying object
+                        // store" (§4).
+                        if let Some(slot) = cache_slot {
+                            if let Some(old) = guard.lru.insert(key, CacheEntry { slot, len }) {
+                                guard.slots.free(old.slot);
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        if let Some(slot) = cache_slot {
+                            guard.slots.free(slot);
+                        }
+                        guard.txn_errors.entry(txn).or_insert(e);
+                    }
+                }
+                done_cv.notify_all();
+            }
+            Job::CachePopulate { key, data } => {
+                if guard.lru.peek(&key).is_some() {
+                    // Already cached by a racing populate.
+                    done_cv.notify_all();
+                    continue;
+                }
+                let Some(slot) = allocate_slot(&mut guard, stats) else {
+                    done_cv.notify_all();
+                    continue;
+                };
+                let start = guard.slots.slot_start(slot);
+                let len = data.len() as u32;
+                let blocks = len.div_ceil(ssd.block_size()).max(1);
+                drop(guard);
+                let image = pad_to_blocks(&data, blocks as usize * ssd.block_size() as usize);
+                let ok = ssd.write_blocks(start, &image).is_ok();
+                guard = inner.lock();
+                if ok {
+                    if let Some(old) = guard.lru.insert(key, CacheEntry { slot, len }) {
+                        guard.slots.free(old.slot);
+                    }
+                } else {
+                    guard.slots.free(slot);
+                }
+                done_cv.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iq_objectstore::{ConsistencyConfig, ObjectStoreSim};
+
+    fn key(off: u64) -> ObjectKey {
+        ObjectKey::from_offset(off)
+    }
+
+    fn setup(slots: u32) -> (Ocm, Arc<ObjectStoreSim>) {
+        let slot_bytes = 1024u32;
+        let ssd = Arc::new(BlockDeviceSim::new(256, slots as u64 * 4));
+        let store = Arc::new(ObjectStoreSim::new(ConsistencyConfig::default()));
+        let ocm = Ocm::new(
+            ssd,
+            store.clone(),
+            OcmConfig {
+                slot_bytes,
+                capacity_bytes: slots as u64 * slot_bytes as u64,
+                retry: RetryPolicy::default(),
+            },
+        );
+        (ocm, store)
+    }
+
+    #[test]
+    fn read_through_populates_cache() {
+        let (ocm, store) = setup(8);
+        store.put(key(1), Bytes::from_static(b"hello")).unwrap();
+        store.settle();
+        let first = ocm.read(key(1)).unwrap();
+        assert_eq!(&first[..], b"hello");
+        ocm.quiesce();
+        assert!(ocm.contains(key(1)));
+        let second = ocm.read(key(1)).unwrap();
+        assert_eq!(&second[..], b"hello");
+        let snap = ocm.stats_snapshot();
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.hits, 1);
+    }
+
+    #[test]
+    fn write_back_uploads_async_and_caches_after_success() {
+        let (ocm, store) = setup(8);
+        let txn = TxnId(1);
+        ocm.write(
+            key(2),
+            Bytes::from_static(b"wb-data"),
+            txn,
+            WriteMode::WriteBack,
+        )
+        .unwrap();
+        ocm.flush_for_commit(txn).unwrap();
+        assert!(store.exists(key(2)));
+        ocm.quiesce();
+        assert!(ocm.contains(key(2)));
+        assert_eq!(&ocm.read(key(2)).unwrap()[..], b"wb-data");
+        ocm.end_txn(txn);
+    }
+
+    #[test]
+    fn write_through_is_synchronous_on_store() {
+        let (ocm, store) = setup(8);
+        let txn = TxnId(1);
+        ocm.write(
+            key(3),
+            Bytes::from_static(b"wt"),
+            txn,
+            WriteMode::WriteThrough,
+        )
+        .unwrap();
+        // Visible on the store immediately, before any quiesce.
+        assert!(store.exists(key(3)));
+        ocm.quiesce();
+        assert!(ocm.contains(key(3)));
+    }
+
+    #[test]
+    fn commit_mode_upgrades_subsequent_writes() {
+        let (ocm, store) = setup(8);
+        let txn = TxnId(4);
+        ocm.write(key(10), Bytes::from_static(b"a"), txn, WriteMode::WriteBack)
+            .unwrap();
+        ocm.flush_for_commit(txn).unwrap();
+        // After FlushForCommit, a write requested as write-back still goes
+        // through synchronously.
+        ocm.write(key(11), Bytes::from_static(b"b"), txn, WriteMode::WriteBack)
+            .unwrap();
+        assert!(store.exists(key(11)));
+        ocm.end_txn(txn);
+    }
+
+    #[test]
+    fn duplicate_write_fails_commit() {
+        let (ocm, store) = setup(8);
+        store.put(key(20), Bytes::from_static(b"original")).unwrap();
+        let txn = TxnId(5);
+        // Violates never-write-twice: the async upload fails and the error
+        // surfaces at FlushForCommit, forcing rollback.
+        ocm.write(
+            key(20),
+            Bytes::from_static(b"dup"),
+            txn,
+            WriteMode::WriteBack,
+        )
+        .unwrap();
+        let err = ocm.flush_for_commit(txn).unwrap_err();
+        assert_eq!(err, IqError::DuplicateObjectKey(key(20)));
+        ocm.end_txn(txn);
+        // The failed page never joined the LRU.
+        assert!(!ocm.contains(key(20)));
+    }
+
+    #[test]
+    fn eviction_frees_slots_single_lru() {
+        let (ocm, store) = setup(2);
+        for off in 0..4u64 {
+            store
+                .put(key(off), Bytes::from(vec![off as u8; 100]))
+                .unwrap();
+        }
+        store.settle();
+        for off in 0..4u64 {
+            ocm.read(key(off)).unwrap();
+            ocm.quiesce();
+        }
+        let snap = ocm.stats_snapshot();
+        assert_eq!(snap.misses, 4);
+        assert_eq!(snap.evictions, 2);
+        assert_eq!(ocm.cached_objects(), 2);
+        // Oldest two are gone; newest two are hits.
+        assert!(!ocm.contains(key(0)));
+        assert!(ocm.contains(key(3)));
+    }
+
+    #[test]
+    fn zero_capacity_ocm_still_correct() {
+        let (ocm, store) = setup(0);
+        store.put(key(1), Bytes::from_static(b"x")).unwrap();
+        store.settle();
+        assert_eq!(&ocm.read(key(1)).unwrap()[..], b"x");
+        ocm.quiesce();
+        assert_eq!(ocm.cached_objects(), 0);
+        let txn = TxnId(1);
+        ocm.write(key(2), Bytes::from_static(b"y"), txn, WriteMode::WriteBack)
+            .unwrap();
+        ocm.flush_for_commit(txn).unwrap();
+        assert!(store.exists(key(2)));
+        ocm.end_txn(txn);
+    }
+
+    #[test]
+    fn queue_depth_samples_recorded_on_hits() {
+        let (ocm, store) = setup(8);
+        store.put(key(1), Bytes::from_static(b"z")).unwrap();
+        store.settle();
+        ocm.read(key(1)).unwrap();
+        ocm.quiesce();
+        ocm.read(key(1)).unwrap(); // hit → sample
+        let snap = ocm.ssd_stats();
+        assert!(snap.mean_queue_depth >= 0.0);
+    }
+}

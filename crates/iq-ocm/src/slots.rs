@@ -1,0 +1,101 @@
+//! Fixed-size slot allocation over the OCM's SSD area.
+//!
+//! The cache area is divided into page-image-sized slots; each cached
+//! object occupies one slot. Slot `i` maps to the block run
+//! `[i × blocks_per_slot, (i+1) × blocks_per_slot)`.
+
+use iq_common::BlockNum;
+
+/// Allocator of fixed-size cache slots.
+#[derive(Debug)]
+pub struct SlotAllocator {
+    total: u32,
+    next_fresh: u32,
+    free: Vec<u32>,
+    blocks_per_slot: u32,
+}
+
+impl SlotAllocator {
+    /// Allocator over `total` slots of `blocks_per_slot` blocks each.
+    pub fn new(total: u32, blocks_per_slot: u32) -> Self {
+        assert!(blocks_per_slot > 0);
+        Self {
+            total,
+            next_fresh: 0,
+            free: Vec::new(),
+            blocks_per_slot,
+        }
+    }
+
+    /// Total slots.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Slots currently allocated.
+    pub fn allocated(&self) -> u32 {
+        self.next_fresh - self.free.len() as u32
+    }
+
+    /// Grab a slot, if any is available.
+    pub fn allocate(&mut self) -> Option<u32> {
+        if let Some(s) = self.free.pop() {
+            return Some(s);
+        }
+        if self.next_fresh < self.total {
+            let s = self.next_fresh;
+            self.next_fresh += 1;
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    /// Return a slot to the pool.
+    pub fn free(&mut self, slot: u32) {
+        debug_assert!(slot < self.next_fresh, "freeing a never-allocated slot");
+        self.free.push(slot);
+    }
+
+    /// First block of a slot.
+    pub fn slot_start(&self, slot: u32) -> BlockNum {
+        BlockNum(slot as u64 * self.blocks_per_slot as u64)
+    }
+
+    /// Blocks per slot.
+    pub fn blocks_per_slot(&self) -> u32 {
+        self.blocks_per_slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_free_reuse() {
+        let mut a = SlotAllocator::new(3, 4);
+        let s0 = a.allocate().unwrap();
+        let s1 = a.allocate().unwrap();
+        let s2 = a.allocate().unwrap();
+        assert_eq!(a.allocate(), None);
+        assert_eq!(a.allocated(), 3);
+        a.free(s1);
+        assert_eq!(a.allocate(), Some(s1));
+        assert_ne!(s0, s2);
+    }
+
+    #[test]
+    fn slot_geometry() {
+        let a = SlotAllocator::new(10, 16);
+        assert_eq!(a.slot_start(0), BlockNum(0));
+        assert_eq!(a.slot_start(3), BlockNum(48));
+        assert_eq!(a.blocks_per_slot(), 16);
+    }
+
+    #[test]
+    fn zero_slots_never_allocates() {
+        let mut a = SlotAllocator::new(0, 1);
+        assert_eq!(a.allocate(), None);
+    }
+}

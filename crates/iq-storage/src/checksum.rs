@@ -1,0 +1,39 @@
+//! Page checksums.
+//!
+//! A 64-bit FNV-1a hash guards every page image. It is not cryptographic —
+//! it exists to catch torn or stale images (and in the update-in-place
+//! ablation, to *detect* the stale reads the never-write-twice policy is
+//! designed to rule out).
+
+/// FNV-1a 64-bit hash.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        let a = fnv1a64(&[0u8; 64]);
+        let mut buf = [0u8; 64];
+        buf[63] = 1;
+        assert_ne!(a, fnv1a64(&buf));
+    }
+}

@@ -1,0 +1,216 @@
+//! Page-level compression.
+//!
+//! SAP IQ "employs page-level compression to further reduce the amount of
+//! I/O that is required to process large volumes of data" (§1). This
+//! module implements a small LZ77-class codec from scratch (greedy
+//! hash-chain matcher, 64 KiB window, byte-aligned token stream), which is
+//! a reasonable stand-in for the class of fast page compressors analytical
+//! engines use. Column-level encodings (dictionary, n-bit) live in
+//! `iq-engine`; this layer squeezes whatever the column encoders emit.
+//!
+//! ## Format
+//!
+//! A sequence of tokens. Each token starts with a control byte `c`:
+//!
+//! * `c < 0x80`: a literal run of `c + 1` bytes follows.
+//! * `c >= 0x80`: a match; length is `(c & 0x7f) + MIN_MATCH`, followed by
+//!   a little-endian `u16` back-offset (1-based).
+//!
+//! Decompression is unambiguous and allocation-bounded by the declared
+//! output length.
+
+use iq_common::{IqError, IqResult};
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 0x7f + MIN_MATCH;
+const MAX_LITERAL: usize = 0x80;
+const WINDOW: usize = u16::MAX as usize;
+const HASH_BITS: u32 = 15;
+
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(0x9e37_79b1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input`. Always succeeds; incompressible data expands by at
+/// most 1 byte per 128 (callers fall back to storing raw when the result
+/// is not smaller — see [`crate::page`]).
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut literal_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize, input: &[u8]| {
+        let mut s = from;
+        while s < to {
+            let n = (to - s).min(MAX_LITERAL);
+            out.push((n - 1) as u8);
+            out.extend_from_slice(&input[s..s + n]);
+            s += n;
+        }
+    };
+
+    while i + MIN_MATCH <= input.len() {
+        let h = hash4(&input[i..]);
+        let candidate = head[h];
+        head[h] = i;
+        let mut match_len = 0usize;
+        if candidate != usize::MAX && i - candidate <= WINDOW && candidate < i {
+            let max = (input.len() - i).min(MAX_MATCH);
+            let mut l = 0usize;
+            while l < max && input[candidate + l] == input[i + l] {
+                l += 1;
+            }
+            if l >= MIN_MATCH {
+                match_len = l;
+            }
+        }
+        if match_len > 0 {
+            flush_literals(&mut out, literal_start, i, input);
+            let offset = (i - candidate) as u16;
+            out.push(0x80 | (match_len - MIN_MATCH) as u8);
+            out.extend_from_slice(&offset.to_le_bytes());
+            // Seed the hash table through the matched region (sparsely, for
+            // speed) so later matches can reference it.
+            let end = i + match_len;
+            let mut j = i + 1;
+            while j + MIN_MATCH <= end.min(input.len()) {
+                head[hash4(&input[j..])] = j;
+                j += 2;
+            }
+            i = end;
+            literal_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, literal_start, input.len(), input);
+    out
+}
+
+/// Decompress into exactly `output_len` bytes.
+pub fn decompress(input: &[u8], output_len: usize) -> IqResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(output_len);
+    let mut i = 0usize;
+    while i < input.len() {
+        let c = input[i];
+        i += 1;
+        if c < 0x80 {
+            let n = c as usize + 1;
+            let end = i + n;
+            if end > input.len() || out.len() + n > output_len {
+                return Err(IqError::Corruption("literal run overflows page".into()));
+            }
+            out.extend_from_slice(&input[i..end]);
+            i = end;
+        } else {
+            let len = (c & 0x7f) as usize + MIN_MATCH;
+            if i + 2 > input.len() {
+                return Err(IqError::Corruption("truncated match token".into()));
+            }
+            let offset = u16::from_le_bytes([input[i], input[i + 1]]) as usize;
+            i += 2;
+            if offset == 0 || offset > out.len() || out.len() + len > output_len {
+                return Err(IqError::Corruption("match references out of window".into()));
+            }
+            let start = out.len() - offset;
+            // Overlapping copies (offset < len) are legal and common.
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        }
+    }
+    if out.len() != output_len {
+        return Err(IqError::Corruption(format!(
+            "decompressed {} bytes, expected {output_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        let c = compress(&[]);
+        assert_eq!(decompress(&c, 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn repetitive_data_compresses_well() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 17) as u8).collect();
+        let c = compress(&data);
+        assert!(
+            c.len() < data.len() / 10,
+            "compressed {} of {}",
+            c.len(),
+            data.len()
+        );
+        assert_eq!(decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn zero_page_compresses_extremely() {
+        let data = vec![0u8; 65536];
+        let c = compress(&data);
+        assert!(c.len() < 2100, "len={}", c.len());
+        assert_eq!(decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn random_data_expands_bounded() {
+        let mut rng = iq_common::DetRng::new(3);
+        let data: Vec<u8> = (0..10_000).map(|_| rng.next_u64() as u8).collect();
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + data.len() / 128 + 16);
+        assert_eq!(decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_roundtrip() {
+        // "abcabcabc..." forces matches with offset < length.
+        let data: Vec<u8> = b"abc".iter().copied().cycle().take(5000).collect();
+        let c = compress(&data);
+        // 131-byte max match ⇒ ~39 match tokens of 3 bytes each.
+        assert!(c.len() < 200, "len={}", c.len());
+        assert_eq!(decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_stream_is_rejected_not_panicking() {
+        let data = vec![7u8; 1000];
+        let mut c = compress(&data);
+        // Truncate mid-token.
+        c.truncate(c.len() / 2);
+        assert!(decompress(&c, data.len()).is_err());
+        // Bogus offset.
+        let bad = vec![0x85, 0xff, 0xff];
+        assert!(decompress(&bad, 100).is_err());
+        // Wrong declared length.
+        let c = compress(&data);
+        assert!(decompress(&c, data.len() + 1).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            let c = compress(&data);
+            prop_assert_eq!(decompress(&c, data.len()).unwrap(), data);
+        }
+
+        #[test]
+        fn roundtrip_structured(seed in any::<u64>(), n in 1usize..2048) {
+            // Low-entropy data resembling n-bit packed columns.
+            let mut rng = iq_common::DetRng::new(seed);
+            let data: Vec<u8> = (0..n).map(|_| (rng.below(4) * 16) as u8).collect();
+            let c = compress(&data);
+            prop_assert_eq!(decompress(&c, data.len()).unwrap(), data);
+        }
+    }
+}

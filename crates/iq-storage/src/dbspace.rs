@@ -1,0 +1,456 @@
+//! Dbspaces: named storage containers.
+//!
+//! "A dbspace is a collection of operating system files or raw devices"
+//! (§2) — or, in the cloud version, a bucket on an object store: `CREATE
+//! DBSPACE ... USING OBJECT STORE "s3://bucket"` (§3). A [`DbSpace`]
+//! writes sealed page images to either backing:
+//!
+//! * **Conventional** — allocates a 1–16 block run from the freelist and
+//!   writes in place; strong consistency, updates allowed.
+//! * **Cloud** — obtains a *fresh* object key from a [`KeySource`] for
+//!   every single write (never-write-twice) and uploads the image under
+//!   it; reads go through the read-after-write retry loop.
+
+use std::sync::Arc;
+
+use iq_common::{DbSpaceId, IqError, IqResult, ObjectKey, PhysicalLocator};
+use iq_objectstore::{BlockBackend, ObjectBackend, RetryPolicy};
+use parking_lot::Mutex;
+
+use crate::freelist::Freelist;
+use crate::page::{Page, StorageConfig};
+
+/// Source of fresh object keys. Implemented by the Object Key Generator's
+/// per-node cache in `iq-txn`; tests use a plain counter.
+pub trait KeySource: Send + Sync {
+    /// Hand out the next unique key. Never returns the same key twice
+    /// across the life of the database (including across restarts).
+    fn next_key(&self) -> IqResult<ObjectKey>;
+}
+
+/// A trivially counting key source for tests and single-node tools.
+#[derive(Debug, Default)]
+pub struct CountingKeySource {
+    next: std::sync::atomic::AtomicU64,
+}
+
+impl CountingKeySource {
+    /// Start handing out keys at `first` (offset form).
+    pub fn starting_at(first: u64) -> Self {
+        Self {
+            next: std::sync::atomic::AtomicU64::new(first),
+        }
+    }
+}
+
+impl KeySource for CountingKeySource {
+    fn next_key(&self) -> IqResult<ObjectKey> {
+        let off = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(ObjectKey::from_offset(off))
+    }
+}
+
+enum Backing {
+    Conventional {
+        device: Arc<dyn BlockBackend>,
+        freelist: Mutex<Freelist>,
+    },
+    Cloud {
+        store: Arc<dyn ObjectBackend>,
+        retry: RetryPolicy,
+    },
+}
+
+/// One dbspace.
+pub struct DbSpace {
+    /// Dbspace identifier.
+    pub id: DbSpaceId,
+    /// User-visible name.
+    pub name: String,
+    /// Page geometry.
+    pub config: StorageConfig,
+    backing: Backing,
+}
+
+impl DbSpace {
+    /// Create a conventional dbspace over a block device.
+    pub fn conventional(
+        id: DbSpaceId,
+        name: impl Into<String>,
+        config: StorageConfig,
+        device: Arc<dyn BlockBackend>,
+    ) -> IqResult<Self> {
+        if device.block_size() != config.block_size() {
+            return Err(IqError::Invalid(format!(
+                "device block size {} != dbspace block size {}",
+                device.block_size(),
+                config.block_size()
+            )));
+        }
+        let freelist = Freelist::new(device.capacity_blocks());
+        Ok(Self {
+            id,
+            name: name.into(),
+            config,
+            backing: Backing::Conventional {
+                device,
+                freelist: Mutex::new(freelist),
+            },
+        })
+    }
+
+    /// Create a cloud dbspace over an object store.
+    pub fn cloud(
+        id: DbSpaceId,
+        name: impl Into<String>,
+        config: StorageConfig,
+        store: Arc<dyn ObjectBackend>,
+        retry: RetryPolicy,
+    ) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            config,
+            backing: Backing::Cloud { store, retry },
+        }
+    }
+
+    /// Whether this dbspace lives on an object store.
+    pub fn is_cloud(&self) -> bool {
+        matches!(self.backing, Backing::Cloud { .. })
+    }
+
+    /// Write a page image. Conventional dbspaces allocate blocks from the
+    /// freelist; cloud dbspaces take a fresh key from `keys`.
+    pub fn write_page(&self, page: &Page, keys: &dyn KeySource) -> IqResult<PhysicalLocator> {
+        let (image, blocks) = page.seal(&self.config)?;
+        match &self.backing {
+            Backing::Conventional { device, freelist } => {
+                let start = freelist.lock().allocate(blocks as u32)?;
+                device.write_blocks(start, &image)?;
+                Ok(PhysicalLocator::Blocks {
+                    start,
+                    count: blocks,
+                })
+            }
+            Backing::Cloud { store, retry } => {
+                let key = keys.next_key()?;
+                retry.put(store.as_ref(), key, image)?;
+                Ok(PhysicalLocator::Object(key))
+            }
+        }
+    }
+
+    /// Write a page under a caller-provided key (cloud dbspaces only).
+    /// Used by components that track their own key, e.g. the snapshot
+    /// manager persisting its retention FIFO.
+    pub fn write_page_with_key(&self, page: &Page, key: ObjectKey) -> IqResult<PhysicalLocator> {
+        let (image, _) = page.seal(&self.config)?;
+        match &self.backing {
+            Backing::Cloud { store, retry } => {
+                retry.put(store.as_ref(), key, image)?;
+                Ok(PhysicalLocator::Object(key))
+            }
+            Backing::Conventional { .. } => Err(IqError::Invalid(
+                "write_page_with_key requires a cloud dbspace".into(),
+            )),
+        }
+    }
+
+    /// Upload raw bytes under an explicit key (cloud only). Used by the
+    /// page cache path, which seals/encrypts images itself.
+    pub fn put_raw(&self, key: ObjectKey, data: bytes::Bytes) -> IqResult<()> {
+        match &self.backing {
+            Backing::Cloud { store, retry } => retry.put(store.as_ref(), key, data),
+            Backing::Conventional { .. } => {
+                Err(IqError::Invalid("put_raw requires a cloud dbspace".into()))
+            }
+        }
+    }
+
+    /// Fetch raw object bytes (cloud only), with read-after-write retries.
+    pub fn get_raw(&self, key: ObjectKey) -> IqResult<bytes::Bytes> {
+        match &self.backing {
+            Backing::Cloud { store, retry } => retry.get(store.as_ref(), key),
+            Backing::Conventional { .. } => {
+                Err(IqError::Invalid("get_raw requires a cloud dbspace".into()))
+            }
+        }
+    }
+
+    /// The underlying object store (cloud only) — shared with the OCM.
+    pub fn object_store(&self) -> Option<Arc<dyn ObjectBackend>> {
+        match &self.backing {
+            Backing::Cloud { store, .. } => Some(Arc::clone(store)),
+            Backing::Conventional { .. } => None,
+        }
+    }
+
+    /// Read and verify the page at `loc`.
+    pub fn read_page(&self, loc: PhysicalLocator) -> IqResult<Page> {
+        let image = match (&self.backing, loc) {
+            (Backing::Conventional { device, .. }, PhysicalLocator::Blocks { start, count }) => {
+                device.read_blocks(start, count as u32)?
+            }
+            (Backing::Cloud { store, retry }, PhysicalLocator::Object(key)) => {
+                retry.get(store.as_ref(), key)?
+            }
+            _ => {
+                return Err(IqError::Invalid(format!(
+                    "locator {loc:?} does not match dbspace {} backing",
+                    self.name
+                )))
+            }
+        };
+        Page::unseal(&image)
+    }
+
+    /// Release the storage behind `loc` (garbage collection).
+    pub fn release(&self, loc: PhysicalLocator) -> IqResult<()> {
+        match (&self.backing, loc) {
+            (
+                Backing::Conventional { device, freelist },
+                PhysicalLocator::Blocks { start, count },
+            ) => {
+                freelist.lock().free(start, count as u32);
+                device.trim_blocks(start, count as u32)
+            }
+            (Backing::Cloud { store, .. }, PhysicalLocator::Object(key)) => store.delete(key),
+            _ => Err(IqError::Invalid(
+                "locator/backing mismatch on release".into(),
+            )),
+        }
+    }
+
+    /// Delete an object by key if present (GC range polling; cloud only).
+    pub fn poll_delete(&self, key: ObjectKey) -> IqResult<bool> {
+        match &self.backing {
+            Backing::Cloud { store, .. } => {
+                if store.exists(key) {
+                    store.delete(key)?;
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+            Backing::Conventional { .. } => Err(IqError::Invalid(
+                "poll_delete on conventional dbspace".into(),
+            )),
+        }
+    }
+
+    /// Bytes currently resident on the backing device/store.
+    pub fn resident_bytes(&self) -> u64 {
+        match &self.backing {
+            Backing::Conventional { device, .. } => device.resident_bytes(),
+            Backing::Cloud { store, .. } => store.resident_bytes(),
+        }
+    }
+
+    /// Snapshot of the backing device's request ledger.
+    pub fn backend_stats(&self) -> iq_objectstore::StatsSnapshot {
+        match &self.backing {
+            Backing::Conventional { device, .. } => device.stats_snapshot(),
+            Backing::Cloud { store, .. } => store.stats_snapshot(),
+        }
+    }
+
+    /// Reset the backing device's request ledger (benchmark phases).
+    pub fn reset_backend_stats(&self) {
+        match &self.backing {
+            Backing::Conventional { device, .. } => device.reset_stats(),
+            Backing::Cloud { store, .. } => store.reset_stats(),
+        }
+    }
+
+    /// Serialize the freelist for a checkpoint (conventional only).
+    pub fn freelist_image(&self) -> Option<Vec<u8>> {
+        match &self.backing {
+            Backing::Conventional { freelist, .. } => Some(freelist.lock().to_bytes()),
+            Backing::Cloud { .. } => None,
+        }
+    }
+
+    /// Restore the freelist from a checkpoint image (crash recovery).
+    pub fn restore_freelist(&self, image: &[u8]) -> IqResult<()> {
+        match &self.backing {
+            Backing::Conventional { freelist, .. } => {
+                *freelist.lock() = Freelist::from_bytes(image)?;
+                Ok(())
+            }
+            Backing::Cloud { .. } => {
+                Err(IqError::Invalid("cloud dbspaces have no freelist".into()))
+            }
+        }
+    }
+
+    /// Apply a freelist mutation (recovery replay of RF/RB bitmaps).
+    pub fn with_freelist<R>(&self, f: impl FnOnce(&mut Freelist) -> R) -> Option<R> {
+        match &self.backing {
+            Backing::Conventional { freelist, .. } => Some(f(&mut freelist.lock())),
+            Backing::Cloud { .. } => None,
+        }
+    }
+}
+
+/// Page-granular I/O: the surface the blockmap uses to persist its own
+/// nodes. Bundles a dbspace with a key source.
+pub struct PageIo<'a> {
+    /// Target dbspace.
+    pub space: &'a DbSpace,
+    /// Fresh-key source for cloud writes.
+    pub keys: &'a dyn KeySource,
+}
+
+impl<'a> PageIo<'a> {
+    /// Write a page and return where it landed.
+    pub fn write(&self, page: &Page) -> IqResult<PhysicalLocator> {
+        self.space.write_page(page, self.keys)
+    }
+
+    /// Read the page at `loc`.
+    pub fn read(&self, loc: PhysicalLocator) -> IqResult<Page> {
+        self.space.read_page(loc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use iq_common::{PageId, VersionId};
+    use iq_objectstore::{BlockDeviceSim, ConsistencyConfig, ObjectStoreSim};
+
+    use crate::page::PageKind;
+
+    fn cfg() -> StorageConfig {
+        StorageConfig::test_small()
+    }
+
+    fn page(id: u64, fill: u8) -> Page {
+        Page::new(
+            PageId(id),
+            VersionId(1),
+            PageKind::Data,
+            Bytes::from(vec![fill; 600]),
+        )
+    }
+
+    fn conventional() -> DbSpace {
+        let dev = Arc::new(BlockDeviceSim::new(cfg().block_size(), 4096));
+        DbSpace::conventional(DbSpaceId(1), "main", cfg(), dev).unwrap()
+    }
+
+    fn cloud() -> (DbSpace, Arc<ObjectStoreSim>) {
+        let store = Arc::new(ObjectStoreSim::new(ConsistencyConfig::default()));
+        let space = DbSpace::cloud(
+            DbSpaceId(2),
+            "clouddb",
+            cfg(),
+            store.clone(),
+            RetryPolicy::default(),
+        );
+        (space, store)
+    }
+
+    #[test]
+    fn conventional_write_read_release() {
+        let space = conventional();
+        let keys = CountingKeySource::default();
+        let p = page(1, 7);
+        let loc = space.write_page(&p, &keys).unwrap();
+        assert!(!loc.is_cloud());
+        assert_eq!(space.read_page(loc).unwrap(), p);
+        space.release(loc).unwrap();
+        // Released blocks can be reused.
+        let loc2 = space.write_page(&page(2, 8), &keys).unwrap();
+        assert!(!loc2.is_cloud());
+    }
+
+    #[test]
+    fn cloud_write_takes_fresh_keys_every_time() {
+        let (space, store) = cloud();
+        let keys = CountingKeySource::default();
+        let mut locs = Vec::new();
+        for i in 0..20 {
+            locs.push(space.write_page(&page(i, i as u8), &keys).unwrap());
+        }
+        // Twenty distinct keys, each written exactly once.
+        let unique: std::collections::HashSet<_> = locs.iter().collect();
+        assert_eq!(unique.len(), 20);
+        assert_eq!(store.max_write_count(), 1);
+        for (i, loc) in locs.iter().enumerate() {
+            assert_eq!(space.read_page(*loc).unwrap().body[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn cloud_read_masks_visibility_window() {
+        let store = Arc::new(ObjectStoreSim::new(ConsistencyConfig {
+            max_visibility_ops: 16,
+            delayed_fraction: 1.0,
+            ..ConsistencyConfig::default()
+        }));
+        let space = DbSpace::cloud(
+            DbSpaceId(3),
+            "ec",
+            cfg(),
+            store,
+            RetryPolicy { max_attempts: 64 },
+        );
+        let keys = CountingKeySource::default();
+        let p = page(9, 9);
+        let loc = space.write_page(&p, &keys).unwrap();
+        // The retry loop hides the eventual-consistency window.
+        assert_eq!(space.read_page(loc).unwrap(), p);
+    }
+
+    #[test]
+    fn release_deletes_cloud_object() {
+        let (space, store) = cloud();
+        let keys = CountingKeySource::default();
+        let loc = space.write_page(&page(1, 1), &keys).unwrap();
+        assert_eq!(store.object_count(), 1);
+        space.release(loc).unwrap();
+        assert_eq!(store.object_count(), 0);
+    }
+
+    #[test]
+    fn poll_delete_reports_existence() {
+        let (space, _store) = cloud();
+        let keys = CountingKeySource::default();
+        let loc = space.write_page(&page(1, 1), &keys).unwrap();
+        let PhysicalLocator::Object(key) = loc else {
+            panic!()
+        };
+        assert!(space.poll_delete(key).unwrap());
+        assert!(!space.poll_delete(key).unwrap());
+        // Unflushed keys in a polled range simply report absent.
+        assert!(!space.poll_delete(ObjectKey::from_offset(999)).unwrap());
+    }
+
+    #[test]
+    fn mismatched_locator_rejected() {
+        let (cloud_space, _) = cloud();
+        let conv = conventional();
+        let keys = CountingKeySource::default();
+        let cloud_loc = cloud_space.write_page(&page(1, 1), &keys).unwrap();
+        let conv_loc = conv.write_page(&page(1, 1), &keys).unwrap();
+        assert!(conv.read_page(cloud_loc).is_err());
+        assert!(cloud_space.read_page(conv_loc).is_err());
+    }
+
+    #[test]
+    fn freelist_checkpoint_roundtrip() {
+        let space = conventional();
+        let keys = CountingKeySource::default();
+        let _ = space.write_page(&page(1, 1), &keys).unwrap();
+        let image = space.freelist_image().unwrap();
+        space.restore_freelist(&image).unwrap();
+        let used = space.with_freelist(|f| f.used_blocks()).unwrap();
+        assert!(used > 0);
+        let (cloud_space, _) = cloud();
+        assert!(cloud_space.freelist_image().is_none());
+        assert!(cloud_space.restore_freelist(&image).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! TPC-H refresh functions RF1 (new sales) and RF2 (old sales removal).
+//!
+//! The paper's power run skips the refresh streams, but they are part of
+//! the TPC-H specification and they exercise exactly the machinery the
+//! paper contributes: every refresh commits a **new table version**
+//! (copy-on-write blockmaps, fresh object keys), and the superseded
+//! version's pages flow through the RF bitmaps into garbage collection —
+//! or into the snapshot manager's retention FIFO.
+//!
+//! The engine is append/rewrite-based (like a columnar warehouse), so:
+//!
+//! * **RF1** appends `orders_per_refresh` new orders (and their line
+//!   items) by rewriting the tables with the new rows included;
+//! * **RF2** removes the `orders_per_refresh` *oldest* order keys by
+//!   rewriting the tables without them.
+
+use std::collections::HashSet;
+
+use iq_common::{IqResult, TxnId};
+use iq_engine::chunk::Chunk;
+use iq_engine::table::{TableMeta, TableWriter};
+use iq_engine::value::Value;
+use iq_engine::{PageStore, WorkMeter};
+
+use crate::db::TpchDb;
+use crate::gen::Generator;
+
+/// Number of orders touched per refresh: SF × 1500, as in the spec.
+pub fn orders_per_refresh(sf: f64) -> u64 {
+    ((sf * 1_500.0).round() as u64).max(1)
+}
+
+/// Rewrite a table as `current rows transformed` + `appended rows`.
+fn rewrite_table(
+    meta: &TableMeta,
+    store: &dyn PageStore,
+    txn: TxnId,
+    meter: &WorkMeter,
+    keep: impl Fn(&[Value]) -> bool,
+    append: Vec<Vec<Value>>,
+) -> IqResult<TableMeta> {
+    let all_cols: Vec<usize> = (0..meta.schema.len()).collect();
+    let current: Chunk = meta.scan(store, &all_cols, None, meter)?;
+    let mut next = TableMeta::new(
+        meta.id,
+        meta.name.clone(),
+        meta.schema.clone(),
+        meta.row_group_size,
+    );
+    next.partitioning = meta.partitioning.clone();
+    next.hg_columns = meta.hg_columns.clone();
+    let mut w = TableWriter::new(&mut next, store, txn, meter);
+    for r in 0..current.len() {
+        let row = current.row(r);
+        if keep(&row) {
+            w.append_row(&row)?;
+        }
+    }
+    for row in append {
+        w.append_row(&row)?;
+    }
+    w.finish()?;
+    Ok(next)
+}
+
+/// RF1: insert `orders_per_refresh(sf)` new orders and their line items.
+/// Returns the updated `(orders, lineitem)` metadata (the caller installs
+/// them after commit) and the first new order key.
+pub fn rf1(
+    db: &TpchDb,
+    store: &dyn PageStore,
+    txn: TxnId,
+    meter: &WorkMeter,
+    refresh_seq: u64,
+) -> IqResult<(TableMeta, TableMeta, i64)> {
+    let g = Generator::new(db.sf, 0x5F31 ^ refresh_seq);
+    let count = orders_per_refresh(db.sf);
+    // New keys start past the existing key space, offset by the refresh
+    // sequence so repeated RF1s do not collide.
+    let base = g.orders() + 1 + refresh_seq as i64 * count as i64;
+
+    // The generator emits an order's line items *before* the order row;
+    // buffer the pending lines and renumber both when the order arrives.
+    // RefCell because both callbacks share the buffers.
+    use std::cell::RefCell;
+    let new_orders: RefCell<Vec<Vec<Value>>> = RefCell::new(Vec::new());
+    let new_lines: RefCell<Vec<Vec<Value>>> = RefCell::new(Vec::new());
+    let pending: RefCell<Vec<Vec<Value>>> = RefCell::new(Vec::new());
+    let taken = RefCell::new(0u64);
+    g.order_and_lineitem_rows(
+        |mut o| {
+            let mut taken = taken.borrow_mut();
+            if *taken < count {
+                let key = base + *taken as i64;
+                o[0] = Value::I64(key);
+                for mut l in pending.borrow_mut().drain(..) {
+                    l[0] = Value::I64(key);
+                    new_lines.borrow_mut().push(l);
+                }
+                new_orders.borrow_mut().push(o);
+                *taken += 1;
+            } else {
+                pending.borrow_mut().clear();
+            }
+        },
+        |l| {
+            if *taken.borrow() < count {
+                pending.borrow_mut().push(l);
+            }
+        },
+    );
+    let new_orders = new_orders.into_inner();
+    let new_lines = new_lines.into_inner();
+    let orders = rewrite_table(&db.orders, store, txn, meter, |_| true, new_orders)?;
+    let lineitem = rewrite_table(&db.lineitem, store, txn, meter, |_| true, new_lines)?;
+    Ok((orders, lineitem, base))
+}
+
+/// RF2: delete the `orders_per_refresh(sf)` lowest order keys and their
+/// line items. Returns the updated `(orders, lineitem)` metadata and the
+/// set of deleted keys.
+pub fn rf2(
+    db: &TpchDb,
+    store: &dyn PageStore,
+    txn: TxnId,
+    meter: &WorkMeter,
+) -> IqResult<(TableMeta, TableMeta, HashSet<i64>)> {
+    let count = orders_per_refresh(db.sf) as usize;
+    let okey_col = db.orders.schema.col("o_orderkey").expect("o_orderkey");
+    let keys_chunk = db.orders.scan(store, &[okey_col], None, meter)?;
+    let mut keys: Vec<i64> = keys_chunk.col(0).i64s().to_vec();
+    keys.sort_unstable();
+    let victims: HashSet<i64> = keys.into_iter().take(count).collect();
+
+    let v1 = victims.clone();
+    let orders = rewrite_table(
+        &db.orders,
+        store,
+        txn,
+        meter,
+        move |row| !v1.contains(&row[0].as_i64().expect("orderkey")),
+        Vec::new(),
+    )?;
+    let v2 = victims.clone();
+    let lineitem = rewrite_table(
+        &db.lineitem,
+        store,
+        txn,
+        meter,
+        move |row| !v2.contains(&row[0].as_i64().expect("l_orderkey")),
+        Vec::new(),
+    )?;
+    Ok((orders, lineitem, victims))
+}

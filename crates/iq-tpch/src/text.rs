@@ -1,0 +1,256 @@
+//! Fixed vocabularies from the TPC-H specification and text synthesis.
+
+use iq_common::DetRng;
+
+/// The 25 nations with their region keys (spec table: N_NATIONKEY,
+/// N_NAME, N_REGIONKEY).
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// The five regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Market segments (C_MKTSEGMENT).
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
+
+/// Order priorities (O_ORDERPRIORITY).
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Ship instructions (L_SHIPINSTRUCT).
+pub const INSTRUCTIONS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+
+/// Ship modes (L_SHIPMODE).
+pub const MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// P_TYPE syllables.
+pub const TYPE_SYL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+/// P_TYPE syllables.
+pub const TYPE_SYL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+/// P_TYPE syllables.
+pub const TYPE_SYL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// Container syllables.
+pub const CONTAINER_SYL1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+/// Container syllables.
+pub const CONTAINER_SYL2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// Words composing P_NAME — includes the colors Q9 (`%green%`) and the
+/// qualification queries rely on.
+pub const P_NAME_WORDS: [&str; 32] = [
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "goldenrod",
+    "green",
+];
+
+/// Filler nouns for comments.
+pub const COMMENT_WORDS: [&str; 24] = [
+    "packages",
+    "ideas",
+    "accounts",
+    "instructions",
+    "dependencies",
+    "foxes",
+    "theodolites",
+    "pinto",
+    "beans",
+    "deposits",
+    "platelets",
+    "asymptotes",
+    "courts",
+    "excuses",
+    "requests",
+    "sentiments",
+    "sauternes",
+    "warthogs",
+    "decoys",
+    "escapades",
+    "hockey",
+    "players",
+    "braids",
+    "waters",
+];
+
+/// Pick one of a fixed slice.
+pub fn pick<'a>(rng: &mut DetRng, xs: &[&'a str]) -> &'a str {
+    xs[rng.below(xs.len() as u64) as usize]
+}
+
+/// Random comment of `words` words.
+pub fn comment(rng: &mut DetRng, words: usize) -> String {
+    let mut out = String::new();
+    for i in 0..words {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(pick(rng, &COMMENT_WORDS));
+    }
+    out
+}
+
+/// Order comment; with probability `p_special` it embeds the
+/// `special ... requests` pattern Q13 filters on.
+pub fn order_comment(rng: &mut DetRng, p_special: f64) -> String {
+    if rng.chance(p_special) {
+        format!(
+            "{} special {} requests {}",
+            pick(rng, &COMMENT_WORDS),
+            pick(rng, &COMMENT_WORDS),
+            pick(rng, &COMMENT_WORDS)
+        )
+    } else {
+        comment(rng, 4)
+    }
+}
+
+/// Supplier comment; small fractions carry the `Customer ... Complaints`
+/// or `Customer ... Recommends` markers Q16 excludes on.
+pub fn supplier_comment(rng: &mut DetRng, p_complaint: f64) -> String {
+    if rng.chance(p_complaint) {
+        format!(
+            "{} Customer {} Complaints",
+            pick(rng, &COMMENT_WORDS),
+            pick(rng, &COMMENT_WORDS)
+        )
+    } else {
+        comment(rng, 4)
+    }
+}
+
+/// P_NAME: five distinct-ish words.
+pub fn part_name(rng: &mut DetRng) -> String {
+    let mut out = String::new();
+    for i in 0..5 {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(pick(rng, &P_NAME_WORDS));
+    }
+    out
+}
+
+/// Phone number with the spec's country-code structure:
+/// `CC-LLL-LLL-LLLL` where `CC = nationkey + 10` (Q22 parses this prefix).
+pub fn phone(rng: &mut DetRng, nationkey: i64) -> String {
+    format!(
+        "{}-{:03}-{:03}-{:04}",
+        nationkey + 10,
+        100 + rng.below(900),
+        100 + rng.below(900),
+        1000 + rng.below(9000)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nations_regions_consistent() {
+        assert_eq!(NATIONS.len(), 25);
+        assert!(NATIONS.iter().all(|&(_, r)| (0..5).contains(&r)));
+        assert_eq!(REGIONS.len(), 5);
+    }
+
+    #[test]
+    fn phone_encodes_nation() {
+        let mut rng = DetRng::new(1);
+        let p = phone(&mut rng, 3);
+        assert!(p.starts_with("13-"));
+        assert_eq!(p.len(), "13-123-456-7890".len());
+        // Q22 parses the first two characters.
+        assert_eq!(&p[0..2], "13");
+    }
+
+    #[test]
+    fn special_requests_rate_controllable() {
+        let mut rng = DetRng::new(2);
+        let hits = (0..1000)
+            .filter(|_| {
+                let c = order_comment(&mut rng, 0.1);
+                c.contains("special") && c.contains("requests")
+            })
+            .count();
+        assert!((50..200).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn part_names_contain_colors_sometimes() {
+        let mut rng = DetRng::new(3);
+        let green = (0..500)
+            .filter(|_| part_name(&mut rng).contains("green"))
+            .count();
+        assert!(green > 10, "green={green}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = comment(&mut DetRng::new(9), 5);
+        let b = comment(&mut DetRng::new(9), 5);
+        assert_eq!(a, b);
+    }
+}

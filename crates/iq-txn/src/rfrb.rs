@@ -1,0 +1,183 @@
+//! Roll-forward / roll-back bitmaps.
+//!
+//! "Each transaction has its own pair of RF/RB bitmaps: the RF bitmap
+//! records the pages that have been marked for deletion by the transaction
+//! whereas the RB bitmap records the pages that have been allocated"
+//! (§3.3). On conventional dbspaces an entry is the block run a page
+//! occupies; for a cloud page it is the object key — "an integer in the
+//! range `[2^63, 2^64)`, as a single bit in the bitmap. We distinguish
+//! between the two types of representations by simply looking at the range
+//! in which a bit is recorded."
+//!
+//! [`RfRb`] keeps the two representations side by side: dense block-run
+//! lists per dbspace and sparse [`KeySet`]s for object keys, which is how
+//! the "key-ranges as opposed to singleton keys" optimization (§3.2) pays
+//! off during GC.
+
+use std::collections::BTreeMap;
+
+use iq_common::{BlockNum, DbSpaceId, KeySet, ObjectKey, PhysicalLocator};
+use serde::{Deserialize, Serialize};
+
+/// One side (RF or RB) of the bitmap pair.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct PageSet {
+    /// Cloud pages: object-key offsets (values in the reserved range,
+    /// stored as offsets).
+    pub keys: KeySet,
+    /// Conventional pages: block runs per dbspace.
+    pub blocks: BTreeMap<u32, Vec<(u64, u8)>>,
+}
+
+impl PageSet {
+    /// Record a page's physical location.
+    pub fn record(&mut self, space: DbSpaceId, loc: PhysicalLocator) {
+        match loc {
+            PhysicalLocator::Object(key) => {
+                self.keys.insert(key.offset());
+            }
+            PhysicalLocator::Blocks { start, count } => {
+                self.blocks
+                    .entry(space.0)
+                    .or_default()
+                    .push((start.0, count));
+            }
+        }
+    }
+
+    /// Whether a cloud key is recorded.
+    pub fn contains_key(&self, key: ObjectKey) -> bool {
+        self.keys.contains(key.offset())
+    }
+
+    /// Total recorded entries (cloud keys + block runs).
+    pub fn len(&self) -> u64 {
+        self.keys.len() + self.blocks.values().map(|v| v.len() as u64).sum::<u64>()
+    }
+
+    /// True if nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate cloud keys.
+    pub fn iter_keys(&self) -> impl Iterator<Item = ObjectKey> + '_ {
+        self.keys.iter().map(ObjectKey::from_offset)
+    }
+
+    /// Iterate block runs as `(dbspace, start, count)`.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (DbSpaceId, BlockNum, u8)> + '_ {
+        self.blocks.iter().flat_map(|(space, runs)| {
+            runs.iter()
+                .map(move |&(start, count)| (DbSpaceId(*space), BlockNum(start), count))
+        })
+    }
+}
+
+/// A transaction's pair of RF/RB bitmaps.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct RfRb {
+    /// Roll-forward: pages this transaction superseded/deleted — to be
+    /// garbage collected *after* commit, once no snapshot references them.
+    pub rf: PageSet,
+    /// Roll-back: pages this transaction allocated — to be deleted
+    /// *immediately* if the transaction rolls back.
+    pub rb: PageSet,
+}
+
+impl RfRb {
+    /// Fresh empty pair.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a page allocation (RB).
+    pub fn record_alloc(&mut self, space: DbSpaceId, loc: PhysicalLocator) {
+        self.rb.record(space, loc);
+    }
+
+    /// Record a page deletion/supersession (RF).
+    pub fn record_free(&mut self, space: DbSpaceId, loc: PhysicalLocator) {
+        self.rf.record(space, loc);
+    }
+
+    /// The cloud key ranges consumed by this transaction (the RB keys) —
+    /// what the coordinator trims from the node's active set at commit.
+    pub fn consumed_ranges(&self) -> Vec<(u64, u64)> {
+        self.rb.keys.runs().to_vec()
+    }
+
+    /// Serialized image ("its RF/RB bitmaps are flushed to storage" at
+    /// commit, §3.3).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("RfRb serialization cannot fail")
+    }
+
+    /// Restore from a flushed image.
+    pub fn from_bytes(data: &[u8]) -> Option<Self> {
+        serde_json::from_slice(data).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(off: u64) -> PhysicalLocator {
+        PhysicalLocator::Object(ObjectKey::from_offset(off))
+    }
+
+    fn blocks(start: u64, count: u8) -> PhysicalLocator {
+        PhysicalLocator::Blocks {
+            start: BlockNum(start),
+            count,
+        }
+    }
+
+    #[test]
+    fn records_both_representations() {
+        let mut rfrb = RfRb::new();
+        rfrb.record_alloc(DbSpaceId(1), cloud(100));
+        rfrb.record_alloc(DbSpaceId(1), cloud(101));
+        rfrb.record_alloc(DbSpaceId(2), blocks(40, 4));
+        rfrb.record_free(DbSpaceId(1), cloud(50));
+        assert_eq!(rfrb.rb.len(), 3);
+        assert_eq!(rfrb.rf.len(), 1);
+        assert!(rfrb.rb.contains_key(ObjectKey::from_offset(100)));
+        assert!(!rfrb.rb.contains_key(ObjectKey::from_offset(50)));
+        let blocks: Vec<_> = rfrb.rb.iter_blocks().collect();
+        assert_eq!(blocks, vec![(DbSpaceId(2), BlockNum(40), 4)]);
+    }
+
+    #[test]
+    fn consecutive_keys_collapse_to_ranges() {
+        // The "key-ranges as opposed to singleton keys" optimization: a
+        // bulk load allocating keys 101..=130 stores one run.
+        let mut rfrb = RfRb::new();
+        for off in 101..=130 {
+            rfrb.record_alloc(DbSpaceId(1), cloud(off));
+        }
+        assert_eq!(rfrb.rb.keys.runs(), &[(101, 131)]);
+        assert_eq!(rfrb.consumed_ranges(), vec![(101, 131)]);
+    }
+
+    #[test]
+    fn flush_image_roundtrip() {
+        let mut rfrb = RfRb::new();
+        rfrb.record_alloc(DbSpaceId(1), cloud(7));
+        rfrb.record_free(DbSpaceId(3), blocks(0, 16));
+        let image = rfrb.to_bytes();
+        assert_eq!(RfRb::from_bytes(&image), Some(rfrb));
+        assert_eq!(RfRb::from_bytes(b"garbage"), None);
+    }
+
+    #[test]
+    fn iter_keys_in_order() {
+        let mut set = PageSet::default();
+        for off in [5u64, 2, 9] {
+            set.record(DbSpaceId(1), cloud(off));
+        }
+        let offs: Vec<u64> = set.iter_keys().map(|k| k.offset()).collect();
+        assert_eq!(offs, vec![2, 5, 9]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Reproduction of **Table 1**: key-range allocation, coordinator crash
+//! recovery, rollback GC, and writer-restart GC — the §3.2/§3.3
+//! walkthrough, narrated clock tick by clock tick.
+//!
+//! ```sh
+//! cargo run --example crash_recovery
+//! ```
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use cloudiq::common::{DbSpaceId, NodeId, PageId, VersionId};
+use cloudiq::objectstore::{ConsistencyConfig, ObjectStoreSim, RetryPolicy};
+use cloudiq::storage::{DbSpace, KeySource, Page, PageKind, StorageConfig};
+use cloudiq::txn::{Multiplex, TxnLog};
+
+fn flush_pages(space: &DbSpace, keys: &dyn KeySource, n: u64) -> Vec<u64> {
+    (0..n)
+        .map(|i| {
+            let page = Page::new(
+                PageId(i),
+                VersionId(1),
+                PageKind::Data,
+                Bytes::from(vec![i as u8; 64]),
+            );
+            let loc = space.write_page(&page, keys).expect("flush");
+            match loc {
+                cloudiq::common::PhysicalLocator::Object(k) => k.offset(),
+                _ => unreachable!(),
+            }
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let log = Arc::new(TxnLog::new());
+    let mx = Multiplex::new(Arc::clone(&log), 1, 0);
+    let w1 = mx.secondary(NodeId(1)).expect("writer W1");
+    let store = Arc::new(ObjectStoreSim::new(ConsistencyConfig::default()));
+    let space = DbSpace::cloud(
+        DbSpaceId(1),
+        "cloud",
+        StorageConfig::test_small(),
+        store.clone(),
+        RetryPolicy::default(),
+    );
+
+    println!("clock  50 | checkpoint: key-generator state flushed");
+    mx.coordinator.checkpoint()?;
+
+    println!("clock  60 | W1 requests a key range from the coordinator");
+    let cache = w1.key_cache()?;
+    // Prime the cache so a full range is outstanding.
+    let first = cache.next_key()?.offset();
+    let active = mx.coordinator.keygen()?.active_set(NodeId(1));
+    println!("          | active set for W1: {:?}", active.runs());
+
+    println!("clock  70 | T1 begins on W1; flushes 30 pages");
+    let t1_keys = flush_pages(&space, cache.as_ref(), 30);
+    println!(
+        "          | T1 consumed keys {}..={}",
+        first,
+        t1_keys.last().unwrap()
+    );
+
+    println!("clock  80 | T2 begins on W1; flushes 20 pages");
+    let t2_keys = flush_pages(&space, cache.as_ref(), 20);
+
+    println!("clock  90 | T1 commits: RF/RB flushed, active set trimmed");
+    let mut rfrb = cloudiq::txn::RfRb::new();
+    for &k in std::iter::once(&first).chain(&t1_keys) {
+        rfrb.record_alloc(
+            DbSpaceId(1),
+            cloudiq::common::PhysicalLocator::Object(cloudiq::common::ObjectKey::from_offset(k)),
+        );
+    }
+    log.append(cloudiq::txn::LogRecord::Commit {
+        txn: cloudiq::common::TxnId(1),
+        node: NodeId(1),
+        rfrb: rfrb.clone(),
+    });
+    mx.coordinator.keygen()?.note_commit(NodeId(1), &rfrb);
+    println!(
+        "          | active set for W1: {:?}",
+        mx.coordinator.keygen()?.active_set(NodeId(1)).runs()
+    );
+
+    println!("clock 110 | coordinator crashes (volatile state lost)");
+    mx.coordinator.crash();
+
+    println!("clock 120 | coordinator recovers by replaying the log");
+    mx.coordinator.recover();
+    let recovered = mx.coordinator.keygen()?.active_set(NodeId(1));
+    println!("          | recovered active set: {:?}", recovered.runs());
+    println!(
+        "          | recovered max key: {}",
+        mx.coordinator.keygen()?.max_allocated()
+    );
+
+    println!("clock 130 | T2 rolls back: its 20 objects die immediately;");
+    println!("          | the coordinator is deliberately NOT notified");
+    for &k in &t2_keys {
+        space.poll_delete(cloudiq::common::ObjectKey::from_offset(k))?;
+    }
+    println!(
+        "          | active set (unchanged): {:?}",
+        mx.coordinator.keygen()?.active_set(NodeId(1)).runs()
+    );
+
+    println!(
+        "clock 140 | W1 crashes with {} objects still on the store",
+        store.object_count()
+    );
+    w1.crash();
+
+    println!("clock 150 | W1 restarts: coordinator polls its whole range");
+    let (polled, deleted) = w1.restart(&space)?;
+    println!(
+        "          | polled {polled} keys, deleted {deleted}; store now holds {} objects",
+        store.object_count()
+    );
+    println!(
+        "          | active set after restart GC: {:?}",
+        mx.coordinator.keygen()?.active_set(NodeId(1)).runs()
+    );
+    assert!(mx.coordinator.keygen()?.active_set(NodeId(1)).is_empty());
+
+    // Committed T1 pages survived everything. (The first key drawn to
+    // prime the cache was never written — polled as absent, which is the
+    // normal case for unconsumed keys.)
+    assert_eq!(store.object_count(), t1_keys.len());
+    println!("\nTable 1 scenario complete: committed data intact, all garbage reclaimed.");
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! TPC-H power run through the full cloud storage stack — a miniature of
+//! the paper's first experiment (§6, Table 2): load the benchmark onto a
+//! simulated object store, then run the 22 queries sequentially.
+//!
+//! ```sh
+//! cargo run --release --example tpch_power           # SF 0.01
+//! cargo run --release --example tpch_power -- 0.05   # custom SF
+//! ```
+
+use cloudiq::common::TableId;
+use cloudiq::core::{Database, DatabaseConfig};
+use cloudiq::objectstore::ObjectBackend;
+use cloudiq::tpch::queries::{run_query, Ctx};
+use cloudiq::tpch::TpchDb;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse())
+        .transpose()?
+        .unwrap_or(0.01);
+    let mut cfg = DatabaseConfig::test_small();
+    // Size the buffer below the working set so queries churn through the
+    // OCM tier, as in the paper's m5ad.4xlarge runs.
+    cfg.buffer_bytes = 1 << 20;
+    cfg.ocm_bytes = 64 << 20;
+    cfg.storage.page_size = 64 * 1024;
+    let db = Database::create(cfg)?;
+    let space = db.create_cloud_dbspace("tpch")?;
+    for t in 1..=8u32 {
+        db.create_table(TableId(t), space)?;
+    }
+
+    println!("loading TPC-H at SF {sf} onto the simulated object store...");
+    let txn = db.begin();
+    let pager = db.pager(txn)?;
+    let tpch = TpchDb::load(sf, 42, &pager, txn, db.meter(), 4096)?;
+    db.commit(txn)?;
+    let store = db.cloud_store(space).unwrap();
+    println!(
+        "loaded {} rows into {} objects ({} MiB at rest, compressed); never-write-twice: max key writes = {}",
+        tpch.total_rows(),
+        store.object_count(),
+        store.resident_bytes() >> 20,
+        store.max_write_count()
+    );
+
+    println!("\npower run (22 queries, sequential):");
+    let qtxn = db.begin();
+    let qpager = db.pager(qtxn)?;
+    let ctx = Ctx {
+        db: &tpch,
+        store: &qpager,
+        meter: db.meter(),
+    };
+    for n in 1..=22u32 {
+        let mark = db.meter().total();
+        let out = run_query(n, &ctx)?;
+        println!(
+            "  Q{n:<2} -> {:>6} rows   {:>12} work units",
+            out.len(),
+            db.meter().since(mark)
+        );
+    }
+    db.rollback(qtxn)?;
+
+    if let Some(ocm) = db.ocm() {
+        ocm.quiesce();
+        let s = ocm.stats_snapshot();
+        println!(
+            "\nOCM during the run: {} hits / {} misses ({:.1}% hit rate), {} evictions",
+            s.hits,
+            s.misses,
+            s.hit_rate() * 100.0,
+            s.evictions
+        );
+    }
+    let stats = db.buffer_stats();
+    println!(
+        "buffer manager: demand-miss fraction {:.3}",
+        stats.demand_fraction()
+    );
+    Ok(())
+}

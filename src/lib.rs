@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! `cloudiq` — a from-scratch Rust reproduction of *Bringing Cloud-Native
+//! Storage to SAP IQ* (SIGMOD 2021).
+//!
+//! This facade crate re-exports the workspace's public API. Start with
+//! [`core::Database`] (the assembled engine), [`tpch::TpchDb`] (the
+//! workload) and [`objectstore::TimeModel`] (the virtual-time performance
+//! model behind every reproduced table and figure). See `README.md` for a
+//! quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the reproduction map.
+
+pub use iq_buffer as buffer;
+pub use iq_common as common;
+pub use iq_core as core;
+pub use iq_engine as engine;
+pub use iq_objectstore as objectstore;
+pub use iq_ocm as ocm;
+pub use iq_snapshot as snapshot;
+pub use iq_storage as storage;
+pub use iq_tpch as tpch;
+pub use iq_txn as txn;

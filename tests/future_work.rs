@@ -1,0 +1,156 @@
+//! The paper's §8 future-work items, implemented and tested:
+//! read-only views over past snapshots, and cloud dbspaces with custom
+//! page sizes.
+
+use cloudiq::common::{IqError, SimDuration, TableId};
+use cloudiq::core::{Database, DatabaseConfig};
+use cloudiq::engine::table::{Schema, TableMeta, TableWriter};
+use cloudiq::engine::value::{DataType, Value};
+use cloudiq::engine::PageStore;
+use cloudiq::storage::StorageConfig;
+
+fn schema() -> Schema {
+    Schema::new(&[("k", DataType::I64), ("v", DataType::F64)])
+}
+
+fn load(db: &Database, meta: &mut TableMeta, rows: std::ops::Range<i64>) {
+    let txn = db.begin();
+    {
+        let pager = db.pager(txn).unwrap();
+        let meter = db.meter().clone();
+        let mut w = TableWriter::new(meta, &pager, txn, &meter);
+        for i in rows {
+            w.append_row(&[Value::I64(i), Value::F64(i as f64 * 0.5)])
+                .unwrap();
+        }
+        w.finish().unwrap();
+    }
+    db.commit(txn).unwrap();
+}
+
+#[test]
+fn snapshot_view_time_travels_without_restore() {
+    let db = Database::create(DatabaseConfig::test_small()).unwrap();
+    let space = db.create_cloud_dbspace("clouddata").unwrap();
+    let table = TableId(1);
+    db.create_table(table, space).unwrap();
+
+    // v1: 400 rows, persisted meta, snapshot.
+    let mut meta_v1 = TableMeta::new(table, "t", schema(), 64);
+    load(&db, &mut meta_v1, 0..400);
+    db.save_table_meta(&meta_v1).unwrap();
+    let snap = db.take_snapshot().unwrap();
+
+    // v2: full rewrite down to 100 rows; GC runs (retention keeps v1).
+    let mut meta_v2 = TableMeta::new(table, "t", schema(), 64);
+    load(&db, &mut meta_v2, 0..100);
+    db.save_table_meta(&meta_v2).unwrap();
+    db.gc_tick().unwrap();
+
+    // The live database sees v2...
+    let live_txn = db.begin();
+    let live = db.pager(live_txn).unwrap();
+    assert_eq!(
+        meta_v2.scan(&live, &[0], None, db.meter()).unwrap().len(),
+        100
+    );
+    db.rollback(live_txn).unwrap();
+
+    // ...while a view over the snapshot sees v1, concurrently, with no
+    // restore and no data copied.
+    let view = db.snapshot_view(snap).unwrap();
+    assert_eq!(view.table_ids(), vec![table]);
+    let view_meta = view
+        .table_meta(table)
+        .expect("meta persisted at snapshot")
+        .clone();
+    let out = view_meta.scan(&view, &[0, 1], None, db.meter()).unwrap();
+    assert_eq!(out.len(), 400);
+    assert_eq!(out.col(1).f64s()[399], 399.0 * 0.5);
+
+    // Views are strictly read-only.
+    let err = view
+        .write_page(
+            table,
+            cloudiq::common::PageId(0),
+            cloudiq::storage::PageKind::Data,
+            bytes::Bytes::from_static(b"x"),
+            cloudiq::common::TxnId(99),
+        )
+        .unwrap_err();
+    assert!(matches!(err, IqError::Invalid(_)));
+
+    // An expired snapshot can no longer be viewed.
+    db.advance_clock(SimDuration::from_secs(100 * 3600));
+    db.sweep_retention().unwrap();
+    assert!(db.snapshot_view(snap).is_err());
+}
+
+#[test]
+fn custom_page_sizes_per_dbspace() {
+    let db = Database::create(DatabaseConfig::test_small()).unwrap();
+    // Default 4 KiB pages for a frequently-updated table; 16 KiB pages
+    // for a read-mostly one — "dbspaces with different page sizes will
+    // allow users to fine-tune their databases for mixed workloads" (§8).
+    let small_pages = db.create_cloud_dbspace("hot").unwrap();
+    let big_pages = db
+        .create_cloud_dbspace_with(
+            "scan",
+            StorageConfig {
+                page_size: 16 * 1024,
+            },
+        )
+        .unwrap();
+    assert_eq!(db.dbspace(small_pages).unwrap().config.page_size, 4096);
+    assert_eq!(db.dbspace(big_pages).unwrap().config.page_size, 16 * 1024);
+
+    db.create_table(TableId(1), small_pages).unwrap();
+    db.create_table(TableId(2), big_pages).unwrap();
+
+    let mut m1 = TableMeta::new(TableId(1), "hot", schema(), 64);
+    // Bigger row groups only fit the bigger pages.
+    let mut m2 = TableMeta::new(TableId(2), "scan", schema(), 1024);
+    load(&db, &mut m1, 0..200);
+    load(&db, &mut m2, 0..5_000);
+
+    let txn = db.begin();
+    let pager = db.pager(txn).unwrap();
+    assert_eq!(m1.scan(&pager, &[0], None, db.meter()).unwrap().len(), 200);
+    assert_eq!(
+        m2.scan(&pager, &[0], None, db.meter()).unwrap().len(),
+        5_000
+    );
+    db.rollback(txn).unwrap();
+
+    // Both stores honour never-write-twice independently.
+    assert_eq!(db.cloud_store(small_pages).unwrap().max_write_count(), 1);
+    assert_eq!(db.cloud_store(big_pages).unwrap().max_write_count(), 1);
+}
+
+#[test]
+fn oversized_row_group_rejected_by_small_pages() {
+    let db = Database::create(DatabaseConfig::test_small()).unwrap();
+    let space = db.create_cloud_dbspace("tiny").unwrap(); // 4 KiB pages
+    db.create_table(TableId(1), space).unwrap();
+    // 4096-row groups of f64 need ~32 KiB per column page: must not fit.
+    let mut meta = TableMeta::new(TableId(1), "t", schema(), 4096);
+    let txn = db.begin();
+    {
+        let pager = db.pager(txn).unwrap();
+        let meter = db.meter().clone();
+        let mut w = TableWriter::new(&mut meta, &pager, txn, &meter);
+        for i in 0..4096i64 {
+            // Wide value range defeats n-bit packing, so the column chunk
+            // stays ~32 KiB — too big for a 4 KiB page.
+            w.append_row(&[Value::I64(i * 1_000_003), Value::F64(i as f64)])
+                .unwrap();
+        }
+        w.finish().unwrap();
+    }
+    // The oversized page is rejected when it is flushed: the commit fails
+    // and the transaction rolls back (nothing is truncated silently).
+    let err = db.commit(txn).unwrap_err();
+    assert!(matches!(err, IqError::Invalid(_)), "got {err}");
+    // Rollback cleaned up: no orphaned objects.
+    assert_eq!(db.cloud_store(space).unwrap().object_count(), 0);
+}
