@@ -80,10 +80,21 @@ fn bench_fig9_and_ablations(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_ablation_scan_parallelism(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repro");
+    g.sample_size(10);
+    // Worker-count sweep: scale-up curve plus the NIC-cap tail-off.
+    g.bench_function("ablation_scan_parallelism", |b| {
+        b.iter(|| experiments::ablation_scan_parallelism(BENCH_SF).unwrap())
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_table1,
     bench_power_runs,
-    bench_fig9_and_ablations
+    bench_fig9_and_ablations,
+    bench_ablation_scan_parallelism
 );
 criterion_main!(benches);

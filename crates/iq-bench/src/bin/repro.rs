@@ -90,6 +90,8 @@ fn main() {
         reports.push(experiments::fig9(sf).expect("fig9"));
     }
     if want("ablations") || want("all") {
+        reports
+            .push(experiments::ablation_scan_parallelism(sf).expect("ablation_scan_parallelism"));
         reports.push(experiments::ablation_consistency());
         reports.push(experiments::ablation_prefix());
         reports.push(experiments::ablation_keyrange());

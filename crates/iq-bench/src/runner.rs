@@ -137,6 +137,14 @@ impl PowerRun {
             0
         };
         db_cfg.retention = None; // GC immediately; retention measured elsewhere
+
+        // Morsel-parallel scans and the commit-flush fan-out run one worker
+        // per modelled core, clamped to the host's real parallelism (the
+        // functional run executes on the laptop; virtual time does the
+        // scale-up).
+        db_cfg.scan_workers = (config.compute.cpus as usize)
+            .min(std::thread::available_parallelism().map_or(8, |n| n.get()))
+            .max(1);
         let db = Database::create(db_cfg)?;
 
         let is_cloud = config.volume == VolumeKind::S3;

@@ -18,9 +18,9 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use iq_common::{IqResult, PageId, TableId, TxnId};
+use iq_common::{IqResult, PageId, TableId, TxnId, WorkerPool};
 use iq_storage::Page;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::lru::LruCache;
 
@@ -41,7 +41,7 @@ pub struct FrameKey {
 }
 
 /// Why a dirty page is being written out.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum FlushCause {
     /// Cache pressure during the churn phase — the OCM uses write-back.
     Eviction,
@@ -50,7 +50,13 @@ pub enum FlushCause {
 }
 
 /// Downstream writer for dirty pages.
-pub trait FlushSink {
+///
+/// `Sync` because the commit path fans `flush` calls across a worker pool
+/// (see [`BufferManager::flush_txn_parallel`]); implementations must be
+/// safe to call from several threads at once. The core stack already is:
+/// key generation, blockmap updates and RF/RB bookkeeping are all
+/// internally synchronized.
+pub trait FlushSink: Sync {
     /// Persist `page`. Implementations obtain a fresh object key for cloud
     /// dbspaces, update the blockmap, and record RF/RB bitmap entries.
     fn flush(&self, key: FrameKey, page: &Page, txn: TxnId, cause: FlushCause) -> IqResult<()>;
@@ -68,6 +74,9 @@ struct Inner {
     frames: LruCache<FrameKey, Frame>,
     used_bytes: usize,
     dirty_by_txn: HashMap<TxnId, HashSet<FrameKey>>,
+    /// Keys with a load in flight; concurrent readers wait instead of
+    /// running the loader a second time.
+    loading: HashSet<FrameKey>,
 }
 
 /// Counters exposed for tests and the benchmark harness.
@@ -85,6 +94,12 @@ pub struct BufferStats {
     pub dirty_evictions: AtomicU64,
     /// Dirty frames flushed at commit.
     pub commit_flushes: AtomicU64,
+    /// Peak number of commit flushes in flight at once (across all
+    /// [`BufferManager::flush_txn_parallel`] calls since the last reset).
+    pub flush_in_flight_peak: AtomicU64,
+    /// Wall-clock nanoseconds spent inside commit-flush fan-outs.
+    /// Diagnostic only — reported results use virtual time.
+    pub flush_wall_nanos: AtomicU64,
 }
 
 impl BufferStats {
@@ -96,6 +111,8 @@ impl BufferStats {
         self.evictions.store(0, Ordering::Relaxed);
         self.dirty_evictions.store(0, Ordering::Relaxed);
         self.commit_flushes.store(0, Ordering::Relaxed);
+        self.flush_in_flight_peak.store(0, Ordering::Relaxed);
+        self.flush_wall_nanos.store(0, Ordering::Relaxed);
     }
 
     /// Fraction of loads that were demand misses (serial latency).
@@ -114,6 +131,8 @@ impl BufferStats {
 pub struct BufferManager {
     capacity_bytes: usize,
     inner: Mutex<Inner>,
+    /// Signalled whenever an in-flight load finishes (see `Inner::loading`).
+    load_done: Condvar,
     /// Live counters.
     pub stats: BufferStats,
 }
@@ -125,6 +144,7 @@ impl BufferManager {
         Self {
             capacity_bytes,
             inner: Mutex::new(Inner::default()),
+            load_done: Condvar::new(),
             stats: BufferStats::default(),
         }
     }
@@ -167,16 +187,41 @@ impl BufferManager {
         sink: &dyn FlushSink,
         loader: impl FnOnce() -> IqResult<Page>,
     ) -> IqResult<Page> {
-        if let Some(page) = self.get(key) {
-            return Ok(page);
+        // Single-flight: concurrent readers of the same frame (e.g. a
+        // morsel worker demand-reading a group whose prefetch another
+        // worker claimed moments earlier) must not run `loader` twice.
+        // A duplicate load would double-charge the I/O meters and make
+        // the demand/prefetch split depend on thread timing.
+        {
+            let mut inner = self.inner.lock();
+            loop {
+                if let Some(frame) = inner.frames.get(&key) {
+                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(frame.page.clone());
+                }
+                if inner.loading.insert(key) {
+                    break;
+                }
+                self.load_done.wait(&mut inner);
+            }
         }
-        let page = loader()?;
+        let page = match loader() {
+            Ok(page) => page,
+            Err(e) => {
+                self.inner.lock().loading.remove(&key);
+                self.load_done.notify_all();
+                return Err(e);
+            }
+        };
         if demand {
             self.stats.demand_misses.fetch_add(1, Ordering::Relaxed);
         } else {
             self.stats.prefetched.fetch_add(1, Ordering::Relaxed);
         }
-        self.insert_clean(key, page.clone(), sink)?;
+        let inserted = self.insert_clean(key, page.clone(), sink);
+        self.inner.lock().loading.remove(&key);
+        self.load_done.notify_all();
+        inserted?;
         Ok(page)
     }
 
@@ -255,28 +300,95 @@ impl BufferManager {
     /// Flush every dirty page of `txn` (commit path). Pages stay cached,
     /// now clean. "Before a transaction commits, all associated dirty
     /// pages are flushed to permanent storage" (§3.1).
+    ///
+    /// Serial flush order; see [`flush_txn_parallel`] for the fan-out
+    /// variant the commit path uses.
+    ///
+    /// [`flush_txn_parallel`]: BufferManager::flush_txn_parallel
     pub fn flush_txn(&self, txn: TxnId, sink: &dyn FlushSink) -> IqResult<()> {
-        let mut inner = self.inner.lock();
-        let keys: Vec<FrameKey> = inner
-            .dirty_by_txn
-            .remove(&txn)
-            .map(|s| {
-                let mut v: Vec<_> = s.into_iter().collect();
-                v.sort(); // deterministic flush order
-                v
-            })
-            .unwrap_or_default();
-        for key in keys {
-            let Some(frame) = inner.frames.get_mut(&key) else {
-                continue;
-            };
-            if frame.dirty != Some(txn) {
-                continue;
+        self.flush_txn_parallel(txn, sink, 1)
+    }
+
+    /// Flush every dirty page of `txn`, fanning the sink writes across
+    /// `workers` threads.
+    ///
+    /// The buffer lock is held only to claim the dirty set — frames are
+    /// marked clean and their pages snapshotted under the lock, then the
+    /// lock is released and the object-store uploads proceed in parallel.
+    /// This fixes the serial design's worst property: the whole cache was
+    /// locked across every upload of the commit.
+    ///
+    /// Correctness under the never-write-twice policy: each page is flushed
+    /// exactly once (claiming the dirty set is atomic), in a deterministic
+    /// key-sorted task order, and the set of object keys written is the
+    /// same as a serial flush. On a mid-flush sink error the lowest-keyed
+    /// error is returned — as in a serial run — and every page whose flush
+    /// did not complete is re-marked dirty and re-tracked under `txn`, so
+    /// the caller's rollback can discard it; no flush is silently dropped.
+    pub fn flush_txn_parallel(
+        &self,
+        txn: TxnId,
+        sink: &dyn FlushSink,
+        workers: usize,
+    ) -> IqResult<()> {
+        // Phase 1 (short lock): claim the dirty set, mark frames clean and
+        // snapshot their pages in deterministic key order.
+        let batch: Vec<(FrameKey, Page)> = {
+            let mut inner = self.inner.lock();
+            let mut keys: Vec<FrameKey> = inner
+                .dirty_by_txn
+                .remove(&txn)
+                .map(|s| s.into_iter().collect())
+                .unwrap_or_default();
+            keys.sort(); // deterministic flush order
+            keys.into_iter()
+                .filter_map(|key| {
+                    let frame = inner.frames.get_mut(&key)?;
+                    if frame.dirty != Some(txn) {
+                        return None;
+                    }
+                    frame.dirty = None;
+                    Some((key, frame.page.clone()))
+                })
+                .collect()
+        };
+
+        // Phase 2 (no lock): fan the uploads across the pool.
+        let started = std::time::Instant::now();
+        let done: Vec<AtomicU64> = (0..batch.len()).map(|_| AtomicU64::new(0)).collect();
+        let (result, run) =
+            WorkerPool::new(workers).run_ordered_with_stats(batch.len(), |i| -> IqResult<()> {
+                let (key, page) = &batch[i];
+                sink.flush(*key, page, txn, FlushCause::Commit)?;
+                done[i].store(1, Ordering::Release);
+                self.stats.commit_flushes.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            });
+        self.stats
+            .flush_in_flight_peak
+            .fetch_max(run.in_flight_peak as u64, Ordering::Relaxed);
+        self.stats
+            .flush_wall_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        if let Err(e) = result {
+            // Phase 3 (error path, short lock): everything not confirmed
+            // flushed goes back to being dirty under `txn`, so the caller's
+            // rollback discards it instead of leaking a clean-but-
+            // unpersisted frame.
+            let mut inner = self.inner.lock();
+            for (i, (key, _)) in batch.iter().enumerate() {
+                if done[i].load(Ordering::Acquire) != 0 {
+                    continue;
+                }
+                if let Some(frame) = inner.frames.get_mut(key) {
+                    if frame.dirty.is_none() {
+                        frame.dirty = Some(txn);
+                        inner.dirty_by_txn.entry(txn).or_default().insert(*key);
+                    }
+                }
             }
-            let page = frame.page.clone();
-            frame.dirty = None;
-            sink.flush(key, &page, txn, FlushCause::Commit)?;
-            self.stats.commit_flushes.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
         }
         Ok(())
     }
@@ -284,12 +396,20 @@ impl BufferManager {
     /// Discard (without flushing) every dirty page of a rolled-back
     /// transaction; its writes must never reach storage from here.
     pub fn discard_txn(&self, txn: TxnId) {
+        // Claim the dirty set under a short lock, do the sorting/bookkeeping
+        // outside it, then re-lock to drop the frames. Readers of other
+        // transactions are never blocked behind the full sweep.
+        let keys: Vec<FrameKey> = {
+            let mut inner = self.inner.lock();
+            inner
+                .dirty_by_txn
+                .remove(&txn)
+                .map(|s| s.into_iter().collect())
+                .unwrap_or_default()
+        };
+        let mut keys = keys;
+        keys.sort(); // deterministic removal order
         let mut inner = self.inner.lock();
-        let keys: Vec<FrameKey> = inner
-            .dirty_by_txn
-            .remove(&txn)
-            .map(|s| s.into_iter().collect())
-            .unwrap_or_default();
         for key in keys {
             if let Some(frame) = inner.frames.peek(&key) {
                 if frame.dirty == Some(txn) {
@@ -484,6 +604,143 @@ mod tests {
             .unwrap();
         assert_eq!(bm.dirty_count(TxnId(2)), 0);
         assert_eq!(bm.dirty_count(TxnId(3)), 1);
+    }
+
+    /// Sink that records flushes and rendezvouses pairs of concurrent
+    /// callers, proving the fan-out genuinely overlaps.
+    struct PairingSink {
+        flushed: PMutex<Vec<(FrameKey, TxnId, FlushCause)>>,
+        gate: std::sync::Barrier,
+    }
+
+    impl FlushSink for PairingSink {
+        fn flush(
+            &self,
+            key: FrameKey,
+            _page: &Page,
+            txn: TxnId,
+            cause: FlushCause,
+        ) -> IqResult<()> {
+            self.gate.wait();
+            self.flushed.lock().push((key, txn, cause));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn parallel_flush_matches_serial_under_concurrent_readers() {
+        let n_pages = 8u64;
+        let txn = TxnId(1);
+
+        // Reference: serial flush.
+        let serial_bm = BufferManager::new(1 << 20);
+        let serial_sink = RecordingSink::default();
+        for p in 0..n_pages {
+            serial_bm
+                .put_dirty(key(1, p), page(p, 100), txn, &serial_sink)
+                .unwrap();
+        }
+        serial_bm.flush_txn(txn, &serial_sink).unwrap();
+        let serial_flushed = serial_sink.flushed.into_inner();
+
+        // Parallel flush with readers hammering the cache throughout.
+        let bm = BufferManager::new(1 << 20);
+        let sink = PairingSink {
+            flushed: PMutex::new(Vec::new()),
+            gate: std::sync::Barrier::new(2),
+        };
+        for p in 0..n_pages {
+            bm.put_dirty(key(1, p), page(p, 100), txn, &sink).unwrap();
+        }
+        std::thread::scope(|scope| {
+            let bm = &bm;
+            for _ in 0..3 {
+                scope.spawn(move || {
+                    for round in 0..200u64 {
+                        let p = round % n_pages;
+                        if let Some(got) = bm.get(key(1, p)) {
+                            // A frame visible mid-flush always carries the
+                            // committed content.
+                            assert_eq!(got.body[0], p as u8);
+                        }
+                    }
+                });
+            }
+            scope.spawn(|| bm.flush_txn_parallel(txn, &sink, 4).unwrap());
+        });
+
+        // Same flushes as serial: same key set, all Commit, each exactly
+        // once (never-write-twice holds under the fan-out).
+        let mut parallel_flushed = sink.flushed.into_inner();
+        parallel_flushed.sort();
+        let mut expected = serial_flushed.clone();
+        expected.sort();
+        assert_eq!(parallel_flushed, expected);
+        assert_eq!(bm.dirty_count(txn), 0);
+        for p in 0..n_pages {
+            assert!(bm.get(key(1, p)).is_some(), "pages stay cached, clean");
+        }
+        // The pairing barrier guarantees at least two uploads overlapped.
+        assert!(bm.stats.flush_in_flight_peak.load(Ordering::Relaxed) >= 2);
+        assert!(bm.stats.flush_wall_nanos.load(Ordering::Relaxed) > 0);
+    }
+
+    /// Sink that fails every third flush.
+    #[derive(Default)]
+    struct FlakySink {
+        flushed: PMutex<Vec<FrameKey>>,
+        calls: AtomicU64,
+    }
+
+    impl FlushSink for FlakySink {
+        fn flush(
+            &self,
+            key: FrameKey,
+            _page: &Page,
+            _txn: TxnId,
+            _cause: FlushCause,
+        ) -> IqResult<()> {
+            if self.calls.fetch_add(1, Ordering::Relaxed) % 3 == 2 {
+                return Err(iq_common::IqError::Io("sink failed".into()));
+            }
+            self.flushed.lock().push(key);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn mid_flush_error_never_drops_a_flush() {
+        let n_pages = 32u64;
+        let txn = TxnId(9);
+        for workers in [1usize, 4] {
+            let bm = BufferManager::new(1 << 20);
+            let sink = FlakySink::default();
+            for p in 0..n_pages {
+                bm.put_dirty(key(1, p), page(p, 64), txn, &sink).unwrap();
+            }
+            let err = bm.flush_txn_parallel(txn, &sink, workers).unwrap_err();
+            assert!(matches!(err, iq_common::IqError::Io(_)));
+            // Accounting closes: every page either reached the sink or is
+            // still tracked dirty under the transaction — none leaked into
+            // a clean-but-unpersisted state.
+            let flushed = sink.flushed.into_inner();
+            assert_eq!(
+                flushed.len() + bm.dirty_count(txn),
+                n_pages as usize,
+                "workers={workers}"
+            );
+            // Rollback can now discard exactly the unflushed remainder.
+            bm.discard_txn(txn);
+            assert_eq!(bm.dirty_count(txn), 0);
+            for p in 0..n_pages {
+                let k = key(1, p);
+                assert_eq!(
+                    bm.contains(k),
+                    flushed.contains(&k),
+                    "page {p}: flushed pages stay cached clean, failed ones are discarded"
+                );
+            }
+        }
     }
 
     #[test]

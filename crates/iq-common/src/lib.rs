@@ -19,11 +19,14 @@
 //!   bitmaps).
 //! * [`rng`] — small deterministic RNG helpers so every simulation is
 //!   reproducible from a seed.
+//! * [`pool`] — the shared scoped [`WorkerPool`] behind morsel-parallel
+//!   scans and the parallel commit-flush fan-out.
 
 pub mod bitmap;
 pub mod clock;
 pub mod error;
 pub mod ids;
+pub mod pool;
 pub mod rng;
 
 pub use bitmap::{Bitmap, KeySet};
@@ -32,6 +35,7 @@ pub use error::{IqError, IqResult};
 pub use ids::{
     BlockNum, DbSpaceId, NodeId, ObjectKey, PageId, PhysicalLocator, TableId, TxnId, VersionId,
 };
+pub use pool::{PoolRunStats, WorkerPool};
 pub use rng::DetRng;
 
 /// Number of bytes in a kibibyte.

@@ -33,6 +33,10 @@ pub struct DatabaseConfig {
     /// Stands in for the paper's "pages are handed to the OCM in encrypted
     /// form" (§4).
     pub encryption_key: Option<u64>,
+    /// Worker threads for morsel-parallel scans and the commit-flush
+    /// fan-out. The benchmark harness sets this from the compute profile's
+    /// core count; 1 means fully serial.
+    pub scan_workers: usize,
 }
 
 impl Default for DatabaseConfig {
@@ -51,6 +55,7 @@ impl Default for DatabaseConfig {
             blockmap_fanout: 128,
             system_bytes: 64 * MIB,
             encryption_key: None,
+            scan_workers: 1,
         }
     }
 }

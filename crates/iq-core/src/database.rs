@@ -456,9 +456,14 @@ impl Database {
                 let _ = self.rollback_inner(txn, true);
             })?;
         }
-        self.shared.buffer.flush_txn(txn, &pager).inspect_err(|_| {
-            let _ = self.rollback_inner(txn, true);
-        })?;
+        // Fan the per-page uploads across the worker pool; the buffer lock
+        // is no longer held across object-store writes.
+        self.shared
+            .buffer
+            .flush_txn_parallel(txn, &pager, self.shared.config.scan_workers.max(1))
+            .inspect_err(|_| {
+                let _ = self.rollback_inner(txn, true);
+            })?;
 
         // Blockmap cascade + identity installation per written table.
         let version = self.shared.catalog.lock().bump_version();

@@ -100,6 +100,10 @@ impl PageStore for Pager {
         }
         Ok(())
     }
+
+    fn scan_parallelism(&self) -> usize {
+        self.shared.config.scan_workers.max(1)
+    }
 }
 
 impl FlushSink for Pager {

@@ -149,4 +149,9 @@ impl PageStore for SnapshotView {
         // to the OCM/object store without a pipeline.
         Ok(())
     }
+
+    fn scan_parallelism(&self) -> usize {
+        // Time-travel scans share the session's worker budget.
+        self.shared.config.scan_workers.max(1)
+    }
 }

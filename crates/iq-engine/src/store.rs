@@ -34,6 +34,14 @@ pub trait PageStore: Send + Sync {
     /// fetches ("prefetching techniques have been specifically tuned",
     /// §1).
     fn prefetch(&self, table: TableId, pages: &[PageId]) -> IqResult<()>;
+
+    /// Degree of morsel parallelism scans through this store should use.
+    /// Stores that know the session's compute profile override this (the
+    /// core stack threads `DatabaseConfig::scan_workers` through here);
+    /// the default is a serial scan.
+    fn scan_parallelism(&self) -> usize {
+        1
+    }
 }
 
 /// In-memory page store for engine unit tests.

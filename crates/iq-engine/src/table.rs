@@ -8,9 +8,10 @@
 //! the schema declarations in `iq-tpch` mirror that setup.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use bytes::Bytes;
-use iq_common::{IqError, IqResult, PageId, TableId, TxnId};
+use iq_common::{IqError, IqResult, PageId, TableId, TxnId, WorkerPool};
 use iq_storage::PageKind;
 use serde::{Deserialize, Serialize};
 
@@ -183,12 +184,34 @@ impl TableMeta {
 
     /// Scan: read `projection` columns for rows passing `pred`, consulting
     /// zone maps to skip groups and prefetching ahead of the read point.
+    ///
+    /// The degree of morsel parallelism comes from the store (see
+    /// [`PageStore::scan_parallelism`]); output is identical to a serial
+    /// scan regardless of worker count.
     pub fn scan(
         &self,
         store: &dyn PageStore,
         projection: &[usize],
         pred: Option<&Expr>,
         meter: &WorkMeter,
+    ) -> IqResult<Chunk> {
+        self.scan_with_workers(store, projection, pred, meter, store.scan_parallelism())
+    }
+
+    /// [`scan`](TableMeta::scan) with an explicit morsel-parallelism degree.
+    ///
+    /// Each surviving row group is one morsel: a worker claims it, issues
+    /// its share of the prefetch window, demand-reads and decodes the
+    /// group's pages, filters and projects. Per-group result chunks are
+    /// stitched back in group order, so the output is byte-identical to a
+    /// `workers == 1` run.
+    pub fn scan_with_workers(
+        &self,
+        store: &dyn PageStore,
+        projection: &[usize],
+        pred: Option<&Expr>,
+        meter: &WorkMeter,
+        workers: usize,
     ) -> IqResult<Chunk> {
         // Columns needed: projection plus predicate inputs.
         let mut needed: Vec<usize> = projection.to_vec();
@@ -215,36 +238,62 @@ impl TableMeta {
             })
             .collect();
 
-        let mut out = Chunk::default();
-        for (i, &g) in survivors.iter().enumerate() {
-            // Prefetch the next groups' pages while we work on this one.
-            let upcoming: Vec<PageId> = survivors[i + 1..]
-                .iter()
-                .take(PREFETCH_DEPTH)
-                .flat_map(|&ng| needed.iter().map(move |&c| self.page_id(ng, c)))
-                .collect();
-            if !upcoming.is_empty() {
-                store.prefetch(self.id, &upcoming)?;
-            }
-            let chunk = self.read_group(store, g, &needed, meter)?;
-            meter.add(cost::FILTER * chunk.len() as u64);
-            let filtered = match pred {
-                Some(p) => {
-                    // Predicate sees the full needed-column chunk indexed
-                    // by original column ids via a remap.
-                    let remap: BTreeMap<usize, usize> =
-                        needed.iter().enumerate().map(|(i, &c)| (c, i)).collect();
-                    let mask = p.eval_mask(&chunk, &remap)?;
-                    chunk.filter(&mask)
+        // Predicate evaluation sees the full needed-column chunk indexed by
+        // original column ids via a remap; projection maps back down to the
+        // requested columns. Both are loop-invariant.
+        let remap: BTreeMap<usize, usize> =
+            needed.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let proj_idx: Vec<usize> = projection
+            .iter()
+            .map(|c| needed.binary_search(c).expect("projected column was read"))
+            .collect();
+
+        // Monotone prefetch cursor: morsel `i` wants groups `i+1 ..
+        // i+1+DEPTH` in flight, but overlapping windows must not re-issue
+        // the same pages. `fetch_max` hands each task the not-yet-issued
+        // tail of its window (disjoint ranges), so every surviving group is
+        // prefetch-issued exactly once — serial or parallel. Group 0 is
+        // demand-read, never prefetched, as before.
+        let prefetch_cursor = AtomicUsize::new(1);
+
+        let chunks =
+            WorkerPool::new(workers).run_ordered(survivors.len(), |i| -> IqResult<Chunk> {
+                let window_end = (i + 1 + PREFETCH_DEPTH).min(survivors.len());
+                let issued = prefetch_cursor.fetch_max(window_end, Ordering::Relaxed);
+                if issued < window_end {
+                    let upcoming: Vec<PageId> = survivors[issued..window_end]
+                        .iter()
+                        .flat_map(|&ng| needed.iter().map(move |&c| self.page_id(ng, c)))
+                        .collect();
+                    store.prefetch(self.id, &upcoming)?;
                 }
-                None => chunk,
-            };
-            // Project down to the requested columns.
-            let proj_idx: Vec<usize> = projection
-                .iter()
-                .map(|c| needed.binary_search(c).expect("projected column was read"))
-                .collect();
-            out.append(&filtered.project(&proj_idx))?;
+                if i > 0 {
+                    // The worker that claimed this group's prefetch may not
+                    // have loaded it yet; loading it here (as a prefetch,
+                    // no-op when already cached) keeps the metered
+                    // demand/prefetch split identical to the serial scan
+                    // instead of depending on which worker wins the race.
+                    let own: Vec<PageId> = needed
+                        .iter()
+                        .map(|&c| self.page_id(survivors[i], c))
+                        .collect();
+                    store.prefetch(self.id, &own)?;
+                }
+                let chunk = self.read_group(store, survivors[i], &needed, meter)?;
+                meter.add(cost::FILTER * chunk.len() as u64);
+                let filtered = match pred {
+                    Some(p) => {
+                        let mask = p.eval_mask(&chunk, &remap)?;
+                        chunk.filter(&mask)
+                    }
+                    None => chunk,
+                };
+                Ok(filtered.project(&proj_idx))
+            })?;
+
+        let mut out = Chunk::default();
+        for chunk in &chunks {
+            out.append(chunk)?;
         }
         // An empty result still carries the projected arity.
         if out.cols.is_empty() {

@@ -22,7 +22,11 @@ pub struct RetryPolicy {
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        Self { max_attempts: 32 }
+        // Must exceed `ConsistencyConfig::default().max_visibility_ops`
+        // (64): in the simulation each GET attempt advances the operation
+        // clock by one, so the budget is what guarantees a bounded
+        // visibility window always resolves before the budget runs out.
+        Self { max_attempts: 96 }
     }
 }
 

@@ -1,0 +1,588 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor-based streaming data model, this stub
+//! round-trips every value through a single owned [`Content`] tree
+//! (think `serde_json::Value`, but serializer-agnostic). The public
+//! trait names and signatures mirror real serde closely enough that the
+//! workspace's `#[derive(Serialize, Deserialize)]` sites and the few
+//! hand-written impls compile unchanged:
+//!
+//! - `Serialize::serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error>`
+//! - `Deserialize::deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error>`
+//!
+//! A `Serializer` here is anything that can consume a finished
+//! [`Content`]; a `Deserializer` is anything that can produce one.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The reduced serde data model: everything serializable lowers to this.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Unit / None.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX` or the
+    /// source type is unsigned).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (vectors, tuples, sets).
+    Seq(Vec<Content>),
+    /// Ordered key/value map (structs, maps, enum payload wrappers).
+    Map(Vec<(Content, Content)>),
+}
+
+/// Error type used by the built-in content serializer/deserializer.
+#[derive(Debug, Clone)]
+pub struct Fail(pub String);
+
+impl fmt::Display for Fail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Fail {}
+
+/// Serialization-side error plumbing.
+pub mod ser {
+    /// Constructible error, mirroring `serde::ser::Error`.
+    pub trait Error: Sized {
+        /// Build an error from any displayable message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for super::Fail {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            super::Fail(msg.to_string())
+        }
+    }
+}
+
+/// Deserialization-side error plumbing.
+pub mod de {
+    /// Constructible error, mirroring `serde::de::Error`.
+    pub trait Error: Sized {
+        /// Build an error from any displayable message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for super::Fail {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            super::Fail(msg.to_string())
+        }
+    }
+}
+
+/// A sink for one finished [`Content`] tree.
+pub trait Serializer: Sized {
+    /// Success value.
+    type Ok;
+    /// Error value.
+    type Error: ser::Error;
+
+    /// Consume the content tree.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A source of one [`Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error value.
+    type Error: de::Error;
+
+    /// Produce the content tree.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value that can lower itself into any [`Serializer`].
+pub trait Serialize {
+    /// Serialize `self`.
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer;
+}
+
+/// A value that can rebuild itself from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize a value.
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+/// Owned deserialization (mirrors `serde::de::DeserializeOwned`).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+// ---------------------------------------------------------------------------
+// Content <-> value plumbing used by derives and format crates.
+// ---------------------------------------------------------------------------
+
+struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = Fail;
+    fn serialize_content(self, content: Content) -> Result<Content, Fail> {
+        Ok(content)
+    }
+}
+
+struct ContentDeserializer(Content);
+
+impl<'de> Deserializer<'de> for ContentDeserializer {
+    type Error = Fail;
+    fn deserialize_content(self) -> Result<Content, Fail> {
+        Ok(self.0)
+    }
+}
+
+/// Lower any serializable value to a [`Content`] tree.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, Fail> {
+    value.serialize(ContentSerializer)
+}
+
+/// Rebuild a value from a [`Content`] tree.
+pub fn from_content<T: DeserializeOwned>(content: Content) -> Result<T, Fail> {
+    T::deserialize(ContentDeserializer(content))
+}
+
+/// Remove the named field from a struct's content map and decode it.
+/// Used by derived `Deserialize` impls.
+pub fn take_field<T: DeserializeOwned>(
+    map: &mut Vec<(Content, Content)>,
+    name: &str,
+) -> Result<T, Fail> {
+    let idx = map
+        .iter()
+        .position(|(k, _)| matches!(k, Content::Str(s) if s == name));
+    match idx {
+        Some(i) => from_content(map.swap_remove(i).1),
+        None => Err(Fail(format!("missing field `{name}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! forward_content {
+    ($ty:ty, $self_:ident => $content:expr) => {
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&$self_, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content($content)
+            }
+        }
+    };
+}
+
+forward_content!(bool, self => Content::Bool(*self));
+forward_content!(i8, self => Content::I64(i64::from(*self)));
+forward_content!(i16, self => Content::I64(i64::from(*self)));
+forward_content!(i32, self => Content::I64(i64::from(*self)));
+forward_content!(i64, self => Content::I64(*self));
+forward_content!(isize, self => Content::I64(*self as i64));
+forward_content!(u8, self => Content::U64(u64::from(*self)));
+forward_content!(u16, self => Content::U64(u64::from(*self)));
+forward_content!(u32, self => Content::U64(u64::from(*self)));
+forward_content!(u64, self => Content::U64(*self));
+forward_content!(usize, self => Content::U64(*self as u64));
+forward_content!(f32, self => Content::F64(f64::from(*self)));
+forward_content!(f64, self => Content::F64(*self));
+forward_content!(char, self => Content::Str(self.to_string()));
+forward_content!(str, self => Content::Str(self.to_string()));
+forward_content!(String, self => Content::Str(self.clone()));
+forward_content!((), self => Content::Null);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+fn seq_content<'a, T: Serialize + 'a, E: ser::Error>(
+    items: impl Iterator<Item = &'a T>,
+) -> Result<Content, E> {
+    let mut out = Vec::new();
+    for item in items {
+        out.push(to_content(item).map_err(E::custom)?);
+    }
+    Ok(Content::Seq(out))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(seq_content::<T, S::Error>(self.iter())?)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(seq_content::<T, S::Error>(self.iter())?)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(seq_content::<T, S::Error>(self.iter())?)
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(seq_content::<T, S::Error>(self.iter())?)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(seq_content::<T, S::Error>(self.iter())?)
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(seq_content::<T, S::Error>(self.iter())?)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_content(Content::Null),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+fn map_content<'a, K: Serialize + 'a, V: Serialize + 'a, E: ser::Error>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Result<Content, E> {
+    let mut out = Vec::new();
+    for (k, v) in entries {
+        out.push((
+            to_content(k).map_err(E::custom)?,
+            to_content(v).map_err(E::custom)?,
+        ));
+    }
+    Ok(Content::Map(out))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(map_content::<K, V, S::Error>(self.iter())?)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(map_content::<K, V, S::Error>(self.iter())?)
+    }
+}
+
+macro_rules! tuple_serialize {
+    ($(($($name:ident $idx:tt),+))+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(to_content(&self.$idx).map_err(<S::Error as ser::Error>::custom)?),+
+                ];
+                serializer.serialize_content(Content::Seq(items))
+            }
+        }
+    )+};
+}
+
+tuple_serialize! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! int_deserialize {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let err = |c: &Content| {
+                    <D::Error as de::Error>::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {:?}"), c
+                    ))
+                };
+                match d.deserialize_content()? {
+                    Content::I64(v) => <$t>::try_from(v).map_err(|_| {
+                        <D::Error as de::Error>::custom("integer out of range")
+                    }),
+                    Content::U64(v) => <$t>::try_from(v).map_err(|_| {
+                        <D::Error as de::Error>::custom("integer out of range")
+                    }),
+                    // Map keys round-tripped through JSON arrive as strings.
+                    Content::Str(s) => s.parse::<$t>().map_err(|_| {
+                        <D::Error as de::Error>::custom("unparseable integer string")
+                    }),
+                    other => Err(err(&other)),
+                }
+            }
+        }
+    )*};
+}
+int_deserialize!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::F64(v) => Ok(v),
+            Content::I64(v) => Ok(v as f64),
+            Content::U64(v) => Ok(v as f64),
+            Content::Str(s) => s
+                .parse::<f64>()
+                .map_err(|_| <D::Error as de::Error>::custom("unparseable float string")),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected f64, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Bool(b) => Ok(b),
+            Content::Str(s) if s == "true" => Ok(true),
+            Content::Str(s) if s == "false" => Ok(false),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected bool, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(<D::Error as de::Error>::custom("expected single char")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Null => Ok(()),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected null, got {other:?}"
+            ))),
+        }
+    }
+}
+
+fn content_seq<E: de::Error>(c: Content, what: &str) -> Result<Vec<Content>, E> {
+    match c {
+        Content::Seq(items) => Ok(items),
+        other => Err(E::custom(format!("expected {what}, got {other:?}"))),
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        content_seq::<D::Error>(d.deserialize_content()?, "sequence")?
+            .into_iter()
+            .map(|c| from_content(c).map_err(<D::Error as de::Error>::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(VecDeque::from)
+    }
+}
+
+impl<'de, T: DeserializeOwned + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T: DeserializeOwned + Eq + Hash> Deserialize<'de> for HashSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = Vec::<T>::deserialize(d)?;
+        <[T; N]>::try_from(v).map_err(|_| <D::Error as de::Error>::custom("wrong array length"))
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Null => Ok(None),
+            other => from_content(other)
+                .map(Some)
+                .map_err(<D::Error as de::Error>::custom),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Arc<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Arc::new)
+    }
+}
+
+fn content_map<E: de::Error>(c: Content) -> Result<Vec<(Content, Content)>, E> {
+    match c {
+        Content::Map(entries) => Ok(entries),
+        other => Err(E::custom(format!("expected map, got {other:?}"))),
+    }
+}
+
+impl<'de, K: DeserializeOwned + Ord, V: DeserializeOwned> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        content_map::<D::Error>(d.deserialize_content()?)?
+            .into_iter()
+            .map(|(k, v)| {
+                Ok((
+                    from_content(k).map_err(<D::Error as de::Error>::custom)?,
+                    from_content(v).map_err(<D::Error as de::Error>::custom)?,
+                ))
+            })
+            .collect()
+    }
+}
+
+impl<'de, K: DeserializeOwned + Eq + Hash, V: DeserializeOwned> Deserialize<'de> for HashMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        content_map::<D::Error>(d.deserialize_content()?)?
+            .into_iter()
+            .map(|(k, v)| {
+                Ok((
+                    from_content(k).map_err(<D::Error as de::Error>::custom)?,
+                    from_content(v).map_err(<D::Error as de::Error>::custom)?,
+                ))
+            })
+            .collect()
+    }
+}
+
+macro_rules! tuple_deserialize {
+    ($(($len:expr; $($name:ident),+))+) => {$(
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let items = content_seq::<D::Error>(d.deserialize_content()?, "tuple")?;
+                if items.len() != $len {
+                    return Err(<D::Error as de::Error>::custom(format!(
+                        "expected tuple of {}, got {}", $len, items.len()
+                    )));
+                }
+                let mut it = items.into_iter();
+                Ok(($(
+                    from_content::<$name>(it.next().expect("len checked"))
+                        .map_err(<D::Error as de::Error>::custom)?,
+                )+))
+            }
+        }
+    )+};
+}
+
+tuple_deserialize! {
+    (2; T0, T1)
+    (3; T0, T1, T2)
+    (4; T0, T1, T2, T3)
+    (5; T0, T1, T2, T3, T4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let c = to_content(&42u64).unwrap();
+        assert_eq!(from_content::<u64>(c).unwrap(), 42);
+        let c = to_content(&-7i64).unwrap();
+        assert_eq!(from_content::<i64>(c).unwrap(), -7);
+        let c = to_content(&"hi".to_string()).unwrap();
+        assert_eq!(from_content::<String>(c).unwrap(), "hi");
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![(1u32, true), (2, false)];
+        let c = to_content(&v).unwrap();
+        assert_eq!(from_content::<Vec<(u32, bool)>>(c).unwrap(), v);
+
+        let mut m = BTreeMap::new();
+        m.insert(5u64, vec![1i64, 2, 3]);
+        let c = to_content(&m).unwrap();
+        assert_eq!(from_content::<BTreeMap<u64, Vec<i64>>>(c).unwrap(), m);
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(
+            from_content::<Option<u8>>(to_content(&Some(3u8)).unwrap()).unwrap(),
+            Some(3)
+        );
+        assert_eq!(
+            from_content::<Option<u8>>(to_content(&None::<u8>).unwrap()).unwrap(),
+            None
+        );
+    }
+}

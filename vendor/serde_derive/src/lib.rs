@@ -1,0 +1,425 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the vendored
+//! `serde` stub's reduced [`Content`] data model. Supports exactly what
+//! this workspace uses: non-generic structs (named, tuple/newtype,
+//! unit) and enums (unit, named-field, and tuple variants, with
+//! optional explicit discriminants). `#[serde(...)]` attributes are not
+//! supported — the workspace does not use any.
+//!
+//! The input item is parsed directly from the `proc_macro` token stream
+//! (no `syn`/`quote`, which would require network access to fetch).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_serialize(&name, &shape)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_deserialize(&name, &shape)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected type name, got {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive stub does not support generic types (`{name}`); write the impl by hand");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::NamedStruct(parse_field_names(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                (name, Shape::TupleStruct(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Shape::UnitStruct),
+            other => panic!("derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Enum(parse_variants(g.stream())))
+            }
+            other => panic!("derive: unexpected enum body: {other:?}"),
+        },
+        other => panic!("derive: expected struct or enum, got `{other}`"),
+    }
+}
+
+/// Advance past leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                *i += 1; // [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Field names of a named-field body, in declaration order.
+fn parse_field_names(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        names.push(name);
+        skip_to_comma(&tokens, &mut i);
+    }
+    names
+}
+
+/// Skip tokens until the next top-level `,` (tracking `<...>` nesting in
+/// type position), leaving the index just past it.
+fn skip_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Number of fields in a tuple-struct / tuple-variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        fields += 1;
+        skip_to_comma(&tokens, &mut i);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_field_names(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        skip_to_comma(&tokens, &mut i);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const SER_ERR: &str = "<S::Error as ::serde::ser::Error>::custom";
+const DE_ERR: &str = "<D::Error as ::serde::de::Error>::custom";
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => "serializer.serialize_content(::serde::Content::Null)".to_string(),
+        Shape::TupleStruct(1) => format!(
+            "serializer.serialize_content(::serde::to_content(&self.0).map_err({SER_ERR})?)"
+        ),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::to_content(&self.{i}).map_err({SER_ERR})?"))
+                .collect();
+            format!(
+                "serializer.serialize_content(::serde::Content::Seq(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push((::serde::Content::Str(\"{f}\".to_string()), \
+                         ::serde::to_content(&self.{f}).map_err({SER_ERR})?));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __m: Vec<(::serde::Content, ::serde::Content)> = Vec::new();\n{}\n\
+                 serializer.serialize_content(::serde::Content::Map(__m))",
+                pushes.join("\n")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Content::Str(\"{vname}\".to_string()),"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "__fm.push((::serde::Content::Str(\"{f}\".to_string()), \
+                                         ::serde::to_content({f}).map_err({SER_ERR})?));"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => {{\n\
+                                 let mut __fm: Vec<(::serde::Content, ::serde::Content)> = Vec::new();\n\
+                                 {}\n\
+                                 ::serde::Content::Map(vec![(::serde::Content::Str(\"{vname}\".to_string()), ::serde::Content::Map(__fm))])\n\
+                                 }},",
+                                pushes.join("\n")
+                            )
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__x0) => ::serde::Content::Map(vec![(\
+                             ::serde::Content::Str(\"{vname}\".to_string()), \
+                             ::serde::to_content(__x0).map_err({SER_ERR})?)]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::to_content(__x{i}).map_err({SER_ERR})?"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Content::Map(vec![(\
+                                 ::serde::Content::Str(\"{vname}\".to_string()), \
+                                 ::serde::Content::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let __c = match self {{\n{}\n}};\nserializer.serialize_content(__c)",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+         -> ::std::result::Result<S::Ok, S::Error> {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!("let _ = __d.deserialize_content()?;\nOk({name})"),
+        Shape::TupleStruct(1) => format!(
+            "let __c = __d.deserialize_content()?;\n\
+             Ok({name}(::serde::from_content(__c).map_err({DE_ERR})?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let takes: Vec<String> = (0..*n)
+                .map(|_| {
+                    format!(
+                        "::serde::from_content(__it.next().ok_or_else(|| \
+                         {DE_ERR}(\"tuple too short\"))?).map_err({DE_ERR})?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __c = __d.deserialize_content()?;\n\
+                 let __items = match __c {{ ::serde::Content::Seq(v) => v, \
+                 __o => return Err({DE_ERR}(format!(\"expected seq for {name}, got {{__o:?}}\"))) }};\n\
+                 let mut __it = __items.into_iter();\n\
+                 Ok({name}({}))",
+                takes.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let takes: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::take_field(&mut __m, \"{f}\").map_err({DE_ERR})?,"))
+                .collect();
+            format!(
+                "let __c = __d.deserialize_content()?;\n\
+                 let mut __m = match __c {{ ::serde::Content::Map(m) => m, \
+                 __o => return Err({DE_ERR}(format!(\"expected map for {name}, got {{__o:?}}\"))) }};\n\
+                 Ok({name} {{\n{}\n}})",
+                takes.join("\n")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "\"{vname}\" => {{ let _ = __v; Ok({name}::{vname}) }},"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let takes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::take_field(&mut __fm, \"{f}\").map_err({DE_ERR})?,"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                 let mut __fm = match __v {{ ::serde::Content::Map(m) => m, \
+                                 __o => return Err({DE_ERR}(format!(\"expected field map, got {{__o:?}}\"))) }};\n\
+                                 Ok({name}::{vname} {{\n{}\n}})\n}},",
+                                takes.join("\n")
+                            )
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                             ::serde::from_content(__v).map_err({DE_ERR})?)),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let takes: Vec<String> = (0..*n)
+                                .map(|_| {
+                                    format!(
+                                        "::serde::from_content(__it.next().ok_or_else(|| \
+                                         {DE_ERR}(\"variant tuple too short\"))?).map_err({DE_ERR})?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                 let __items = match __v {{ ::serde::Content::Seq(v) => v, \
+                                 __o => return Err({DE_ERR}(format!(\"expected seq payload, got {{__o:?}}\"))) }};\n\
+                                 let mut __it = __items.into_iter();\n\
+                                 Ok({name}::{vname}({}))\n}},",
+                                takes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let __c = __d.deserialize_content()?;\n\
+                 match __c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n{}\n\
+                 __o => Err({DE_ERR}(format!(\"unknown variant `{{__o}}` of {name}\"))),\n}},\n\
+                 ::serde::Content::Map(mut __m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = __m.pop().expect(\"len checked\");\n\
+                 let __k = match __k {{ ::serde::Content::Str(s) => s, \
+                 __o => return Err({DE_ERR}(format!(\"expected variant tag, got {{__o:?}}\"))) }};\n\
+                 match __k.as_str() {{\n{}\n\
+                 __o => Err({DE_ERR}(format!(\"unknown variant `{{__o}}` of {name}\"))),\n}}\n}},\n\
+                 __o => Err({DE_ERR}(format!(\"expected enum content for {name}, got {{__o:?}}\"))),\n}}",
+                unit_arms.join("\n"),
+                payload_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(__d: D) \
+         -> ::std::result::Result<Self, D::Error> {{\n{body}\n}}\n}}"
+    )
+}

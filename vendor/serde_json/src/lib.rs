@@ -1,0 +1,665 @@
+//! Minimal offline stand-in for `serde_json`, built on the vendored
+//! `serde` stub's [`Content`] data model. Emits and parses real JSON
+//! text (RFC 8259 subset: no non-finite floats), so persisted catalog /
+//! freelist / snapshot images are genuinely checksummable byte streams.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{de, ser, Content, Deserialize, DeserializeOwned, Serialize};
+
+/// Errors from serialization, parsing, or type conversion.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// A JSON number (integer or float).
+#[derive(Debug, Clone)]
+pub struct Number(N);
+
+#[derive(Debug, Clone)]
+enum N {
+    I(i64),
+    U(u64),
+    F(f64),
+}
+
+// Like real serde_json: integers compare numerically regardless of
+// signed/unsigned storage, floats only equal floats.
+impl PartialEq for N {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (N::I(a), N::I(b)) => a == b,
+            (N::U(a), N::U(b)) => a == b,
+            (N::I(a), N::U(b)) | (N::U(b), N::I(a)) => u64::try_from(*a).is_ok_and(|a| a == *b),
+            (N::F(a), N::F(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Number {
+    /// As `i64` if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::I(v) => Some(v),
+            N::U(v) => i64::try_from(v).ok(),
+            N::F(_) => None,
+        }
+    }
+
+    /// As `u64` if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::I(v) => u64::try_from(v).ok(),
+            N::U(v) => Some(v),
+            N::F(_) => None,
+        }
+    }
+
+    /// As `f64` (always representable, possibly lossy).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            N::I(v) => Some(v as f64),
+            N::U(v) => Some(v as f64),
+            N::F(v) => Some(v),
+        }
+    }
+}
+
+impl From<i64> for Number {
+    fn from(v: i64) -> Self {
+        // Store non-negative values unsigned so construction and parsing
+        // (which reads non-negative integers u64-first) agree exactly.
+        match u64::try_from(v) {
+            Ok(u) => Number(N::U(u)),
+            Err(_) => Number(N::I(v)),
+        }
+    }
+}
+
+impl From<u64> for Number {
+    fn from(v: u64) -> Self {
+        Number(N::U(v))
+    }
+}
+
+impl From<f64> for Number {
+    fn from(v: f64) -> Self {
+        Number(N::F(v))
+    }
+}
+
+/// An owned JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (sorted keys).
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// As `&str` if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As `u64` if this is an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// As `i64` if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// As `f64` if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+}
+
+fn value_to_content(v: Value) -> Content {
+    match v {
+        Value::Null => Content::Null,
+        Value::Bool(b) => Content::Bool(b),
+        Value::Number(Number(N::I(i))) => Content::I64(i),
+        Value::Number(Number(N::U(u))) => Content::U64(u),
+        Value::Number(Number(N::F(f))) => Content::F64(f),
+        Value::String(s) => Content::Str(s),
+        Value::Array(items) => Content::Seq(items.into_iter().map(value_to_content).collect()),
+        Value::Object(map) => Content::Map(
+            map.into_iter()
+                .map(|(k, v)| (Content::Str(k), value_to_content(v)))
+                .collect(),
+        ),
+    }
+}
+
+fn content_to_value(c: Content) -> Result<Value, Error> {
+    Ok(match c {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(b),
+        Content::I64(i) => Value::Number(Number::from(i)),
+        Content::U64(u) => Value::Number(Number(N::U(u))),
+        Content::F64(f) => Value::Number(Number(N::F(f))),
+        Content::Str(s) => Value::String(s),
+        Content::Seq(items) => Value::Array(
+            items
+                .into_iter()
+                .map(content_to_value)
+                .collect::<Result<_, _>>()?,
+        ),
+        Content::Map(entries) => {
+            let mut map = BTreeMap::new();
+            for (k, v) in entries {
+                map.insert(key_string(k)?, content_to_value(v)?);
+            }
+            Value::Object(map)
+        }
+    })
+}
+
+/// JSON object keys must be strings; scalar keys are stringified, the
+/// same convention real serde_json uses for integer map keys.
+fn key_string(k: Content) -> Result<String, Error> {
+    Ok(match k {
+        Content::Str(s) => s,
+        Content::I64(i) => i.to_string(),
+        Content::U64(u) => u.to_string(),
+        Content::Bool(b) => b.to_string(),
+        other => return Err(Error(format!("map key must be scalar, got {other:?}"))),
+    })
+}
+
+impl Serialize for Value {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(value_to_content(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        content_to_value(d.deserialize_content()?).map_err(<D::Error as de::Error>::custom)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// Convert any serializable value into a [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    let content = serde::to_content(value).map_err(|e| Error(e.to_string()))?;
+    content_to_value(content)
+}
+
+/// Convert a [`Value`] back into a typed value.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, Error> {
+    serde::from_content(value_to_content(value)).map_err(|e| Error(e.to_string()))
+}
+
+/// Serialize to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content = serde::to_content(value).map_err(|e| Error(e.to_string()))?;
+    let mut out = String::new();
+    write_json(&content, &mut out)?;
+    Ok(out)
+}
+
+/// Serialize to JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parse a typed value from a JSON string.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let content = Parser::new(s).parse()?;
+    serde::from_content(content).map_err(|e| Error(e.to_string()))
+}
+
+/// Parse a typed value from JSON bytes.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid utf-8: {e}")))?;
+    from_str(s)
+}
+
+/// Build a [`Value`] from JSON-like syntax. Supports the subset this
+/// workspace uses: object/array literals, `null`, and single-token
+/// expressions (which go through [`to_value`]).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::json!($elem)),* ])
+    };
+    ({ $($key:tt : $val:tt),* $(,)? }) => {{
+        let mut __m = ::std::collections::BTreeMap::new();
+        $( __m.insert(($key).to_string(), $crate::json!($val)); )*
+        $crate::Value::Object(__m)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value is serializable")
+    };
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer
+// ---------------------------------------------------------------------------
+
+fn write_json(c: &Content, out: &mut String) -> Result<(), Error> {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => {
+            if !v.is_finite() {
+                return Err(Error("JSON cannot represent non-finite floats".into()));
+            }
+            // Rust's shortest-roundtrip Display; ensure it reparses as a
+            // float rather than an integer.
+            let s = v.to_string();
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        Content::Str(s) => write_json_string(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(item, out)?;
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_string(&key_string(k.clone())?, out);
+                out.push(':');
+                write_json(v, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse(mut self) -> Result<Content, Error> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(Error(format!("trailing data at byte {}", self.pos)));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of JSON".into()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Content, Error> {
+        match self.peek()? {
+            b'n' => self.literal("null", Content::Null),
+            b't' => self.literal("true", Content::Bool(true)),
+            b'f' => self.literal("false", Content::Bool(false)),
+            b'"' => Ok(Content::Str(self.string()?)),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Content::Seq(items));
+                        }
+                        c => {
+                            return Err(Error(format!("expected `,` or `]`, got `{}`", c as char)))
+                        }
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    let val = self.value()?;
+                    entries.push((Content::Str(key), val));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Content::Map(entries));
+                        }
+                        c => {
+                            return Err(Error(format!("expected `,` or `}}`, got `{}`", c as char)))
+                        }
+                    }
+                }
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Content) -> Result<Content, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pair handling.
+                            if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    let c = 0x10000
+                                        + ((cp - 0xD800) << 10)
+                                        + (low.wrapping_sub(0xDC00) & 0x3FF);
+                                    out.push(
+                                        char::from_u32(c)
+                                            .ok_or_else(|| Error("bad surrogate".into()))?,
+                                    );
+                                } else {
+                                    return Err(Error("lone surrogate".into()));
+                                }
+                            } else {
+                                out.push(
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| Error("bad codepoint".into()))?,
+                                );
+                            }
+                        }
+                        c => return Err(Error(format!("bad escape `\\{}`", c as char))),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: re-scan as char.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| Error("invalid utf-8 in string".into()))?;
+                    let ch = s.chars().next().expect("nonempty");
+                    out.push(ch);
+                    self.pos = start + ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+        let s = std::str::from_utf8(hex).map_err(|_| Error("bad \\u escape".into()))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error("bad \\u escape".into()))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Content, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("bad number".into()))?;
+        if text.is_empty() {
+            return Err(Error(format!("expected value at byte {start}")));
+        }
+        if text.contains(['.', 'e', 'E']) {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| Error(format!("bad float `{text}`")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            stripped
+                .parse::<u64>()
+                .ok()
+                .and_then(|_| text.parse::<i64>().ok())
+                .map(Content::I64)
+                .ok_or_else(|| Error(format!("bad integer `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .map_err(|_| Error(format!("bad integer `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&1u64).unwrap(), "1");
+        assert_eq!(from_str::<u64>("1").unwrap(), 1);
+        assert_eq!(from_str::<i64>("-3").unwrap(), -3);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        let big = u64::MAX;
+        assert_eq!(from_str::<u64>(&to_string(&big).unwrap()).unwrap(), big);
+    }
+
+    #[test]
+    fn float_roundtrip_exact() {
+        for v in [0.1, -1.5e300, std::f64::consts::PI, 2.0] {
+            let s = to_string(&v).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap(), v, "text={s}");
+        }
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "a\"b\\c\nd\u{1F600}é";
+        let json = to_string(&s.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        assert_eq!(
+            from_str::<String>("\"\\ud83d\\ude00\"").unwrap(),
+            "\u{1F600}"
+        );
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v: Vec<Vec<i64>> = vec![vec![1, 2], vec![], vec![-5]];
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<Vec<i64>>>(&s).unwrap(), v);
+
+        let mut m = BTreeMap::new();
+        m.insert(7u64, "x".to_string());
+        m.insert(9, "y".to_string());
+        let s = to_string(&m).unwrap();
+        assert_eq!(s, r#"{"7":"x","9":"y"}"#);
+        assert_eq!(from_str::<BTreeMap<u64, String>>(&s).unwrap(), m);
+    }
+
+    #[test]
+    fn value_api() {
+        let v = to_value(&vec![1u64, 2]).unwrap();
+        assert_eq!(
+            v,
+            Value::Array(vec![
+                Value::Number(Number::from(1u64)),
+                Value::Number(Number::from(2u64)),
+            ])
+        );
+        let back: Vec<u64> = from_value(v).unwrap();
+        assert_eq!(back, vec![1, 2]);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(from_str::<u64>("").is_err());
+        assert!(from_str::<u64>("{").is_err());
+        assert!(from_str::<Vec<u64>>("[1,]").is_err());
+        assert!(from_str::<u64>("1 2").is_err());
+    }
+}
