@@ -29,6 +29,7 @@ fn main() {
                        --fig8       network bandwidth during load\n\
                        --fig9       scale-out (2/4/8 nodes)\n\
                        --ablations  design-choice ablations\n\
+                       --faults     fault sweep: retry/backoff under a flaky store\n\
                        --explain    per-device time-model breakdown\n\n\
                      --sf sets the functional scale factor (default 0.01);\n\
                      results are projected to the paper's SF 1000."
@@ -89,10 +90,16 @@ fn main() {
     if want("fig9") {
         reports.push(experiments::fig9(sf).expect("fig9"));
     }
+    if want("faults") {
+        reports.push(experiments::fault_sweep());
+    }
     if want("ablations") || want("all") {
         reports
             .push(experiments::ablation_scan_parallelism(sf).expect("ablation_scan_parallelism"));
         reports.push(experiments::ablation_consistency());
+        if !want("faults") {
+            reports.push(experiments::fault_sweep());
+        }
         reports.push(experiments::ablation_prefix());
         reports.push(experiments::ablation_keyrange());
         reports.push(experiments::ablation_ocm_mode());

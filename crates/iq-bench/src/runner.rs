@@ -1,6 +1,6 @@
 //! Functional TPC-H runs with per-phase activity capture.
 
-use iq_common::{IqResult, SimDuration, TableId, GIB};
+use iq_common::{IqError, IqResult, SimDuration, TableId, GIB};
 use iq_core::{Database, DatabaseConfig};
 use iq_objectstore::timemodel::{DeviceLoad, PhaseLoad};
 use iq_objectstore::{
@@ -113,13 +113,15 @@ pub struct PhaseTime {
     pub seconds: f64,
 }
 
-fn user_volume_profile(cfg: &RunConfig, resident_scaled_gib: u64) -> DeviceProfile {
+fn user_volume_profile(cfg: &RunConfig, resident_scaled_gib: u64) -> IqResult<DeviceProfile> {
     match cfg.volume {
-        VolumeKind::S3 => DeviceProfile::s3(),
+        VolumeKind::S3 => Ok(DeviceProfile::s3()),
         // The paper used a 1 TB gp2 volume.
-        VolumeKind::EbsGp2 => DeviceProfile::ebs_gp2(1024),
-        VolumeKind::Efs => DeviceProfile::efs(resident_scaled_gib.max(1)),
-        other => panic!("user dbspaces live on S3/EBS/EFS, not {other:?}"),
+        VolumeKind::EbsGp2 => Ok(DeviceProfile::ebs_gp2(1024)),
+        VolumeKind::Efs => Ok(DeviceProfile::efs(resident_scaled_gib.max(1))),
+        other => Err(IqError::Invalid(format!(
+            "user dbspaces live on S3/EBS/EFS, not {other:?}"
+        ))),
     }
 }
 
@@ -199,7 +201,7 @@ impl PowerRun {
                 db.buffer_stats().demand_fraction(),
                 db.meter().since(meter_mark) as f64 * config.load_cpu_factor,
                 resident_bytes,
-            ),
+            )?,
             rows: tpch.total_rows(),
         };
 
@@ -249,7 +251,7 @@ impl PowerRun {
                     db.buffer_stats().demand_fraction(),
                     db.meter().since(mark) as f64,
                     resident_bytes,
-                ),
+                )?,
                 rows: out.len() as u64,
             });
         }
@@ -339,8 +341,9 @@ impl PowerRun {
         (self.resident_bytes as f64 * self.config.scale()) as u64
     }
 
-    /// The user-volume device profile for costing.
-    pub fn volume_profile(&self) -> DeviceProfile {
+    /// The user-volume device profile for costing. Fails on a volume
+    /// kind user dbspaces cannot live on.
+    pub fn volume_profile(&self) -> IqResult<DeviceProfile> {
         user_volume_profile(&self.config, self.resident_bytes_scaled() / GIB)
     }
 }
@@ -355,10 +358,10 @@ fn assemble_phase(
     demand_fraction: f64,
     cpu_work: f64,
     resident_bytes: u64,
-) -> PhaseLoad {
+) -> IqResult<PhaseLoad> {
     let resident_scaled_gib = ((resident_bytes as f64 * config.scale()) as u64 / GIB).max(1);
     let mut devices = vec![DeviceLoad {
-        profile: user_volume_profile(config, resident_scaled_gib),
+        profile: user_volume_profile(config, resident_scaled_gib)?,
         snapshot: user,
         serial_read_fraction: demand_fraction,
     }];
@@ -389,7 +392,7 @@ fn assemble_phase(
             serial_read_fraction: demand_fraction,
         });
     }
-    PhaseLoad { devices, cpu_work }
+    Ok(PhaseLoad { devices, cpu_work })
 }
 
 /// Scale a phase's activity to the projected scale factor.

@@ -60,6 +60,27 @@ pub enum IqError {
     Invalid(String),
     /// Wrapped I/O error (spill files, OCM disk area, …).
     Io(String),
+    /// The object store asked the client to slow down (S3 `SlowDown` /
+    /// HTTP 503 class). Always transient: back off and retry.
+    Throttled(String),
+}
+
+impl IqError {
+    /// Whether a retry can plausibly succeed.
+    ///
+    /// Transient errors are the ones the paper's retry loop (§4) is built
+    /// for: a GET racing an object's visibility window
+    /// ([`IqError::ObjectNotFound`]), a throttled request
+    /// ([`IqError::Throttled`]) and generic transient I/O failures
+    /// ([`IqError::Io`]). Everything else — duplicate keys, corruption,
+    /// exhausted budgets — is permanent and must surface to the caller
+    /// immediately (for PUTs, as a transaction rollback).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            IqError::ObjectNotFound(_) | IqError::Io(_) | IqError::Throttled(_)
+        )
+    }
 }
 
 impl fmt::Display for IqError {
@@ -87,6 +108,7 @@ impl fmt::Display for IqError {
             IqError::NotFound(what) => write!(f, "not found: {what}"),
             IqError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
             IqError::Io(msg) => write!(f, "i/o error: {msg}"),
+            IqError::Throttled(msg) => write!(f, "throttled by store: {msg}"),
         }
     }
 }
@@ -114,6 +136,21 @@ mod tests {
             attempts: 7,
         };
         assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn transient_classification() {
+        let k = ObjectKey::from_offset(1);
+        assert!(IqError::ObjectNotFound(k).is_transient());
+        assert!(IqError::Io("reset".into()).is_transient());
+        assert!(IqError::Throttled("slow down".into()).is_transient());
+        assert!(!IqError::DuplicateObjectKey(k).is_transient());
+        assert!(!IqError::Corruption("bad crc".into()).is_transient());
+        assert!(!IqError::RetriesExhausted {
+            key: k,
+            attempts: 3
+        }
+        .is_transient());
     }
 
     #[test]

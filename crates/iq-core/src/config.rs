@@ -1,7 +1,7 @@
 //! Database configuration.
 
 use iq_common::{SimDuration, GIB, MIB};
-use iq_objectstore::{ConsistencyConfig, RetryPolicy};
+use iq_objectstore::{ConsistencyConfig, FaultPlan, RetryPolicy};
 use iq_storage::StorageConfig;
 
 /// Configuration of a [`crate::Database`].
@@ -37,6 +37,11 @@ pub struct DatabaseConfig {
     /// fan-out. The benchmark harness sets this from the compute profile's
     /// core count; 1 means fully serial.
     pub scan_workers: usize,
+    /// Scripted fault schedule for cloud dbspaces; `None` runs faultless.
+    /// When set, every cloud store is wrapped in a
+    /// [`iq_objectstore::FaultInjector`] reachable via
+    /// [`crate::Database::fault_injector`].
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for DatabaseConfig {
@@ -56,6 +61,7 @@ impl Default for DatabaseConfig {
             system_bytes: 64 * MIB,
             encryption_key: None,
             scan_workers: 1,
+            fault: None,
         }
     }
 }

@@ -9,7 +9,7 @@ use iq_common::{
     BlockNum, DbSpaceId, IqError, IqResult, NodeId, ObjectKey, SimDuration, TableId, TxnId,
 };
 use iq_engine::{TableMeta, WorkMeter};
-use iq_objectstore::{BlockDeviceSim, ObjectStoreSim};
+use iq_objectstore::{BlockDeviceSim, FaultInjector, ObjectBackend, ObjectStoreSim};
 use iq_ocm::{Ocm, OcmConfig};
 use iq_snapshot::{RetainingSink, SnapshotManager};
 use iq_storage::{Catalog, DbSpace};
@@ -39,6 +39,9 @@ pub struct Shared {
     ssd: Arc<BlockDeviceSim>,
     spaces: RwLock<HashMap<u32, Arc<DbSpace>>>,
     cloud_stores: RwLock<HashMap<u32, Arc<ObjectStoreSim>>>,
+    /// Fault injectors wrapping each cloud store, when `config.fault` is
+    /// set (crash scripts and fault stats hang off these).
+    fault_injectors: RwLock<HashMap<u32, Arc<FaultInjector>>>,
     block_devices: RwLock<HashMap<u32, Arc<BlockDeviceSim>>>,
     tables: RwLock<HashMap<u32, Arc<TableStore>>>,
     key_caches: Mutex<HashMap<u32, Arc<NodeKeyCache>>>,
@@ -210,6 +213,7 @@ impl Database {
             ssd,
             spaces: RwLock::new(HashMap::new()),
             cloud_stores: RwLock::new(HashMap::new()),
+            fault_injectors: RwLock::new(HashMap::new()),
             block_devices: RwLock::new(HashMap::new()),
             tables: RwLock::new(HashMap::new()),
             key_caches: Mutex::new(HashMap::new()),
@@ -262,11 +266,28 @@ impl Database {
     ) -> IqResult<DbSpaceId> {
         let id = DbSpaceId(self.next_space.fetch_add(1, Ordering::Relaxed));
         let store = Arc::new(ObjectStoreSim::new(self.shared.config.consistency.clone()));
+        // With a fault plan configured, every path to the store — dbspace
+        // reads/writes, OCM uploads, GC polls — goes through the injector.
+        // The concrete sim stays reachable for invariant checks.
+        let backend: Arc<dyn ObjectBackend> = match self.shared.config.fault {
+            Some(plan) => {
+                let injector = Arc::new(FaultInjector::new(
+                    store.clone() as Arc<dyn ObjectBackend>,
+                    plan,
+                ));
+                self.shared
+                    .fault_injectors
+                    .write()
+                    .insert(id.0, Arc::clone(&injector));
+                injector
+            }
+            None => store.clone(),
+        };
         let space = Arc::new(DbSpace::cloud(
             id,
             name,
             storage,
-            store.clone(),
+            Arc::clone(&backend),
             self.shared.config.retry,
         ));
         self.shared.spaces.write().insert(id.0, Arc::clone(&space));
@@ -279,7 +300,7 @@ impl Database {
                 id,
                 Arc::new(Ocm::new(
                     Arc::clone(&self.shared.ssd),
-                    store,
+                    backend,
                     OcmConfig {
                         // Slots fit this dbspace's sealed page images.
                         slot_bytes: storage.page_size,
@@ -321,6 +342,13 @@ impl Database {
     /// The object store behind a cloud dbspace (stats, invariant checks).
     pub fn cloud_store(&self, id: DbSpaceId) -> Option<Arc<ObjectStoreSim>> {
         self.shared.cloud_stores.read().get(&id.0).cloned()
+    }
+
+    /// The fault injector wrapping a cloud dbspace's store, when
+    /// `config.fault` is set (crash scripts arm cuts and read fault
+    /// stats through this).
+    pub fn fault_injector(&self, id: DbSpaceId) -> Option<Arc<FaultInjector>> {
+        self.shared.fault_injectors.read().get(&id.0).cloned()
     }
 
     /// The OCM, if one is bound.
@@ -465,29 +493,39 @@ impl Database {
                 let _ = self.rollback_inner(txn, true);
             })?;
 
-        // Blockmap cascade + identity installation per written table.
+        // Blockmap cascade + identity installation per written table. A
+        // failure anywhere in the cascade (blockmap uploads go to the
+        // same store) must also roll the transaction back (§4) — leaving
+        // it active would strand its dirty frames and RF/RB state.
         let version = self.shared.catalog.lock().bump_version();
-        let tables: Vec<Arc<TableStore>> = self.shared.tables.read().values().cloned().collect();
-        for ts in tables {
-            if !ts.written_by(txn) {
-                continue;
-            }
-            let space = self.shared.space(ts.space)?;
-            let io = iq_storage::PageIo {
-                space: &space,
-                keys: pager.keys.as_ref(),
-            };
-            if let Some((identity, superseded, written)) = ts.commit(txn, version, 0, &io)? {
-                for loc in written {
-                    self.shared.txns.record_alloc(txn, ts.space, loc)?;
+        let cascade = || -> IqResult<()> {
+            let tables: Vec<Arc<TableStore>> =
+                self.shared.tables.read().values().cloned().collect();
+            for ts in tables {
+                if !ts.written_by(txn) {
+                    continue;
                 }
-                for loc in superseded {
-                    self.shared.txns.record_free(txn, ts.space, loc)?;
+                let space = self.shared.space(ts.space)?;
+                let io = iq_storage::PageIo {
+                    space: &space,
+                    keys: pager.keys.as_ref(),
+                };
+                if let Some((identity, superseded, written)) = ts.commit(txn, version, 0, &io)? {
+                    for loc in written {
+                        self.shared.txns.record_alloc(txn, ts.space, loc)?;
+                    }
+                    for loc in superseded {
+                        self.shared.txns.record_free(txn, ts.space, loc)?;
+                    }
+                    // Identity objects update in place in the catalog (§3.1).
+                    self.shared.catalog.lock().set_identity(identity);
                 }
-                // Identity objects update in place in the catalog (§3.1).
-                self.shared.catalog.lock().set_identity(identity);
             }
-        }
+            Ok(())
+        };
+        cascade().inspect_err(|_| {
+            let _ = self.rollback_inner(txn, true);
+        })?;
         // Drain this transaction's asynchronous uploads; failure forces
         // rollback (§4).
         if let Some((_, ocm)) = self.shared.ocm.lock().as_ref() {
@@ -854,6 +892,7 @@ impl Database {
                 ssd,
                 spaces: RwLock::new(HashMap::new()),
                 cloud_stores: RwLock::new(HashMap::new()),
+                fault_injectors: RwLock::new(HashMap::new()),
                 block_devices: RwLock::new(HashMap::new()),
                 tables: RwLock::new(HashMap::new()),
                 key_caches: Mutex::new(HashMap::new()),
@@ -890,11 +929,25 @@ impl Database {
                         IqError::Catalog(format!("missing store for {}", def.name))
                     })?;
                     db.shared.cloud_stores.write().insert(def.id, store.clone());
+                    // The durable store survives the restart; the client-side
+                    // injector is rebuilt fresh (a restarted node is healed).
+                    let backend: Arc<dyn ObjectBackend> = match db.shared.config.fault {
+                        Some(plan) => {
+                            let injector =
+                                Arc::new(FaultInjector::new(store as Arc<dyn ObjectBackend>, plan));
+                            db.shared
+                                .fault_injectors
+                                .write()
+                                .insert(def.id, Arc::clone(&injector));
+                            injector
+                        }
+                        None => store,
+                    };
                     Arc::new(DbSpace::cloud(
                         DbSpaceId(def.id),
                         &def.name,
                         storage,
-                        store,
+                        backend,
                         db.shared.config.retry,
                     ))
                 } else {
@@ -915,15 +968,21 @@ impl Database {
             db.shared.spaces.write().insert(def.id, Arc::clone(&space));
             db.shared.immediate_sink.register(Arc::clone(&space));
             db.next_space.fetch_max(def.id + 1, Ordering::Relaxed);
-            // Rebind the OCM to the first cloud dbspace, cold.
+            // Rebind the OCM to the first cloud dbspace, cold. Its store
+            // traffic goes through the fault injector when one is set.
             if def.cloud && db.shared.config.ocm_bytes > 0 {
                 let mut ocm = db.shared.ocm.lock();
                 if ocm.is_none() {
+                    let backend: Arc<dyn ObjectBackend> =
+                        match db.shared.fault_injectors.read().get(&def.id) {
+                            Some(inj) => Arc::clone(inj) as Arc<dyn ObjectBackend>,
+                            None => db.shared.cloud_stores.read()[&def.id].clone(),
+                        };
                     *ocm = Some((
                         DbSpaceId(def.id),
                         Arc::new(Ocm::new(
                             Arc::clone(&db.shared.ssd),
-                            db.shared.cloud_stores.read()[&def.id].clone(),
+                            backend,
                             iq_ocm::OcmConfig {
                                 slot_bytes: def.page_size,
                                 capacity_bytes: db.shared.config.ocm_bytes,

@@ -27,6 +27,7 @@
 
 pub mod block_device;
 pub mod cost;
+pub mod fault;
 pub mod metrics;
 pub mod object_store;
 pub mod profiles;
@@ -36,6 +37,7 @@ pub mod traits;
 
 pub use block_device::BlockDeviceSim;
 pub use cost::{CostLedger, CostSummary};
+pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use metrics::{DeviceStats, IoOp, StatsSnapshot};
 pub use object_store::{ConsistencyConfig, ObjectStoreSim};
 pub use profiles::{ComputeProfile, DeviceProfile, VolumeKind};

@@ -77,6 +77,8 @@ struct Inner {
     queue_depth_sum: u64,
     queue_depth_samples: u64,
     queue_depth_max: u64,
+    retries: u64,
+    backoff_nanos: u64,
 }
 
 /// Thread-safe request ledger for one device.
@@ -128,6 +130,14 @@ impl DeviceStats {
         g.total_requests += 1;
     }
 
+    /// Record one retry backoff: the attempt count bumps by one and the
+    /// simulated wait accumulates, to be folded into device time later.
+    pub fn record_backoff(&self, nanos: u64) {
+        let mut g = self.inner.lock();
+        g.retries += 1;
+        g.backoff_nanos += nanos;
+    }
+
     /// Record an observed async-write queue depth (OCM SSD pressure).
     pub fn record_queue_depth(&self, depth: u64) {
         let mut g = self.inner.lock();
@@ -154,6 +164,8 @@ impl DeviceStats {
                 g.queue_depth_sum as f64 / g.queue_depth_samples as f64
             },
             max_queue_depth: g.queue_depth_max,
+            retries: g.retries,
+            backoff_nanos: g.backoff_nanos,
         }
     }
 
@@ -195,6 +207,10 @@ pub struct StatsSnapshot {
     pub mean_queue_depth: f64,
     /// Max sampled async-write queue depth.
     pub max_queue_depth: u64,
+    /// Retry attempts taken after a transient failure.
+    pub retries: u64,
+    /// Cumulative simulated backoff wait, in nanoseconds.
+    pub backoff_nanos: u64,
 }
 
 impl StatsSnapshot {
@@ -211,6 +227,8 @@ impl StatsSnapshot {
         }
         out.total_requests = (out.total_requests as f64 * factor).round() as u64;
         out.effective_prefixes = (out.effective_prefixes * factor).min(65_536.0);
+        out.retries = (out.retries as f64 * factor).round() as u64;
+        out.backoff_nanos = (out.backoff_nanos as f64 * factor).round() as u64;
         for b in &mut out.buckets {
             b.requests = (b.requests as f64 * factor).round() as u64;
             b.bytes = (b.bytes as f64 * factor).round() as u64;
@@ -335,6 +353,21 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.max_queue_depth, 10);
         assert!((snap.mean_queue_depth - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backoff_ledger_accumulates_and_scales() {
+        let s = DeviceStats::new();
+        s.record_backoff(1_000);
+        s.record_backoff(4_000);
+        let snap = s.snapshot();
+        assert_eq!(snap.retries, 2);
+        assert_eq!(snap.backoff_nanos, 5_000);
+        let doubled = snap.scaled(2.0);
+        assert_eq!(doubled.retries, 4);
+        assert_eq!(doubled.backoff_nanos, 10_000);
+        s.reset();
+        assert_eq!(s.snapshot().retries, 0);
     }
 
     #[test]

@@ -295,6 +295,14 @@ impl ObjectBackend for ObjectStoreSim {
     fn reset_stats(&self) {
         self.stats.reset();
     }
+
+    fn note_backoff(&self, ops: u64, wait: iq_common::SimDuration) {
+        // While the client sleeps, the rest of the cluster keeps issuing
+        // requests: advancing the op clock is what lets a backoff close an
+        // open visibility window (the whole point of backing off).
+        self.op_counter.fetch_add(ops, Ordering::Relaxed);
+        self.stats.record_backoff(wait.as_nanos());
+    }
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! The read-after-write retry layer.
+//! The read-after-write retry layer, with exponential backoff.
 //!
 //! Under the never-write-twice policy a GET of a freshly written key either
 //! returns the one and only version or fails with `ObjectNotFound` inside
@@ -7,41 +7,157 @@
 //! configurable number of retries" (§3). Similarly, "a failed write is
 //! retried; but after a pre-determined number of failures of the same page,
 //! the transaction is rolled back" (§4).
+//!
+//! ## Backoff in virtual time
+//!
+//! Real clients sleep between retries (S3's `SlowDown` responses demand
+//! it). In the simulation a sleep has two effects, both routed through
+//! [`ObjectBackend::note_backoff`]:
+//!
+//! * the store's **op clock advances** by the backoff's op-equivalent —
+//!   while one client sleeps the rest of the cluster keeps issuing
+//!   requests, which is exactly what closes a visibility window;
+//! * the **simulated wait accumulates** in the device ledger, so the time
+//!   model charges the stall against elapsed time and `--explain` shows it.
+//!
+//! Waits double per attempt (capped at [`RetryPolicy::max_backoff`]) with
+//! deterministic per-`(seed, key, attempt)` jitter, so a run replays
+//! byte-for-byte under a fixed seed regardless of thread interleaving.
 
 use bytes::Bytes;
-use iq_common::{IqError, IqResult, ObjectKey};
+use iq_common::{IqError, IqResult, ObjectKey, SimDuration};
 
+use crate::object_store::ConsistencyConfig;
 use crate::traits::ObjectBackend;
 
-/// Retry budget for object-store operations.
+/// Retry budget and backoff schedule for object-store operations.
+///
+/// The default budget is *derived* from [`ConsistencyConfig::default`]
+/// via [`RetryPolicy::covering`] rather than hardcoded, so the invariant
+/// "the retry budget outlasts the visibility window" survives either
+/// default moving.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
-    /// Maximum attempts (including the first) before giving up.
+    /// Maximum attempts (including the first) before giving up. For PUTs
+    /// this is the per-page failure budget of §4: exhausting it surfaces
+    /// as `RetriesExhausted`, which rolls the owning transaction back.
     pub max_attempts: u32,
+    /// Wait before the second attempt; doubles every attempt after that.
+    pub base_backoff: SimDuration,
+    /// Ceiling on a single backoff wait.
+    pub max_backoff: SimDuration,
+    /// Jitter applied to each wait, as a percentage of the wait (a value
+    /// of 25 spreads waits over ±12.5%). Integer so the policy stays
+    /// `Copy + Eq`; jitter is deterministic per `(seed, key, attempt)`.
+    pub jitter_pct: u8,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
 }
+
+/// Default first backoff (1 ms — S3 SDK defaults are in this range).
+const BASE_BACKOFF: SimDuration = SimDuration::from_millis(1);
+/// Default backoff ceiling (256 ms = 8 doublings).
+const MAX_BACKOFF: SimDuration = SimDuration::from_millis(256);
+/// Default jitter percentage.
+const JITTER_PCT: u8 = 25;
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        // Must exceed `ConsistencyConfig::default().max_visibility_ops`
-        // (64): in the simulation each GET attempt advances the operation
-        // clock by one, so the budget is what guarantees a bounded
-        // visibility window always resolves before the budget runs out.
-        Self { max_attempts: 96 }
+        Self::covering(&ConsistencyConfig::default())
     }
 }
 
 impl RetryPolicy {
-    /// GET with retry-on-NotFound. In the simulation each attempt advances
-    /// the store's operation clock, so a bounded visibility window always
-    /// resolves within a bounded number of attempts.
+    /// Policy with an explicit attempt budget and the default backoff
+    /// schedule (test and ablation convenience).
+    pub fn attempts(max_attempts: u32) -> Self {
+        Self {
+            max_attempts,
+            base_backoff: BASE_BACKOFF,
+            max_backoff: MAX_BACKOFF,
+            jitter_pct: JITTER_PCT,
+            seed: 0,
+        }
+    }
+
+    /// Smallest attempt budget guaranteed to outlast the store's
+    /// visibility window, derived from the consistency config.
+    ///
+    /// In the simulation every GET attempt advances the op clock by one
+    /// and every backoff advances it by the wait's op-equivalent, so a
+    /// window of `W` ops provably resolves once the clock has moved `W`
+    /// past the PUT. The budget is the smallest `n` whose worst-case
+    /// clock coverage exceeds `W`, floored at 4 so transient PUT faults
+    /// still get a few tries even under `ConsistencyConfig::strong`.
+    pub fn covering(cfg: &ConsistencyConfig) -> Self {
+        let mut policy = Self::attempts(4);
+        while !policy.covers_window(cfg.max_visibility_ops) {
+            policy.max_attempts += 1;
+        }
+        policy
+    }
+
+    /// Whether this policy's worst-case op-clock coverage exceeds a
+    /// visibility window of `window_ops` store operations.
+    pub fn covers_window(&self, window_ops: u64) -> bool {
+        self.coverage_ops() > window_ops
+    }
+
+    /// Worst-case op-clock advance over a full retry loop: one tick per
+    /// attempt plus the op-equivalent of every backoff in between.
+    fn coverage_ops(&self) -> u64 {
+        let mut ops = u64::from(self.max_attempts);
+        for attempt in 1..self.max_attempts {
+            ops = ops.saturating_add(self.backoff_ops(attempt));
+        }
+        ops
+    }
+
+    /// Op-clock advance for the backoff after attempt `attempt` (1-based):
+    /// the un-jittered wait measured in `base_backoff` units, i.e.
+    /// `min(2^(attempt-1), max_backoff / base_backoff)`.
+    fn backoff_ops(&self, attempt: u32) -> u64 {
+        let base = self.base_backoff.as_nanos().max(1);
+        let cap = (self.max_backoff.as_nanos() / base).max(1);
+        1u64.checked_shl(attempt - 1).map_or(cap, |v| v.min(cap))
+    }
+
+    /// Simulated wait for the backoff after attempt `attempt` (1-based):
+    /// exponential, capped, with deterministic ±`jitter_pct`/2 % jitter
+    /// keyed by `(seed, key, attempt)` — independent of thread
+    /// interleaving, so fault runs replay byte-for-byte.
+    fn backoff_wait(&self, key: ObjectKey, attempt: u32) -> SimDuration {
+        let nanos = self
+            .backoff_ops(attempt)
+            .saturating_mul(self.base_backoff.as_nanos().max(1));
+        let spread = nanos / 100 * u64::from(self.jitter_pct.min(100));
+        if spread == 0 {
+            return SimDuration::from_nanos(nanos);
+        }
+        let h = splitmix(self.seed ^ key.offset().wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            ^ splitmix(u64::from(attempt));
+        SimDuration::from_nanos(nanos - spread / 2 + h % (spread + 1))
+    }
+
+    /// Charge one backoff against the store's clocks.
+    fn back_off(&self, store: &dyn ObjectBackend, key: ObjectKey, attempt: u32) {
+        store.note_backoff(self.backoff_ops(attempt), self.backoff_wait(key, attempt));
+    }
+
+    /// GET with retry-on-transient-error (visibility misses, throttling,
+    /// transient I/O), backing off between attempts. The backoff advances
+    /// the store's op clock, so a bounded visibility window always
+    /// resolves within the derived budget.
     pub fn get(&self, store: &dyn ObjectBackend, key: ObjectKey) -> IqResult<Bytes> {
         let mut attempts = 0;
         loop {
             attempts += 1;
             match store.get(key) {
                 Ok(bytes) => return Ok(bytes),
-                Err(IqError::ObjectNotFound(_)) if attempts < self.max_attempts => continue,
-                Err(IqError::ObjectNotFound(_)) => {
+                Err(e) if e.is_transient() && attempts < self.max_attempts => {
+                    self.back_off(store, key, attempts);
+                }
+                Err(e) if e.is_transient() => {
                     return Err(IqError::RetriesExhausted { key, attempts })
                 }
                 Err(e) => return Err(e),
@@ -49,20 +165,35 @@ impl RetryPolicy {
         }
     }
 
-    /// PUT with retry on transient I/O failure. `DuplicateObjectKey` is
-    /// *not* retried: it is a policy violation, not a transient fault.
+    /// PUT with retry on transient failure (I/O errors, throttling).
+    /// `DuplicateObjectKey` is *not* retried: it is a policy violation,
+    /// not a transient fault. Exhausting the budget is the §4 per-page
+    /// failure budget — the caller rolls the transaction back.
     pub fn put(&self, store: &dyn ObjectBackend, key: ObjectKey, data: Bytes) -> IqResult<()> {
         let mut attempts = 0;
         loop {
             attempts += 1;
             match store.put(key, data.clone()) {
                 Ok(()) => return Ok(()),
-                Err(IqError::Io(_)) if attempts < self.max_attempts => continue,
-                Err(IqError::Io(_)) => return Err(IqError::RetriesExhausted { key, attempts }),
+                Err(IqError::Io(_) | IqError::Throttled(_)) if attempts < self.max_attempts => {
+                    self.back_off(store, key, attempts);
+                }
+                Err(IqError::Io(_) | IqError::Throttled(_)) => {
+                    return Err(IqError::RetriesExhausted { key, attempts })
+                }
                 Err(e) => return Err(e),
             }
         }
     }
+}
+
+/// SplitMix64 finalizer — the stateless hash behind the deterministic
+/// jitter.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -82,7 +213,7 @@ mod tests {
             ..ConsistencyConfig::default()
         };
         let store = ObjectStoreSim::new(cfg);
-        let policy = RetryPolicy { max_attempts: 32 };
+        let policy = RetryPolicy::attempts(32);
         for off in 0..50 {
             store.put(key(off), Bytes::from(vec![off as u8])).unwrap();
             let got = policy.get(&store, key(off)).unwrap();
@@ -93,7 +224,7 @@ mod tests {
     #[test]
     fn retries_exhaust_on_truly_missing_object() {
         let store = ObjectStoreSim::new(ConsistencyConfig::strong());
-        let policy = RetryPolicy { max_attempts: 3 };
+        let policy = RetryPolicy::attempts(3);
         let err = policy.get(&store, key(99)).unwrap_err();
         assert_eq!(
             err,
@@ -116,5 +247,74 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, IqError::DuplicateObjectKey(key(1)));
         assert_eq!(store.write_count(key(1)), 1);
+    }
+
+    /// Regression for the silent coupling this PR removes: the default
+    /// budget used to be a hardcoded 96 chosen to "exceed" the default
+    /// 64-op window; now it is derived, so it must keep covering the
+    /// window *whatever* the default window is.
+    #[test]
+    fn default_budget_covers_default_window() {
+        let cfg = ConsistencyConfig::default();
+        let policy = RetryPolicy::default();
+        assert!(policy.covers_window(cfg.max_visibility_ops));
+        // And `covering` is minimal: one attempt fewer must not cover.
+        let mut smaller = policy;
+        smaller.max_attempts -= 1;
+        assert!(!smaller.covers_window(cfg.max_visibility_ops));
+    }
+
+    /// Even the worst visibility draw resolves inside the derived budget:
+    /// the backoffs advance the op clock, so a single-threaded client
+    /// needs far fewer than `window` attempts.
+    #[test]
+    fn derived_budget_resolves_worst_case_window() {
+        let cfg = ConsistencyConfig {
+            max_visibility_ops: 64,
+            delayed_fraction: 1.0, // every PUT draws a delay
+            ..ConsistencyConfig::default()
+        };
+        let policy = RetryPolicy::covering(&cfg);
+        let store = ObjectStoreSim::new(cfg);
+        for off in 0..100 {
+            store.put(key(off), Bytes::from(vec![off as u8])).unwrap();
+            policy.get(&store, key(off)).unwrap();
+        }
+        let snap = store.stats_snapshot();
+        assert!(snap.retries > 0, "windows must have forced backoffs");
+        assert!(snap.backoff_nanos > 0);
+    }
+
+    #[test]
+    fn backoff_waits_double_and_cap() {
+        let policy = RetryPolicy {
+            jitter_pct: 0,
+            ..RetryPolicy::attempts(16)
+        };
+        let w1 = policy.backoff_wait(key(1), 1);
+        let w2 = policy.backoff_wait(key(1), 2);
+        let w3 = policy.backoff_wait(key(1), 3);
+        assert_eq!(w2.as_nanos(), 2 * w1.as_nanos());
+        assert_eq!(w3.as_nanos(), 4 * w1.as_nanos());
+        let wbig = policy.backoff_wait(key(1), 15);
+        assert_eq!(wbig, policy.max_backoff);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let policy = RetryPolicy {
+            seed: 7,
+            ..RetryPolicy::default()
+        };
+        let a = policy.backoff_wait(key(3), 2);
+        let b = policy.backoff_wait(key(3), 2);
+        assert_eq!(a, b, "same (seed, key, attempt) ⇒ same wait");
+        let other_key = policy.backoff_wait(key(4), 2);
+        let nominal = 2 * policy.base_backoff.as_nanos();
+        let spread = nominal / 100 * u64::from(policy.jitter_pct);
+        for w in [a, other_key] {
+            assert!(w.as_nanos() >= nominal - spread / 2);
+            assert!(w.as_nanos() <= nominal + spread / 2 + 1);
+        }
     }
 }

@@ -128,6 +128,18 @@ impl TimeModel {
         (self.compute.cpus as f64 * self.tuning.streams_per_core).min(self.tuning.max_streams)
     }
 
+    /// Simulated retry-backoff stall, in seconds. Backoffs on the serial
+    /// (demand-miss) path are paid in full; the overlapped share amortizes
+    /// across the stream budget like any other latency.
+    fn backoff_time(&self, load: &DeviceLoad) -> f64 {
+        let backoff_secs = load.snapshot.backoff_nanos as f64 / 1e9;
+        if backoff_secs == 0.0 {
+            return 0.0;
+        }
+        let sf = load.serial_read_fraction.clamp(0.0, 1.0);
+        backoff_secs * sf + backoff_secs * (1.0 - sf) / self.streams()
+    }
+
     /// Time for one device's worth of requests, assuming they overlap up to
     /// the stream budget and respect every cap.
     pub fn device_time(&self, load: &DeviceLoad) -> SimDuration {
@@ -155,7 +167,8 @@ impl TimeModel {
         let overlapped_reads = read_ops as f64 - serial_reads;
         let latency_time = serial_reads * read_latency
             + overlapped_reads * read_latency / streams
-            + write_ops as f64 * p.write_latency.as_secs_f64() / streams;
+            + write_ops as f64 * p.write_latency.as_secs_f64() / streams
+            + self.backoff_time(load);
 
         // Bandwidth component under every applicable ceiling.
         let mut bw = p.per_stream_bandwidth as f64 * streams;
@@ -249,10 +262,11 @@ impl TimeModel {
                 ((read_ops + write_ops) as f64).min(coalesced) / cap as f64
             })
             .unwrap_or(0.0);
+        let backoff = self.backoff_time(load);
         format!(
             "{:?}: r={read_ops}ops/{read_bytes}B w={write_ops}ops/{write_bytes}B \
              serial={serial:.0} | transfer={transfer:.1}s iops={iops:.1}s latency={latency_time:.1}s \
-             qdepth={:.1}",
+             backoff={backoff:.1}s qdepth={:.1}",
             p.kind, s.mean_queue_depth
         )
     }
@@ -392,6 +406,24 @@ mod tests {
         }
         let pressured = m.device_time(&load(DeviceProfile::local_nvme(4), stats.snapshot()));
         assert!(pressured > calm, "pressured={pressured} calm={calm}");
+    }
+
+    #[test]
+    fn backoff_waits_extend_device_time() {
+        let m = TimeModel::new(ComputeProfile::m5ad_24xlarge());
+        let stats = DeviceStats::new();
+        for _ in 0..100 {
+            stats.record(IoOp::Get, 512 * 1024);
+        }
+        let calm = m.device_time(&load(DeviceProfile::s3(), stats.snapshot()));
+        stats.record_backoff(5_000_000_000); // 5 s of cumulative stall
+        let mut stalled_load = load(DeviceProfile::s3(), stats.snapshot());
+        stalled_load.serial_read_fraction = 1.0;
+        let stalled = m.device_time(&stalled_load);
+        assert!(
+            stalled.as_secs_f64() >= calm.as_secs_f64() + 5.0,
+            "stalled={stalled} calm={calm}"
+        );
     }
 
     #[test]

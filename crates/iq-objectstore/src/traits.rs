@@ -1,7 +1,7 @@
 //! Backend traits implemented by the simulated devices.
 
 use bytes::Bytes;
-use iq_common::{BlockNum, IqResult, ObjectKey};
+use iq_common::{BlockNum, IqResult, ObjectKey, SimDuration};
 
 use crate::metrics::StatsSnapshot;
 
@@ -39,6 +39,18 @@ pub trait ObjectBackend: Send + Sync {
 
     /// Reset the request ledger (benchmark phase boundaries).
     fn reset_stats(&self);
+
+    /// Charge a retry backoff against the device's clocks.
+    ///
+    /// Real clients sleep between retries; in the simulation a backoff is
+    /// two bookkeeping effects instead: the store's op clock advances by
+    /// `ops` (other traffic would have proceeded while we slept, so
+    /// visibility windows genuinely close) and `wait` is recorded into the
+    /// request ledger so the time/cost models account for the stall. The
+    /// default is a no-op for backends with no notion of simulated time.
+    fn note_backoff(&self, ops: u64, wait: SimDuration) {
+        let _ = (ops, wait);
+    }
 }
 
 /// A block device: fixed-size blocks, strong consistency, in-place writes.

@@ -1,0 +1,97 @@
+//! Property tests for the retry/backoff layer under deterministic fault
+//! injection (DESIGN.md "Fault model").
+//!
+//! The two load-bearing properties:
+//!
+//! * **Replayability** — a fixed `(seed, FaultPlan)` pair pins the entire
+//!   run: which requests fault, how many attempts each operation takes,
+//!   and the total simulated backoff time. Two runs of the same workload
+//!   must agree byte-for-byte.
+//! * **Never-write-twice** — `RetryPolicy::put` retries transient faults
+//!   only; `DuplicateObjectKey` is a policy violation and must surface
+//!   immediately, leaving the store's per-key write count at 1.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use iq_common::{IqError, ObjectKey};
+use iq_objectstore::{
+    ConsistencyConfig, FaultInjector, FaultPlan, ObjectBackend, ObjectStoreSim, RetryPolicy,
+};
+use proptest::prelude::*;
+
+fn key(off: u64) -> ObjectKey {
+    ObjectKey::from_offset(off)
+}
+
+/// One full workload under a scripted plan: PUT then GET `keys` objects
+/// through the retry layer, recording per-key outcomes and the fault /
+/// backoff ledgers.
+fn run_workload(seed: u64, rate: f64, keys: u64) -> (Vec<(u64, bool, bool)>, u64, u64, String) {
+    let sim = Arc::new(ObjectStoreSim::new(ConsistencyConfig::default()));
+    let inj = FaultInjector::new(sim.clone(), FaultPlan::flaky(seed, rate));
+    let policy = RetryPolicy {
+        seed,
+        ..RetryPolicy::attempts(24)
+    };
+    let mut outcomes = Vec::new();
+    for off in 0..keys {
+        let put_ok = policy
+            .put(&inj, key(off), Bytes::from(vec![off as u8]))
+            .is_ok();
+        let get_ok = policy.get(&inj, key(off)).is_ok();
+        outcomes.push((off, put_ok, get_ok));
+    }
+    let snap = sim.stats_snapshot();
+    (
+        outcomes,
+        snap.retries,
+        snap.backoff_nanos,
+        format!("{:?}", inj.fault_stats()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Same seed + same plan ⇒ same per-key outcomes, same attempt counts
+    /// (the fault ledger pins them) and same simulated elapsed backoff.
+    #[test]
+    fn fixed_seed_replays_byte_for_byte(seed in 0u64..u64::MAX, pct in 0u8..35, keys in 1u64..40) {
+        let rate = f64::from(pct) / 100.0;
+        let a = run_workload(seed, rate, keys);
+        let b = run_workload(seed, rate, keys);
+        prop_assert_eq!(a, b);
+    }
+
+    /// A different seed is allowed to (and with faults on, generally does)
+    /// change the schedule — but each run is still internally consistent:
+    /// every successful PUT is eventually readable through the retry layer.
+    #[test]
+    fn successful_puts_always_resolve(seed in 0u64..u64::MAX, pct in 0u8..35, keys in 1u64..40) {
+        let rate = f64::from(pct) / 100.0;
+        let (outcomes, _, _, _) = run_workload(seed, rate, keys);
+        for (off, put_ok, get_ok) in outcomes {
+            if put_ok {
+                prop_assert!(get_ok, "PUT of key {off} landed but GET never resolved");
+            }
+        }
+    }
+
+    /// `put` never retries `DuplicateObjectKey`: the duplicate surfaces on
+    /// the first forwarded attempt and the write count stays at 1, no
+    /// matter the fault schedule around it.
+    #[test]
+    fn duplicate_put_is_never_retried(seed in 0u64..u64::MAX, pct in 0u8..35) {
+        let rate = f64::from(pct) / 100.0;
+        let sim = Arc::new(ObjectStoreSim::new(ConsistencyConfig::default()));
+        let inj = FaultInjector::new(sim.clone(), FaultPlan::flaky(seed, rate));
+        let policy = RetryPolicy { seed, ..RetryPolicy::attempts(24) };
+        policy.put(&inj, key(7), Bytes::from_static(b"first")).unwrap();
+        let err = policy.put(&inj, key(7), Bytes::from_static(b"second")).unwrap_err();
+        // Transient faults in front of the duplicate are retried away;
+        // what must come back is the policy violation itself.
+        prop_assert_eq!(err, IqError::DuplicateObjectKey(key(7)));
+        prop_assert_eq!(sim.write_count(key(7)), 1);
+    }
+}

@@ -70,7 +70,7 @@ impl OcmStatsSnapshot {
 
 #[derive(Debug, Clone, Copy)]
 struct CacheEntry {
-    slot: u32,
+    slot: u64,
     len: u32,
 }
 
@@ -80,7 +80,7 @@ enum Job {
         txn: TxnId,
         key: ObjectKey,
         data: Bytes,
-        cache_slot: Option<u32>,
+        cache_slot: Option<u64>,
     },
     /// Asynchronous SSD population after a read-through or write-through.
     CachePopulate { key: ObjectKey, data: Bytes },
@@ -132,8 +132,11 @@ impl Ocm {
             "slot must be whole blocks"
         );
         let blocks_per_slot = config.slot_bytes / block;
-        let device_slots = (ssd.capacity_blocks() / blocks_per_slot as u64) as u32;
-        let budget_slots = (config.capacity_bytes / config.slot_bytes as u64) as u32;
+        // Slot counts stay 64-bit end to end: a large simulated SSD holds
+        // more than 2³² slots, and a u32 cast here silently shrank the
+        // cache to the truncated remainder.
+        let device_slots = ssd.capacity_blocks() / blocks_per_slot as u64;
+        let budget_slots = config.capacity_bytes / config.slot_bytes as u64;
         let total_slots = device_slots.min(budget_slots);
         let inner = Arc::new(Mutex::new(Inner {
             lru: LruCache::new(),
@@ -185,7 +188,7 @@ impl Ocm {
     }
 
     /// Cache capacity in slots.
-    pub fn capacity_slots(&self) -> u32 {
+    pub fn capacity_slots(&self) -> u64 {
         self.inner.lock().slots.total()
     }
 
@@ -374,7 +377,7 @@ impl Drop for Ocm {
 }
 
 /// Allocate a slot, evicting the LRU entry if the pool is exhausted.
-fn allocate_slot(inner: &mut Inner, stats: &OcmStats) -> Option<u32> {
+fn allocate_slot(inner: &mut Inner, stats: &OcmStats) -> Option<u64> {
     if let Some(s) = inner.slots.allocate() {
         return Some(s);
     }
@@ -625,6 +628,33 @@ mod tests {
         ocm.flush_for_commit(txn).unwrap();
         assert!(store.exists(key(2)));
         ocm.end_txn(txn);
+    }
+
+    #[test]
+    fn huge_ssd_capacity_does_not_truncate_slot_count() {
+        // More than 2³² slots. The simulated SSD is sparse, so sizing a
+        // huge device is cheap; before the u64 widening this config
+        // truncated to `slots % 2³² = 8` slots.
+        let slot_bytes = 1024u32;
+        let slots = u32::MAX as u64 + 8;
+        let ssd = Arc::new(BlockDeviceSim::new(256, slots * 4));
+        let store = Arc::new(ObjectStoreSim::new(ConsistencyConfig::default()));
+        let ocm = Ocm::new(
+            ssd,
+            store.clone(),
+            OcmConfig {
+                slot_bytes,
+                capacity_bytes: slots * slot_bytes as u64,
+                retry: RetryPolicy::default(),
+            },
+        );
+        assert_eq!(ocm.capacity_slots(), slots);
+        // And the cache still works at ordinary scale.
+        store.put(key(1), Bytes::from_static(b"big")).unwrap();
+        store.settle();
+        assert_eq!(&ocm.read(key(1)).unwrap()[..], b"big");
+        ocm.quiesce();
+        assert!(ocm.contains(key(1)));
     }
 
     #[test]

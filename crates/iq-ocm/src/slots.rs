@@ -9,15 +9,17 @@ use iq_common::BlockNum;
 /// Allocator of fixed-size cache slots.
 #[derive(Debug)]
 pub struct SlotAllocator {
-    total: u32,
-    next_fresh: u32,
-    free: Vec<u32>,
+    total: u64,
+    next_fresh: u64,
+    free: Vec<u64>,
     blocks_per_slot: u32,
 }
 
 impl SlotAllocator {
     /// Allocator over `total` slots of `blocks_per_slot` blocks each.
-    pub fn new(total: u32, blocks_per_slot: u32) -> Self {
+    /// Slot indices and counts are 64-bit: large simulated SSDs exceed
+    /// 2³² slots, and truncating silently shrinks the cache.
+    pub fn new(total: u64, blocks_per_slot: u32) -> Self {
         assert!(blocks_per_slot > 0);
         Self {
             total,
@@ -28,17 +30,17 @@ impl SlotAllocator {
     }
 
     /// Total slots.
-    pub fn total(&self) -> u32 {
+    pub fn total(&self) -> u64 {
         self.total
     }
 
     /// Slots currently allocated.
-    pub fn allocated(&self) -> u32 {
-        self.next_fresh - self.free.len() as u32
+    pub fn allocated(&self) -> u64 {
+        self.next_fresh - self.free.len() as u64
     }
 
     /// Grab a slot, if any is available.
-    pub fn allocate(&mut self) -> Option<u32> {
+    pub fn allocate(&mut self) -> Option<u64> {
         if let Some(s) = self.free.pop() {
             return Some(s);
         }
@@ -52,14 +54,14 @@ impl SlotAllocator {
     }
 
     /// Return a slot to the pool.
-    pub fn free(&mut self, slot: u32) {
+    pub fn free(&mut self, slot: u64) {
         debug_assert!(slot < self.next_fresh, "freeing a never-allocated slot");
         self.free.push(slot);
     }
 
     /// First block of a slot.
-    pub fn slot_start(&self, slot: u32) -> BlockNum {
-        BlockNum(slot as u64 * self.blocks_per_slot as u64)
+    pub fn slot_start(&self, slot: u64) -> BlockNum {
+        BlockNum(slot * self.blocks_per_slot as u64)
     }
 
     /// Blocks per slot.
@@ -91,6 +93,16 @@ mod tests {
         assert_eq!(a.slot_start(0), BlockNum(0));
         assert_eq!(a.slot_start(3), BlockNum(48));
         assert_eq!(a.blocks_per_slot(), 16);
+    }
+
+    #[test]
+    fn slot_space_beyond_u32_does_not_truncate() {
+        let total = (u32::MAX as u64) + 10;
+        let a = SlotAllocator::new(total, 2);
+        assert_eq!(a.total(), total);
+        // A slot index past the old u32 ceiling maps to the right blocks.
+        let big = u32::MAX as u64 + 5;
+        assert_eq!(a.slot_start(big), BlockNum(big * 2));
     }
 
     #[test]

@@ -391,13 +391,7 @@ mod tests {
             delayed_fraction: 1.0,
             ..ConsistencyConfig::default()
         }));
-        let space = DbSpace::cloud(
-            DbSpaceId(3),
-            "ec",
-            cfg(),
-            store,
-            RetryPolicy { max_attempts: 64 },
-        );
+        let space = DbSpace::cloud(DbSpaceId(3), "ec", cfg(), store, RetryPolicy::attempts(64));
         let keys = CountingKeySource::default();
         let p = page(9, 9);
         let loc = space.write_page(&p, &keys).unwrap();

@@ -52,11 +52,29 @@ impl ImmediateDeletion {
 
 impl DeletionSink for ImmediateDeletion {
     fn delete_page(&self, space: DbSpaceId, loc: PhysicalLocator) -> IqResult<()> {
-        let spaces = self.spaces.lock();
-        let s = spaces
-            .get(&space.0)
-            .ok_or_else(|| IqError::NotFound(format!("dbspace {space}")))?;
-        s.release(loc)
+        match loc {
+            // Object keys arrive with a sentinel dbspace id (see
+            // [`cloud_space_of`]): keys are globally unique and deletes
+            // idempotent, so every registered cloud dbspace is asked to
+            // release the key. Resolving by id here used to fail with
+            // `NotFound` on every cloud-page GC.
+            PhysicalLocator::Object(_) => {
+                let spaces: Vec<Arc<DbSpace>> = self.spaces.lock().values().cloned().collect();
+                for s in spaces.iter().filter(|s| s.is_cloud()) {
+                    s.release(loc)?;
+                }
+                Ok(())
+            }
+            PhysicalLocator::Blocks { .. } => {
+                let s = self
+                    .spaces
+                    .lock()
+                    .get(&space.0)
+                    .cloned()
+                    .ok_or_else(|| IqError::NotFound(format!("dbspace {space}")))?;
+                s.release(loc)
+            }
+        }
     }
 }
 
@@ -285,16 +303,28 @@ impl TransactionManager {
                 }
             };
             let Some(entry) = entry else { break };
-            for key in entry.rfrb.rf.iter_keys() {
-                sink.delete_page(
-                    cloud_space_of(&entry.rfrb, key),
-                    PhysicalLocator::Object(key),
-                )?;
-                deleted += 1;
-            }
-            for (space, start, count) in entry.rfrb.rf.iter_blocks() {
-                sink.delete_page(space, PhysicalLocator::Blocks { start, count })?;
-                deleted += 1;
+            // If the sink fails mid-entry (a crash during GC), push the
+            // entry back so a later tick retries it; deletes are
+            // idempotent, so re-deleting the prefix already processed is
+            // safe. Dropping the entry here would leak its RF pages
+            // forever — they'd never be polled again.
+            let mut delete_all = || -> IqResult<()> {
+                for key in entry.rfrb.rf.iter_keys() {
+                    sink.delete_page(
+                        cloud_space_of(&entry.rfrb, key),
+                        PhysicalLocator::Object(key),
+                    )?;
+                    deleted += 1;
+                }
+                for (space, start, count) in entry.rfrb.rf.iter_blocks() {
+                    sink.delete_page(space, PhysicalLocator::Blocks { start, count })?;
+                    deleted += 1;
+                }
+                Ok(())
+            };
+            if let Err(e) = delete_all() {
+                self.inner.lock().chain.push_front(entry);
+                return Err(e);
             }
         }
         Ok(deleted)
@@ -424,6 +454,48 @@ mod tests {
         let n = tm.gc_tick(&sink).unwrap();
         assert_eq!(n, 3);
         assert_eq!(tm.chain_len(), 0);
+    }
+
+    /// Sink that fails its first `fail_first` deletions (a crash during
+    /// GC), then recovers.
+    struct FlakySink {
+        inner: RecordingSink,
+        remaining_failures: Mutex<u32>,
+    }
+
+    impl DeletionSink for FlakySink {
+        fn delete_page(&self, space: DbSpaceId, loc: PhysicalLocator) -> IqResult<()> {
+            let mut g = self.remaining_failures.lock();
+            if *g > 0 {
+                *g -= 1;
+                return Err(IqError::Io("sink crashed".into()));
+            }
+            drop(g);
+            self.inner.delete_page(space, loc)
+        }
+    }
+
+    #[test]
+    fn gc_tick_requeues_entry_when_sink_fails() {
+        let (_, tm) = manager();
+        let sink = FlakySink {
+            inner: RecordingSink::default(),
+            remaining_failures: Mutex::new(1),
+        };
+        let w = tm.begin(NodeId(1));
+        for off in 40..45 {
+            tm.record_free(w, DbSpaceId(1), cloud(off)).unwrap();
+        }
+        tm.commit(w, &sink).unwrap_err(); // commit's own gc_tick hits the fault
+        assert_eq!(
+            tm.chain_len(),
+            1,
+            "a failed GC must requeue the entry, not leak it"
+        );
+        // The sink heals; the next tick reclaims every RF page.
+        tm.gc_tick(&sink).unwrap();
+        assert_eq!(tm.chain_len(), 0);
+        assert_eq!(sink.inner.cloud.lock().runs(), &[(40, 45)]);
     }
 
     #[test]

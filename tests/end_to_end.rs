@@ -316,7 +316,7 @@ fn hopeless_store_rolls_the_transaction_back() {
     // transaction is rolled back" (§4).
     let mut cfg = DatabaseConfig::test_small();
     cfg.consistency.transient_put_failure = 0.999;
-    cfg.retry = cloudiq::objectstore::RetryPolicy { max_attempts: 3 };
+    cfg.retry = cloudiq::objectstore::RetryPolicy::attempts(3);
     let db = Database::create(cfg).unwrap();
     let space = db.create_cloud_dbspace("dead").unwrap();
     let table = TableId(1);
