@@ -11,6 +11,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut sf = 0.01f64;
     let mut wanted: Vec<&str> = Vec::new();
+    let mut trace_path: Option<String> = None;
+    let mut metrics = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -30,7 +32,16 @@ fn main() {
                        --fig9       scale-out (2/4/8 nodes)\n\
                        --ablations  design-choice ablations\n\
                        --faults     fault sweep: retry/backoff under a flaky store\n\
-                       --explain    per-device time-model breakdown\n\n\
+                       --explain    time-model phase totals + folded event journal\n\n\
+                     MACHINE-READABLE MODES (exit after running; stdout is the artifact):\n\
+                       --trace <path>  write the Table-1 lifecycle's deterministic\n\
+                                       JSONL event journal to <path>; two runs are\n\
+                                       byte-identical (add --faults for the scripted\n\
+                                       fault injector — still byte-identical)\n\
+                       --metrics       print the unified metrics-registry snapshot\n\
+                                       for a small end-to-end lifecycle as one JSON\n\
+                                       object (add --faults to exercise the retry\n\
+                                       and backoff counters)\n\n\
                      --sf sets the functional scale factor (default 0.01);\n\
                      results are projected to the paper's SF 1000."
                 );
@@ -40,6 +51,11 @@ fn main() {
                 i += 1;
                 sf = args[i].parse().expect("--sf takes a number");
             }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).expect("--trace takes an output path").clone());
+            }
+            "--metrics" => metrics = true,
             "--all" => wanted.push("all"),
             flag if flag.starts_with("--") => wanted.push(Box::leak(
                 flag.trim_start_matches("--").to_string().into_boxed_str(),
@@ -48,6 +64,25 @@ fn main() {
         }
         i += 1;
     }
+    // Machine-readable modes: run, emit the artifact, and exit before the
+    // human-facing banner so stdout stays parseable (`--faults` acts as a
+    // modifier here rather than selecting the fault-sweep report).
+    if trace_path.is_some() || metrics {
+        let faults = wanted.contains(&"faults");
+        if let Some(path) = &trace_path {
+            let journal = experiments::trace_table1(faults).expect("trace capture");
+            std::fs::write(path, journal).expect("write trace journal");
+            eprintln!("trace journal written to {path}");
+        }
+        if metrics {
+            println!(
+                "{}",
+                experiments::metrics_export(sf, faults).expect("metrics export")
+            );
+        }
+        return;
+    }
+
     if wanted.is_empty() {
         wanted.push("all");
     }

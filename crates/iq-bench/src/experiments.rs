@@ -318,9 +318,20 @@ pub fn fig9(sf: f64) -> IqResult<Report> {
 
 /// **Table 1** — the recovery/GC walkthrough, executed and tabulated.
 pub fn table1() -> IqResult<Report> {
+    table1_walkthrough(false)
+}
+
+/// The Table-1 lifecycle, optionally with the scripted fault injector
+/// layered under the retry policy. The walkthrough is single-threaded end
+/// to end and both the injector and the retry backoff draw from seeded
+/// streams, so every run replays the same operation sequence — which is
+/// what makes the traced journal ([`trace_table1`]) a usable golden file.
+fn table1_walkthrough(faults: bool) -> IqResult<Report> {
     use bytes::Bytes;
     use iq_common::{DbSpaceId, NodeId, PageId, TxnId, VersionId};
-    use iq_objectstore::{ConsistencyConfig, ObjectStoreSim, RetryPolicy};
+    use iq_objectstore::{
+        ConsistencyConfig, FaultInjector, FaultPlan, ObjectBackend, ObjectStoreSim, RetryPolicy,
+    };
     use iq_storage::{DbSpace, KeySource, Page, PageKind, StorageConfig};
     use iq_txn::{LogRecord, Multiplex, RfRb, TxnLog};
     use std::sync::Arc;
@@ -329,12 +340,23 @@ pub fn table1() -> IqResult<Report> {
     let mx = Multiplex::new(Arc::clone(&log), 1, 0);
     let w1 = mx.secondary(NodeId(1)).expect("writer");
     let store = Arc::new(ObjectStoreSim::new(ConsistencyConfig::default()));
+    let (backend, retry): (Arc<dyn ObjectBackend>, RetryPolicy) = if faults {
+        (
+            Arc::new(FaultInjector::new(store.clone(), FaultPlan::flaky(7, 0.08))),
+            RetryPolicy {
+                seed: 7,
+                ..RetryPolicy::attempts(12)
+            },
+        )
+    } else {
+        (store.clone(), RetryPolicy::default())
+    };
     let space = DbSpace::cloud(
         DbSpaceId(1),
         "cloud",
         StorageConfig::test_small(),
-        store.clone(),
-        RetryPolicy::default(),
+        backend,
+        retry,
     );
     let active = |mx: &Multiplex| -> String {
         match mx.coordinator.keygen() {
@@ -716,9 +738,22 @@ pub fn smoke_query(sf: f64, n: u32) -> IqResult<u64> {
     Ok(run.queries[(n - 1) as usize].rows)
 }
 
-/// Calibration aid: dump per-device time components of the S3 run.
+/// Calibration aid: execute the S3 power run under event tracing and fold
+/// the journal into per-kind aggregates. The per-phase virtual times stay
+/// as the header; the folded journal replaces the old ad-hoc per-device
+/// prints, so what the run *did* (counts, bytes moved, op-clock span per
+/// event kind) is read from the same instrumentation every other consumer
+/// of the trace sees.
 pub fn explain(sf: f64) -> IqResult<()> {
-    let run = PowerRun::execute(RunConfig::paper_default(sf))?;
+    use iq_common::trace;
+
+    trace::enable(1 << 20);
+    let run = PowerRun::execute(RunConfig::paper_default(sf));
+    trace::disable();
+    let events = trace::drain();
+    let dropped = trace::dropped();
+    let run = run?;
+
     let model = TimeModel::new(run.config.compute.clone());
     let mut phases: Vec<&crate::runner::PhaseCapture> = vec![&run.load];
     phases.extend(run.queries.iter());
@@ -730,11 +765,97 @@ pub fn explain(sf: f64) -> IqResult<()> {
             model.phase_time(&scaled).as_secs_f64(),
             model.cpu_time(scaled.cpu_work).as_secs_f64()
         );
-        for d in &scaled.devices {
-            println!("    {}", model.explain_device(d));
-        }
+    }
+
+    println!(
+        "\nevent journal — {} events captured, {dropped} dropped:",
+        events.len()
+    );
+    println!(
+        "{:<18} {:>10} {:>16} {:>12} {:>12}",
+        "kind", "count", "bytes", "first_t", "last_t"
+    );
+    for (kind, f) in trace::fold_journal(&events) {
+        println!(
+            "{kind:<18} {:>10} {:>16} {:>12} {:>12}",
+            f.count, f.bytes, f.first_t, f.last_t
+        );
     }
     Ok(())
+}
+
+/// Capture the Table-1 lifecycle as a JSONL event journal (`repro
+/// --trace <path>`). The walkthrough is single-threaded and every
+/// timestamp comes from the virtual op-clock, so the returned text is
+/// byte-for-byte identical across runs — including with `faults`, whose
+/// injector and retry backoff are both seeded.
+pub fn trace_table1(faults: bool) -> IqResult<String> {
+    use iq_common::trace;
+
+    trace::enable(1 << 16);
+    let report = table1_walkthrough(faults);
+    trace::disable();
+    let journal = trace::render_jsonl(&trace::drain());
+    report?;
+    Ok(journal)
+}
+
+/// Machine-readable metrics export behind `repro --metrics`: run a small
+/// end-to-end lifecycle (load, commit, cold scan, GC) and return the
+/// unified [`iq_common::MetricsRegistry`] snapshot as one JSON object.
+/// `faults` layers the scripted injector under the cloud dbspace so the
+/// retry/backoff counters are exercised too.
+pub fn metrics_export(sf: f64, faults: bool) -> IqResult<String> {
+    use iq_common::TableId;
+    use iq_core::{Database, DatabaseConfig};
+    use iq_engine::{DataType, Schema, TableMeta, TableWriter, Value};
+    use iq_objectstore::{FaultPlan, RetryPolicy};
+
+    let mut cfg = DatabaseConfig::test_small();
+    if faults {
+        cfg.fault = Some(FaultPlan::flaky(7, 0.05));
+        cfg.retry = RetryPolicy {
+            seed: 7,
+            ..RetryPolicy::attempts(12)
+        };
+    }
+    let db = Database::create(cfg)?;
+    let space = db.create_cloud_dbspace("metrics")?;
+    let table = TableId(1);
+    db.create_table(table, space)?;
+
+    let rows = ((sf * 100_000.0) as i64).clamp(200, 20_000);
+    let mut meta = TableMeta::new(
+        table,
+        "m",
+        Schema::new(&[("k", DataType::I64), ("v", DataType::Str)]),
+        64,
+    );
+    let txn = db.begin();
+    {
+        let pager = db.pager(txn)?;
+        let meter = db.meter().clone();
+        let mut w = TableWriter::new(&mut meta, &pager, txn, &meter);
+        for i in 0..rows {
+            w.append_row(&[Value::I64(i), Value::Str(format!("r{i}").into())])?;
+        }
+        w.finish()?;
+    }
+    db.commit(txn)?;
+    if let Some(ocm) = db.ocm() {
+        ocm.quiesce();
+    }
+
+    // Cold scan so the buffer and OCM counters see demand loads, not just
+    // the load-phase writes.
+    db.shared().buffer.clear();
+    let rtxn = db.begin();
+    let pager = db.pager(rtxn)?;
+    let out = meta.scan(&pager, &[0, 1], None, db.meter())?;
+    assert_eq!(out.len(), rows as usize);
+    db.rollback(rtxn)?;
+    db.gc_tick()?;
+    Ok(db.metrics_json())
 }
 
 /// Ablation — OCM write-back vs write-through for churn-phase evictions.

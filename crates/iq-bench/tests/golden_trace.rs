@@ -1,0 +1,74 @@
+//! Golden-trace test: the Table-1 lifecycle, captured through the unified
+//! event journal, must replay byte-for-byte.
+//!
+//! The journal's timestamps come from the virtual op-clock (never wall
+//! time) and the walkthrough is single-threaded, so the JSONL rendering is
+//! fully deterministic — any drift against the checked-in golden file
+//! means an accounting or event-ordering change that must be reviewed.
+//! Regenerate with:
+//!
+//! ```sh
+//! cargo run -p iq-bench --bin repro -- --trace crates/iq-bench/tests/golden/table1.jsonl
+//! ```
+//!
+//! This lives in its own integration-test binary on purpose: the tracer is
+//! process-global, and sharing a process with other trace-enabling tests
+//! would interleave journals.
+
+use std::sync::Mutex;
+
+use iq_bench::experiments;
+
+/// Serializes the tests in this binary — they all drive the process-global
+/// tracer.
+static TRACER: Mutex<()> = Mutex::new(());
+
+#[test]
+fn table1_trace_matches_golden_journal() {
+    let _g = TRACER.lock().unwrap();
+    let journal = experiments::trace_table1(false).expect("traced walkthrough");
+    let golden = include_str!("golden/table1.jsonl");
+
+    // The lifecycle's landmark events must all be present before the
+    // byte-level comparison, so a mismatch report starts from semantics.
+    for kind in [
+        "ObjectPut",
+        "KeyRangeAlloc",
+        "\"LogAppend\":{\"record\":\"Commit\"",
+        "RbFlip",
+        "DeferredDelete",
+        "ObjectHead",
+    ] {
+        assert!(
+            journal.contains(kind),
+            "traced walkthrough lost its {kind} events"
+        );
+    }
+
+    if journal != golden {
+        // Line-level diff first: a full-journal assert_eq dump is unreadable.
+        for (n, (got, want)) in journal.lines().zip(golden.lines()).enumerate() {
+            assert_eq!(got, want, "journal diverges from golden at line {}", n + 1);
+        }
+        assert_eq!(
+            journal.lines().count(),
+            golden.lines().count(),
+            "journal length diverges from golden"
+        );
+        unreachable!("journals differ but no line did");
+    }
+}
+
+#[test]
+fn table1_trace_is_deterministic_under_faults() {
+    let _g = TRACER.lock().unwrap();
+    let first = experiments::trace_table1(true).expect("traced faulty walkthrough");
+    let second = experiments::trace_table1(true).expect("traced faulty walkthrough");
+    assert_eq!(
+        first, second,
+        "scripted faults must replay byte-for-byte in the journal"
+    );
+    // The fault plan actually fired: the journal records the retry path.
+    assert!(first.contains("RetryAttempt"));
+    assert!(first.contains("RetryBackoff"));
+}

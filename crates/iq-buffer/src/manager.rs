@@ -18,6 +18,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use iq_common::trace::{self, EventKind};
 use iq_common::{IqResult, PageId, TableId, TxnId, WorkerPool};
 use iq_storage::Page;
 use parking_lot::{Condvar, Mutex};
@@ -174,6 +175,10 @@ impl BufferManager {
         let hit = inner.frames.get(&key).map(|f| f.page.clone());
         if hit.is_some() {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            trace::emit(EventKind::BufferHit {
+                table: key.table.0 as u64,
+                page: key.page.0,
+            });
         }
         hit
     }
@@ -194,13 +199,25 @@ impl BufferManager {
         // the demand/prefetch split depend on thread timing.
         {
             let mut inner = self.inner.lock();
+            let mut waited = false;
             loop {
                 if let Some(frame) = inner.frames.get(&key) {
                     self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    trace::emit(EventKind::BufferHit {
+                        table: key.table.0 as u64,
+                        page: key.page.0,
+                    });
                     return Ok(frame.page.clone());
                 }
                 if inner.loading.insert(key) {
                     break;
+                }
+                if !waited {
+                    waited = true;
+                    trace::emit(EventKind::SingleFlightWait {
+                        table: key.table.0 as u64,
+                        page: key.page.0,
+                    });
                 }
                 self.load_done.wait(&mut inner);
             }
@@ -218,6 +235,11 @@ impl BufferManager {
         } else {
             self.stats.prefetched.fetch_add(1, Ordering::Relaxed);
         }
+        trace::emit(EventKind::BufferLoad {
+            table: key.table.0 as u64,
+            page: key.page.0,
+            demand,
+        });
         let inserted = self.insert_clean(key, page.clone(), sink);
         self.inner.lock().loading.remove(&key);
         self.load_done.notify_all();
@@ -283,6 +305,11 @@ impl BufferManager {
             };
             inner.used_bytes -= frame.bytes;
             self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            trace::emit(EventKind::BufferEvict {
+                table: key.table.0 as u64,
+                page: key.page.0,
+                dirty: frame.dirty.is_some(),
+            });
             if let Some(txn) = frame.dirty {
                 // "A dirty page can be flushed from the cache earlier as
                 // well (upon eviction), when the buffer manager needs to
@@ -389,6 +416,13 @@ impl BufferManager {
                 }
             }
             return Err(e);
+        }
+        if !batch.is_empty() {
+            trace::emit(EventKind::BufferFlush {
+                txn: txn.0,
+                pages: batch.len() as u64,
+                cause: "commit".into(),
+            });
         }
         Ok(())
     }

@@ -21,6 +21,9 @@
 //!   reproducible from a seed.
 //! * [`pool`] — the shared scoped [`WorkerPool`] behind morsel-parallel
 //!   scans and the parallel commit-flush fan-out.
+//! * [`trace`] — the unified observability layer: a deterministic
+//!   structured-event journal timed by the virtual op-clock, plus the
+//!   [`MetricsRegistry`] subsystems expose counters through.
 
 pub mod bitmap;
 pub mod clock;
@@ -28,6 +31,7 @@ pub mod error;
 pub mod ids;
 pub mod pool;
 pub mod rng;
+pub mod trace;
 
 pub use bitmap::{Bitmap, KeySet};
 pub use clock::{SimDuration, SimInstant};
@@ -37,6 +41,7 @@ pub use ids::{
 };
 pub use pool::{PoolRunStats, WorkerPool};
 pub use rng::DetRng;
+pub use trace::{EventKind, MetricValue, MetricsRegistry, TraceEvent};
 
 /// Number of bytes in a kibibyte.
 pub const KIB: u64 = 1024;

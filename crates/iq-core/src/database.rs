@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use iq_buffer::BufferManager;
+use iq_common::trace::{MetricValue, MetricsRegistry};
 use iq_common::{
     BlockNum, DbSpaceId, IqError, IqResult, NodeId, ObjectKey, SimDuration, TableId, TxnId,
 };
@@ -53,6 +54,8 @@ pub struct Shared {
     catalog: Mutex<Catalog>,
     system: Arc<BlockDeviceSim>,
     log: Arc<TxnLog>,
+    /// Unified metrics registry every subsystem registers a source into.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Shared {
@@ -120,6 +123,147 @@ impl Shared {
         g.insert(node.0, Arc::clone(&cache));
         Ok(cache)
     }
+}
+
+/// Register the sources that exist from birth: the buffer manager and the
+/// transaction manager. Closures hold a `Weak` back-reference — the
+/// registry lives inside `Shared`, so a strong capture would leak the
+/// whole database.
+fn register_core_metrics(shared: &Arc<Shared>) {
+    use std::sync::atomic::Ordering as O;
+    let w = Arc::downgrade(shared);
+    shared.metrics.register("buffer", move || {
+        let Some(s) = w.upgrade() else {
+            return Vec::new();
+        };
+        let b = &s.buffer.stats;
+        vec![
+            ("hits".into(), MetricValue::U64(b.hits.load(O::Relaxed))),
+            (
+                "demand_misses".into(),
+                MetricValue::U64(b.demand_misses.load(O::Relaxed)),
+            ),
+            (
+                "prefetched".into(),
+                MetricValue::U64(b.prefetched.load(O::Relaxed)),
+            ),
+            (
+                "evictions".into(),
+                MetricValue::U64(b.evictions.load(O::Relaxed)),
+            ),
+            (
+                "dirty_evictions".into(),
+                MetricValue::U64(b.dirty_evictions.load(O::Relaxed)),
+            ),
+            (
+                "commit_flushes".into(),
+                MetricValue::U64(b.commit_flushes.load(O::Relaxed)),
+            ),
+            (
+                "used_bytes".into(),
+                MetricValue::U64(s.buffer.used_bytes() as u64),
+            ),
+            (
+                "demand_fraction".into(),
+                MetricValue::F64(b.demand_fraction()),
+            ),
+        ]
+    });
+    let w = Arc::downgrade(shared);
+    shared.metrics.register("txn", move || {
+        let Some(s) = w.upgrade() else {
+            return Vec::new();
+        };
+        vec![
+            (
+                "active".into(),
+                MetricValue::U64(s.txns.active_count() as u64),
+            ),
+            (
+                "committed_chain".into(),
+                MetricValue::U64(s.txns.chain_len() as u64),
+            ),
+            ("commit_seq".into(), MetricValue::U64(s.txns.current_seq())),
+            (
+                "max_allocated_key".into(),
+                MetricValue::U64(
+                    s.mx.coordinator
+                        .keygen()
+                        .map(|k| k.max_allocated())
+                        .unwrap_or(0),
+                ),
+            ),
+        ]
+    });
+}
+
+/// The flattened metric values for one device's request ledger (current
+/// epoch only — the archived epochs are reachable via
+/// `DeviceStats::lifetime_snapshot`).
+fn device_metric_values(
+    snap: &iq_objectstore::StatsSnapshot,
+    epoch: u64,
+) -> Vec<(String, MetricValue)> {
+    vec![
+        (
+            "total_requests".into(),
+            MetricValue::U64(snap.total_requests),
+        ),
+        ("retries".into(), MetricValue::U64(snap.retries)),
+        ("backoff_nanos".into(), MetricValue::U64(snap.backoff_nanos)),
+        ("prefix_count".into(), MetricValue::U64(snap.prefix_count)),
+        (
+            "effective_prefixes".into(),
+            MetricValue::F64(snap.effective_prefixes),
+        ),
+        (
+            "mean_queue_depth".into(),
+            MetricValue::F64(snap.mean_queue_depth),
+        ),
+        (
+            "max_queue_depth".into(),
+            MetricValue::U64(snap.max_queue_depth),
+        ),
+        ("epoch".into(), MetricValue::U64(epoch)),
+    ]
+}
+
+/// Register a cloud store's device ledger under `dbspace.<id>`.
+fn register_store_metrics(registry: &MetricsRegistry, id: u32, store: &Arc<ObjectStoreSim>) {
+    let s = Arc::clone(store);
+    registry.register(&format!("dbspace.{id}"), move || {
+        device_metric_values(&s.stats.snapshot(), s.stats.epoch())
+    });
+}
+
+/// Register a block device's ledger under `dbspace.<id>`.
+fn register_device_metrics(registry: &MetricsRegistry, id: u32, device: &Arc<BlockDeviceSim>) {
+    let d = Arc::clone(device);
+    registry.register(&format!("dbspace.{id}"), move || {
+        device_metric_values(&d.stats.snapshot(), d.stats.epoch())
+    });
+}
+
+/// Register the OCM's Table-5 counters and its SSD ledger.
+fn register_ocm_metrics(registry: &MetricsRegistry, ocm: &Arc<Ocm>, ssd: &Arc<BlockDeviceSim>) {
+    let o = Arc::clone(ocm);
+    registry.register("ocm", move || {
+        let snap = o.stats_snapshot();
+        vec![
+            ("hits".into(), MetricValue::U64(snap.hits)),
+            ("misses".into(), MetricValue::U64(snap.misses)),
+            ("evictions".into(), MetricValue::U64(snap.evictions)),
+            ("hit_rate".into(), MetricValue::F64(snap.hit_rate())),
+            (
+                "cached_objects".into(),
+                MetricValue::U64(o.cached_objects() as u64),
+            ),
+        ]
+    });
+    let d = Arc::clone(ssd);
+    registry.register("ocm_ssd", move || {
+        device_metric_values(&d.stats.snapshot(), d.stats.epoch())
+    });
 }
 
 /// Range provider for reader nodes: always refuses.
@@ -224,7 +368,9 @@ impl Database {
             system,
             log,
             config,
+            metrics: Arc::new(MetricsRegistry::new()),
         });
+        register_core_metrics(&shared);
         Ok(Self {
             shared,
             next_space: AtomicU32::new(1),
@@ -292,23 +438,23 @@ impl Database {
         ));
         self.shared.spaces.write().insert(id.0, Arc::clone(&space));
         self.shared.cloud_stores.write().insert(id.0, store.clone());
+        register_store_metrics(&self.shared.metrics, id.0, &store);
         self.shared.immediate_sink.register(space);
         self.persist_ddl()?;
         let mut ocm = self.shared.ocm.lock();
         if ocm.is_none() && self.shared.config.ocm_bytes > 0 {
-            *ocm = Some((
-                id,
-                Arc::new(Ocm::new(
-                    Arc::clone(&self.shared.ssd),
-                    backend,
-                    OcmConfig {
-                        // Slots fit this dbspace's sealed page images.
-                        slot_bytes: storage.page_size,
-                        capacity_bytes: self.shared.config.ocm_bytes,
-                        retry: self.shared.config.retry,
-                    },
-                )),
+            let bound = Arc::new(Ocm::new(
+                Arc::clone(&self.shared.ssd),
+                backend,
+                OcmConfig {
+                    // Slots fit this dbspace's sealed page images.
+                    slot_bytes: storage.page_size,
+                    capacity_bytes: self.shared.config.ocm_bytes,
+                    retry: self.shared.config.retry,
+                },
             ));
+            register_ocm_metrics(&self.shared.metrics, &bound, &self.shared.ssd);
+            *ocm = Some((id, bound));
         }
         Ok(id)
     }
@@ -332,7 +478,11 @@ impl Database {
             self.shared.config.storage,
             device.clone(),
         )?);
-        self.shared.block_devices.write().insert(id.0, device);
+        self.shared
+            .block_devices
+            .write()
+            .insert(id.0, device.clone());
+        register_device_metrics(&self.shared.metrics, id.0, &device);
         self.shared.spaces.write().insert(id.0, Arc::clone(&space));
         self.shared.immediate_sink.register(space);
         self.persist_ddl()?;
@@ -749,6 +899,24 @@ impl Database {
         &self.shared.buffer.stats
     }
 
+    /// The unified metrics registry. Subsystems register named sources at
+    /// creation/reopen; external integrations may add their own.
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.metrics
+    }
+
+    /// Flattened snapshot of every registered metrics source, keyed
+    /// `"source.metric"` in sorted order.
+    pub fn metrics(&self) -> std::collections::BTreeMap<String, MetricValue> {
+        self.shared.metrics.snapshot()
+    }
+
+    /// The metrics snapshot as a stable, machine-readable JSON object
+    /// (`repro --metrics` and the CI schema check consume this).
+    pub fn metrics_json(&self) -> String {
+        self.shared.metrics.to_json()
+    }
+
     /// Aggregate monitoring snapshot across every layer of the stack.
     pub fn stats(&self) -> DatabaseStats {
         use std::sync::atomic::Ordering as O;
@@ -903,7 +1071,9 @@ impl Database {
                 system: durable.system,
                 log: durable.log,
                 config,
+                metrics: Arc::new(MetricsRegistry::new()),
             });
+            register_core_metrics(&shared);
             Self {
                 shared,
                 next_space: AtomicU32::new(1),
@@ -928,7 +1098,13 @@ impl Database {
                     let store = durable.cloud_stores.get(&def.id).cloned().ok_or_else(|| {
                         IqError::Catalog(format!("missing store for {}", def.name))
                     })?;
+                    // The backend (and its request ledger) survives the
+                    // restart; open a fresh stats epoch so post-restart
+                    // traffic is accounted separately while the archived
+                    // epochs remain reachable via `lifetime_snapshot`.
+                    store.stats.begin_epoch();
                     db.shared.cloud_stores.write().insert(def.id, store.clone());
+                    register_store_metrics(&db.shared.metrics, def.id, &store);
                     // The durable store survives the restart; the client-side
                     // injector is rebuilt fresh (a restarted node is healed).
                     let backend: Arc<dyn ObjectBackend> = match db.shared.config.fault {
@@ -954,10 +1130,12 @@ impl Database {
                     let device = durable.block_devices.get(&def.id).cloned().ok_or_else(|| {
                         IqError::Catalog(format!("missing device for {}", def.name))
                     })?;
+                    device.stats.begin_epoch();
                     db.shared
                         .block_devices
                         .write()
                         .insert(def.id, device.clone());
+                    register_device_metrics(&db.shared.metrics, def.id, &device);
                     Arc::new(DbSpace::conventional(
                         DbSpaceId(def.id),
                         &def.name,
@@ -978,18 +1156,17 @@ impl Database {
                             Some(inj) => Arc::clone(inj) as Arc<dyn ObjectBackend>,
                             None => db.shared.cloud_stores.read()[&def.id].clone(),
                         };
-                    *ocm = Some((
-                        DbSpaceId(def.id),
-                        Arc::new(Ocm::new(
-                            Arc::clone(&db.shared.ssd),
-                            backend,
-                            iq_ocm::OcmConfig {
-                                slot_bytes: def.page_size,
-                                capacity_bytes: db.shared.config.ocm_bytes,
-                                retry: db.shared.config.retry,
-                            },
-                        )),
+                    let bound = Arc::new(Ocm::new(
+                        Arc::clone(&db.shared.ssd),
+                        backend,
+                        iq_ocm::OcmConfig {
+                            slot_bytes: def.page_size,
+                            capacity_bytes: db.shared.config.ocm_bytes,
+                            retry: db.shared.config.retry,
+                        },
                     ));
+                    register_ocm_metrics(&db.shared.metrics, &bound, &db.shared.ssd);
+                    *ocm = Some((DbSpaceId(def.id), bound));
                 }
             }
         }

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use bytes::Bytes;
+use iq_common::trace::{self, EventKind};
 use iq_common::{IqError, IqResult, PageId, TableId, TxnId, WorkerPool};
 use iq_storage::PageKind;
 use serde::{Deserialize, Serialize};
@@ -288,6 +289,11 @@ impl TableMeta {
                     }
                     None => chunk,
                 };
+                trace::emit(EventKind::ScanMorsel {
+                    table: self.id.0 as u64,
+                    group: survivors[i] as u64,
+                    rows: filtered.len() as u64,
+                });
                 Ok(filtered.project(&proj_idx))
             })?;
 

@@ -81,10 +81,45 @@ struct Inner {
     backoff_nanos: u64,
 }
 
+impl Inner {
+    /// Fold `src` into `self`: counters add, the prefix histogram adds
+    /// per-prefix, queue-depth maxima take the max, and `src`'s
+    /// time-series buckets are appended after `self`'s (the merged series
+    /// reads oldest-epoch-first).
+    fn merge(&mut self, src: &Inner) {
+        for (op, c) in &src.ops {
+            let dst = self.ops.entry(*op).or_default();
+            dst.count += c.count;
+            dst.bytes += c.bytes;
+        }
+        for (p, n) in &src.prefix_spread {
+            *self.prefix_spread.entry(*p).or_default() += n;
+        }
+        self.buckets.extend_from_slice(&src.buckets);
+        self.total_requests += src.total_requests;
+        self.queue_depth_sum += src.queue_depth_sum;
+        self.queue_depth_samples += src.queue_depth_samples;
+        self.queue_depth_max = self.queue_depth_max.max(src.queue_depth_max);
+        self.retries += src.retries;
+        self.backoff_nanos += src.backoff_nanos;
+    }
+}
+
 /// Thread-safe request ledger for one device.
+///
+/// The ledger is **epoched**: [`DeviceStats::snapshot`] reads the current
+/// epoch only, and [`DeviceStats::begin_epoch`] archives the current epoch
+/// into a lifetime ledger and starts a fresh one. `Database::reopen` opens
+/// a new epoch on every backend that survives a restart, so post-crash
+/// figures never mix in pre-crash traffic while
+/// [`DeviceStats::lifetime_snapshot`] still reports the merged whole.
 #[derive(Debug, Default)]
 pub struct DeviceStats {
     inner: Mutex<Inner>,
+    /// Merged ledger of all closed epochs.
+    archived: Mutex<Inner>,
+    /// Number of closed epochs (0 until the first [`DeviceStats::begin_epoch`]).
+    epoch: std::sync::atomic::AtomicU64,
     /// Requests per time-series bucket (ordinal bucketing).
     bucket_width: u64,
 }
@@ -93,8 +128,8 @@ impl DeviceStats {
     /// New ledger with the default time-series bucket width.
     pub fn new() -> Self {
         Self {
-            inner: Mutex::default(),
             bucket_width: 32,
+            ..Self::default()
         }
     }
 
@@ -102,8 +137,8 @@ impl DeviceStats {
     /// bucket).
     pub fn with_bucket_width(bucket_width: u64) -> Self {
         Self {
-            inner: Mutex::default(),
             bucket_width: bucket_width.max(1),
+            ..Self::default()
         }
     }
 
@@ -146,9 +181,7 @@ impl DeviceStats {
         g.queue_depth_max = g.queue_depth_max.max(depth);
     }
 
-    /// Snapshot all counters.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        let g = self.inner.lock();
+    fn snapshot_of(&self, g: &Inner) -> StatsSnapshot {
         let mut ops: Vec<(IoOp, OpCounter)> = g.ops.iter().map(|(k, v)| (*k, *v)).collect();
         ops.sort_by_key(|(op, _)| format!("{op:?}"));
         StatsSnapshot {
@@ -169,7 +202,43 @@ impl DeviceStats {
         }
     }
 
-    /// Reset all counters (between benchmark phases).
+    /// Snapshot the current epoch's counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.snapshot_of(&self.inner.lock())
+    }
+
+    /// Snapshot the whole lifetime: every closed epoch merged with the
+    /// current one.
+    pub fn lifetime_snapshot(&self) -> StatsSnapshot {
+        // Lock order: archived before inner (matched by `begin_epoch`).
+        let archived = self.archived.lock();
+        let current = self.inner.lock();
+        let mut merged = Inner::default();
+        merged.merge(&archived);
+        merged.merge(&current);
+        self.snapshot_of(&merged)
+    }
+
+    /// Close the current epoch: archive its counters into the lifetime
+    /// ledger and start a fresh epoch. Called on every surviving backend
+    /// at `Database::reopen`, so per-run figures (prefix spread, Figure-8
+    /// buckets, retry ledgers) never leak across a restart.
+    pub fn begin_epoch(&self) {
+        let mut archived = self.archived.lock();
+        let mut current = self.inner.lock();
+        archived.merge(&current);
+        *current = Inner::default();
+        self.epoch
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Number of closed epochs (0 for a ledger that never restarted).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Reset the current epoch's counters (between benchmark phases).
+    /// Closed epochs in the lifetime ledger are unaffected.
     pub fn reset(&self) {
         *self.inner.lock() = Inner::default();
     }
@@ -376,5 +445,59 @@ mod tests {
         s.record(IoOp::Get, 10);
         s.reset();
         assert_eq!(s.snapshot().total_requests, 0);
+    }
+
+    #[test]
+    fn epochs_partition_and_lifetime_merges() {
+        let s = DeviceStats::with_bucket_width(2);
+        s.record_prefixed(IoOp::Put, 100, Some(1));
+        s.record_prefixed(IoOp::Put, 100, Some(2));
+        s.record_backoff(500);
+        s.record_queue_depth(4);
+        assert_eq!(s.epoch(), 0);
+
+        // Restart boundary: the new epoch starts clean.
+        s.begin_epoch();
+        assert_eq!(s.epoch(), 1);
+        let fresh = s.snapshot();
+        assert_eq!(fresh.total_requests, 0);
+        assert_eq!(fresh.retries, 0);
+        assert_eq!(fresh.prefix_count, 0);
+        assert!(fresh.buckets.is_empty());
+
+        // Post-restart traffic lands in the new epoch only.
+        s.record_prefixed(IoOp::Get, 40, Some(3));
+        let cur = s.snapshot();
+        assert_eq!(cur.total_requests, 1);
+        assert_eq!(cur.op(IoOp::Put).count, 0);
+
+        // The lifetime view merges both epochs: counters add, the prefix
+        // histogram unions, queue maxima survive, buckets concatenate.
+        let life = s.lifetime_snapshot();
+        assert_eq!(life.total_requests, 3);
+        assert_eq!(
+            life.op(IoOp::Put),
+            OpCounter {
+                count: 2,
+                bytes: 200
+            }
+        );
+        assert_eq!(
+            life.op(IoOp::Get),
+            OpCounter {
+                count: 1,
+                bytes: 40
+            }
+        );
+        assert_eq!(life.prefix_count, 3);
+        assert_eq!(life.retries, 1);
+        assert_eq!(life.backoff_nanos, 500);
+        assert_eq!(life.max_queue_depth, 4);
+        assert_eq!(life.buckets.len(), 2);
+
+        // A second restart keeps folding.
+        s.begin_epoch();
+        assert_eq!(s.epoch(), 2);
+        assert_eq!(s.lifetime_snapshot().total_requests, 3);
     }
 }

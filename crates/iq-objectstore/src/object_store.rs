@@ -32,6 +32,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
+use iq_common::trace::{self, EventKind};
 use iq_common::{DetRng, IqError, IqResult, ObjectKey};
 use parking_lot::Mutex;
 
@@ -131,6 +132,9 @@ impl ObjectStoreSim {
     }
 
     fn tick(&self) -> u64 {
+        // The trace clock is the same virtual op-clock: every request
+        // advances both, so journal timestamps are wall-time-free.
+        trace::advance_clock(1);
         self.op_counter.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -225,6 +229,10 @@ impl ObjectBackend for ObjectStoreSim {
                 });
             }
         }
+        trace::emit(EventKind::ObjectPut {
+            key: key.offset(),
+            bytes: len,
+        });
         Ok(())
     }
 
@@ -235,6 +243,7 @@ impl ObjectBackend for ObjectStoreSim {
             None => {
                 self.stats
                     .record_prefixed(IoOp::GetMiss, 0, Some(key.hashed_prefix()));
+                trace::emit(EventKind::ObjectGetMiss { key: key.offset() });
                 Err(IqError::ObjectNotFound(key))
             }
             Some(obj) if obj.visible_at > now => {
@@ -247,11 +256,16 @@ impl ObjectBackend for ObjectStoreSim {
                         prior.len() as u64,
                         Some(key.hashed_prefix()),
                     );
+                    trace::emit(EventKind::ObjectGet {
+                        key: key.offset(),
+                        bytes: prior.len() as u64,
+                    });
                     Ok(prior.clone())
                 } else {
                     // Fresh key not yet visible (scenario 3 of §3).
                     self.stats
                         .record_prefixed(IoOp::GetMiss, 0, Some(key.hashed_prefix()));
+                    trace::emit(EventKind::ObjectGetMiss { key: key.offset() });
                     Err(IqError::ObjectNotFound(key))
                 }
             }
@@ -261,6 +275,10 @@ impl ObjectBackend for ObjectStoreSim {
                     obj.data.len() as u64,
                     Some(key.hashed_prefix()),
                 );
+                trace::emit(EventKind::ObjectGet {
+                    key: key.offset(),
+                    bytes: obj.data.len() as u64,
+                });
                 Ok(obj.data.clone())
             }
         }
@@ -274,6 +292,7 @@ impl ObjectBackend for ObjectStoreSim {
             self.resident
                 .fetch_sub(obj.data.len() as u64, Ordering::Relaxed);
         }
+        trace::emit(EventKind::ObjectDelete { key: key.offset() });
         Ok(())
     }
 
@@ -281,7 +300,12 @@ impl ObjectBackend for ObjectStoreSim {
         self.tick();
         self.stats
             .record_prefixed(IoOp::Head, 0, Some(key.hashed_prefix()));
-        self.objects.lock().contains_key(&key)
+        let found = self.objects.lock().contains_key(&key);
+        trace::emit(EventKind::ObjectHead {
+            key: key.offset(),
+            found,
+        });
+        found
     }
 
     fn resident_bytes(&self) -> u64 {
@@ -300,6 +324,7 @@ impl ObjectBackend for ObjectStoreSim {
         // While the client sleeps, the rest of the cluster keeps issuing
         // requests: advancing the op clock is what lets a backoff close an
         // open visibility window (the whole point of backing off).
+        trace::advance_clock(ops);
         self.op_counter.fetch_add(ops, Ordering::Relaxed);
         self.stats.record_backoff(wait.as_nanos());
     }

@@ -25,6 +25,7 @@
 //! byte-for-byte under a fixed seed regardless of thread interleaving.
 
 use bytes::Bytes;
+use iq_common::trace::{self, EventKind};
 use iq_common::{IqError, IqResult, ObjectKey, SimDuration};
 
 use crate::object_store::ConsistencyConfig;
@@ -141,7 +142,27 @@ impl RetryPolicy {
 
     /// Charge one backoff against the store's clocks.
     fn back_off(&self, store: &dyn ObjectBackend, key: ObjectKey, attempt: u32) {
-        store.note_backoff(self.backoff_ops(attempt), self.backoff_wait(key, attempt));
+        let ops = self.backoff_ops(attempt);
+        let wait = self.backoff_wait(key, attempt);
+        trace::emit(EventKind::RetryBackoff {
+            key: key.offset(),
+            attempt,
+            ops,
+            wait_nanos: wait.as_nanos(),
+        });
+        store.note_backoff(ops, wait);
+    }
+
+    /// Journal a failed transient attempt (the `String` payload is only
+    /// built when tracing is live).
+    fn trace_attempt(key: ObjectKey, attempt: u32, err: &IqError) {
+        if trace::is_enabled() {
+            trace::emit(EventKind::RetryAttempt {
+                key: key.offset(),
+                attempt,
+                error: err.to_string(),
+            });
+        }
     }
 
     /// GET with retry-on-transient-error (visibility misses, throttling,
@@ -155,6 +176,7 @@ impl RetryPolicy {
             match store.get(key) {
                 Ok(bytes) => return Ok(bytes),
                 Err(e) if e.is_transient() && attempts < self.max_attempts => {
+                    Self::trace_attempt(key, attempts, &e);
                     self.back_off(store, key, attempts);
                 }
                 Err(e) if e.is_transient() => {
@@ -175,7 +197,10 @@ impl RetryPolicy {
             attempts += 1;
             match store.put(key, data.clone()) {
                 Ok(()) => return Ok(()),
-                Err(IqError::Io(_) | IqError::Throttled(_)) if attempts < self.max_attempts => {
+                Err(e @ (IqError::Io(_) | IqError::Throttled(_)))
+                    if attempts < self.max_attempts =>
+                {
+                    Self::trace_attempt(key, attempts, &e);
                     self.back_off(store, key, attempts);
                 }
                 Err(IqError::Io(_) | IqError::Throttled(_)) => {

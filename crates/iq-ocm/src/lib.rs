@@ -32,5 +32,5 @@
 pub mod manager;
 pub mod slots;
 
-pub use manager::{Ocm, OcmConfig, OcmStats, OcmStatsSnapshot, WriteMode};
+pub use manager::{validate_slot_len, Ocm, OcmConfig, OcmStats, OcmStatsSnapshot, WriteMode};
 pub use slots::SlotAllocator;

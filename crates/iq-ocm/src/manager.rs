@@ -7,6 +7,7 @@ use std::thread::JoinHandle;
 
 use bytes::Bytes;
 use iq_buffer::LruCache;
+use iq_common::trace::{self, EventKind};
 use iq_common::{IqError, IqResult, ObjectKey, TxnId};
 use iq_objectstore::{BlockBackend, BlockDeviceSim, ObjectBackend, RetryPolicy};
 use parking_lot::{Condvar, Mutex};
@@ -106,6 +107,11 @@ struct Inner {
     /// Transactions that signalled FlushForCommit; their writes are
     /// forced to write-through from then on.
     commit_mode: HashSet<TxnId>,
+    /// Object images queued for SSD population but not yet durable in a
+    /// slot. A read that lands here is a cache hit (the store round trip
+    /// was already paid and counted by the populate's originator), and the
+    /// key must not be enqueued for population a second time.
+    pending_populates: HashMap<ObjectKey, Bytes>,
     shutdown: bool,
 }
 
@@ -145,6 +151,7 @@ impl Ocm {
             pending_puts: HashMap::new(),
             txn_errors: HashMap::new(),
             commit_mode: HashSet::new(),
+            pending_populates: HashMap::new(),
             shutdown: false,
         }));
         let work_cv = Arc::new(Condvar::new());
@@ -159,6 +166,7 @@ impl Ocm {
             let store = Arc::clone(&store);
             let stats = Arc::clone(&stats);
             let retry = config.retry;
+            let slot_bytes = config.slot_bytes;
             std::thread::Builder::new()
                 .name("ocm-writer".into())
                 .spawn(move || {
@@ -170,6 +178,7 @@ impl Ocm {
                         store.as_ref(),
                         &stats,
                         retry,
+                        slot_bytes,
                     )
                 })
                 .expect("spawn OCM worker")
@@ -215,6 +224,7 @@ impl Ocm {
             // read latency in the time model (Figure 6's anomaly).
             let depth = inner.queue.len() as u64;
             self.ssd.stats.record_queue_depth(depth);
+            trace::emit(EventKind::OcmQueueDepth { depth });
             let start = inner.slots.slot_start(entry.slot);
             // Read only the blocks the object actually covers.
             let blocks = entry.len.div_ceil(self.ssd.block_size()).max(1);
@@ -222,31 +232,45 @@ impl Ocm {
             // the slot underneath us (the simulation's equivalent of a pin).
             let image = self.ssd.read_blocks(start, blocks)?;
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            trace::emit(EventKind::OcmHit { key: key.offset() });
             return Ok(image.slice(0..entry.len as usize));
         }
-        drop(inner);
+        if let Some(data) = inner.pending_populates.get(&key).cloned() {
+            // Queued for population but not yet in a durable slot: serve the
+            // queued image and count a hit. The read-through that queued it
+            // already counted the miss; bumping misses again here (and
+            // re-enqueueing a populate) double-counted Table 5 until the
+            // slot became durable.
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            trace::emit(EventKind::OcmHit { key: key.offset() });
+            return Ok(data);
+        }
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        trace::emit(EventKind::OcmMiss { key: key.offset() });
+        drop(inner);
         let data = self.config.retry.get(self.store.as_ref(), key)?;
-        // Asynchronously cache for future lookups (read-through).
-        let mut inner = self.inner.lock();
-        inner.queue.push_back(Job::CachePopulate {
-            key,
-            data: data.clone(),
-        });
-        self.work_cv.notify_one();
+        // Asynchronously cache for future lookups (read-through) — unless
+        // the object exceeds the slot size, in which case it is served
+        // directly and never cached: a truncated slot image would corrupt
+        // every later hit.
+        if validate_slot_len(data.len(), self.config.slot_bytes).is_ok() {
+            let mut inner = self.inner.lock();
+            if inner.lru.peek(&key).is_none() && !inner.pending_populates.contains_key(&key) {
+                inner.pending_populates.insert(key, data.clone());
+                inner.queue.push_back(Job::CachePopulate {
+                    key,
+                    data: data.clone(),
+                });
+                self.work_cv.notify_one();
+            }
+        }
         Ok(data)
     }
 
     /// Write an object on behalf of `txn`. The mode is upgraded to
     /// write-through once the transaction has signalled FlushForCommit.
     pub fn write(&self, key: ObjectKey, data: Bytes, txn: TxnId, mode: WriteMode) -> IqResult<()> {
-        if data.len() > self.config.slot_bytes as usize {
-            return Err(IqError::Invalid(format!(
-                "object of {} bytes exceeds OCM slot size {}",
-                data.len(),
-                self.config.slot_bytes
-            )));
-        }
+        validate_slot_len(data.len(), self.config.slot_bytes)?;
         let mut inner = self.inner.lock();
         let effective = if inner.commit_mode.contains(&txn) {
             WriteMode::WriteThrough
@@ -294,6 +318,7 @@ impl Ocm {
                     .retry
                     .put(self.store.as_ref(), key, data.clone())?;
                 let mut inner = self.inner.lock();
+                inner.pending_populates.insert(key, data.clone());
                 inner.queue.push_back(Job::CachePopulate { key, data });
                 self.work_cv.notify_one();
                 Ok(())
@@ -337,7 +362,10 @@ impl Ocm {
     /// Wait for the queue to drain entirely (tests and shutdown barriers).
     pub fn quiesce(&self) {
         let mut inner = self.inner.lock();
-        while !inner.queue.is_empty() || inner.pending_puts.values().any(|&n| n > 0) {
+        while !inner.queue.is_empty()
+            || !inner.pending_populates.is_empty()
+            || inner.pending_puts.values().any(|&n| n > 0)
+        {
             self.done_cv.wait(&mut inner);
         }
     }
@@ -381,12 +409,36 @@ fn allocate_slot(inner: &mut Inner, stats: &OcmStats) -> Option<u64> {
     if let Some(s) = inner.slots.allocate() {
         return Some(s);
     }
-    if let Some((_, old)) = inner.lru.pop_lru() {
+    if let Some((old_key, old)) = inner.lru.pop_lru() {
         stats.evictions.fetch_add(1, Ordering::Relaxed);
+        trace::emit(EventKind::OcmEvict {
+            key: old_key.offset(),
+        });
         inner.slots.free(old.slot);
         return inner.slots.allocate();
     }
     None
+}
+
+/// Validate an object image length against the OCM slot size.
+///
+/// Returns the length narrowed to `u32` only when it provably fits in one
+/// slot. Lengths that overflow `u32` (or merely the slot) are rejected with
+/// [`IqError::Invalid`] — the old `as u32` casts silently truncated them at
+/// PUT time, recording a wrong `CacheEntry::len` and letting the padded
+/// image overrun neighbouring slots.
+pub fn validate_slot_len(len: usize, slot_bytes: u32) -> IqResult<u32> {
+    let narrowed = u32::try_from(len).map_err(|_| {
+        IqError::Invalid(format!(
+            "object of {len} bytes overflows the u32 slot-length field"
+        ))
+    })?;
+    if narrowed > slot_bytes {
+        return Err(IqError::Invalid(format!(
+            "object of {len} bytes exceeds OCM slot size {slot_bytes}"
+        )));
+    }
+    Ok(narrowed)
 }
 
 fn pad_to_blocks(data: &[u8], target: usize) -> Vec<u8> {
@@ -396,6 +448,7 @@ fn pad_to_blocks(data: &[u8], target: usize) -> Vec<u8> {
     v
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     inner: &Mutex<Inner>,
     work_cv: &Condvar,
@@ -404,6 +457,7 @@ fn worker_loop(
     store: &dyn ObjectBackend,
     stats: &OcmStats,
     retry: RetryPolicy,
+    slot_bytes: u32,
 ) {
     let mut guard = inner.lock();
     loop {
@@ -452,20 +506,32 @@ fn worker_loop(
             Job::CachePopulate { key, data } => {
                 if guard.lru.peek(&key).is_some() {
                     // Already cached by a racing populate.
+                    guard.pending_populates.remove(&key);
                     done_cv.notify_all();
                     continue;
                 }
+                // Defence in depth: never slot an image larger than a slot.
+                // The old unchecked `data.len() as u32` truncated the stored
+                // length and let the padded image overrun neighbouring slots.
+                let Ok(len) = validate_slot_len(data.len(), slot_bytes) else {
+                    guard.pending_populates.remove(&key);
+                    done_cv.notify_all();
+                    continue;
+                };
                 let Some(slot) = allocate_slot(&mut guard, stats) else {
+                    guard.pending_populates.remove(&key);
                     done_cv.notify_all();
                     continue;
                 };
                 let start = guard.slots.slot_start(slot);
-                let len = data.len() as u32;
                 let blocks = len.div_ceil(ssd.block_size()).max(1);
                 drop(guard);
                 let image = pad_to_blocks(&data, blocks as usize * ssd.block_size() as usize);
                 let ok = ssd.write_blocks(start, &image).is_ok();
                 guard = inner.lock();
+                // The key leaves the pending set in every outcome, success
+                // or not — a stale entry would count phantom hits forever.
+                guard.pending_populates.remove(&key);
                 if ok {
                     if let Some(old) = guard.lru.insert(key, CacheEntry { slot, len }) {
                         guard.slots.free(old.slot);
@@ -655,6 +721,82 @@ mod tests {
         assert_eq!(&ocm.read(key(1)).unwrap()[..], b"big");
         ocm.quiesce();
         assert!(ocm.contains(key(1)));
+    }
+
+    #[test]
+    fn pending_populate_counts_hits_once_per_miss() {
+        let (ocm, store) = setup(8);
+        store.put(key(7), Bytes::from_static(b"seq")).unwrap();
+        store.settle();
+        // Scripted sequence: three reads with no quiesce in between. Only
+        // the first pays (and counts) the store round trip; the next two
+        // are served from the durable slot or from the queued populate
+        // image — either way exactly one miss, two hits, one populate.
+        for _ in 0..3 {
+            assert_eq!(&ocm.read(key(7)).unwrap()[..], b"seq");
+        }
+        let snap = ocm.stats_snapshot();
+        assert_eq!((snap.misses, snap.hits), (1, 2));
+        ocm.quiesce();
+        assert!(ocm.contains(key(7)));
+        assert_eq!(ocm.cached_objects(), 1);
+        assert_eq!(ocm.stats_snapshot().evictions, 0);
+    }
+
+    #[test]
+    fn oversized_lengths_are_rejected_not_truncated() {
+        // A length that overflows u32 entirely: the old cast truncated
+        // `u32::MAX + 1` to zero bytes — accepted, then served empty.
+        let overflow = u32::MAX as usize + 1;
+        assert!(matches!(
+            validate_slot_len(overflow, u32::MAX),
+            Err(IqError::Invalid(_))
+        ));
+        // Fits in u32 but not in the slot.
+        assert!(matches!(
+            validate_slot_len(1025, 1024),
+            Err(IqError::Invalid(_))
+        ));
+        assert_eq!(validate_slot_len(1024, 1024).unwrap(), 1024);
+        assert_eq!(validate_slot_len(0, 1024).unwrap(), 0);
+        // At the u32 ceiling exactly, the narrowing is still lossless.
+        assert_eq!(
+            validate_slot_len(u32::MAX as usize, u32::MAX).unwrap(),
+            u32::MAX
+        );
+    }
+
+    #[test]
+    fn oversized_write_is_rejected_at_put_time() {
+        let (ocm, _store) = setup(8);
+        let err = ocm
+            .write(
+                key(1),
+                Bytes::from(vec![0u8; 2048]),
+                TxnId(1),
+                WriteMode::WriteBack,
+            )
+            .unwrap_err();
+        assert!(matches!(err, IqError::Invalid(_)));
+    }
+
+    #[test]
+    fn oversized_read_through_is_served_but_never_cached() {
+        let (ocm, store) = setup(8);
+        // 2000 bytes > the 1024-byte slot, written to the store directly
+        // (bypassing the OCM write-path validation).
+        store.put(key(30), Bytes::from(vec![7u8; 2000])).unwrap();
+        store.put(key(31), Bytes::from_static(b"small")).unwrap();
+        store.settle();
+        let data = ocm.read(key(30)).unwrap();
+        assert_eq!(data.len(), 2000); // served in full, not truncated
+        ocm.quiesce();
+        assert!(!ocm.contains(key(30))); // and never cached
+                                         // A normal neighbour still caches fine.
+        assert_eq!(&ocm.read(key(31)).unwrap()[..], b"small");
+        ocm.quiesce();
+        assert!(ocm.contains(key(31)));
+        assert_eq!(&ocm.read(key(31)).unwrap()[..], b"small");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use std::sync::Arc;
 
+use iq_common::trace::{self, EventKind};
 use iq_common::{DbSpaceId, IqError, IqResult, ObjectKey, PhysicalLocator};
 use iq_objectstore::{BlockBackend, ObjectBackend, RetryPolicy};
 use parking_lot::Mutex;
@@ -228,6 +229,7 @@ impl DbSpace {
             Backing::Cloud { store, .. } => {
                 if store.exists(key) {
                     store.delete(key)?;
+                    trace::emit(EventKind::DeferredDelete { key: key.offset() });
                     Ok(true)
                 } else {
                     Ok(false)

@@ -20,6 +20,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use iq_common::trace::{self, EventKind};
 use iq_common::{IqError, IqResult, KeySet, NodeId, ObjectKey};
 use iq_storage::KeySource;
 use parking_lot::Mutex;
@@ -199,6 +200,11 @@ impl RangeProvider for KeyGenerator {
         // of the allocation mini-transaction.
         self.log
             .append(LogRecord::AllocateRange { node, start, end });
+        trace::emit(EventKind::KeyRangeAlloc {
+            node: node.0 as u64,
+            start,
+            end,
+        });
         Ok(KeyRange { start, end })
     }
 }

@@ -20,6 +20,7 @@
 
 use std::collections::BTreeMap;
 
+use iq_common::trace::{self, EventKind};
 use iq_common::{IqError, IqResult, KeySet, NodeId, TxnId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -84,8 +85,18 @@ impl TxnLog {
         if matches!(record, LogRecord::Checkpoint { .. }) {
             g.last_checkpoint = Some(g.records.len());
         }
+        let kind = match record {
+            LogRecord::Checkpoint { .. } => "Checkpoint",
+            LogRecord::AllocateRange { .. } => "AllocateRange",
+            LogRecord::Commit { .. } => "Commit",
+        };
         g.records.push(record);
-        (g.records.len() - 1) as u64
+        let lsn = (g.records.len() - 1) as u64;
+        trace::emit(EventKind::LogAppend {
+            record: kind.into(),
+            lsn,
+        });
+        lsn
     }
 
     /// Records from the most recent checkpoint (inclusive) to the tail.

@@ -17,6 +17,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use iq_common::trace::{self, EventKind};
 use iq_common::{DbSpaceId, IqError, IqResult, NodeId, PhysicalLocator, TxnId};
 use iq_storage::DbSpace;
 use parking_lot::Mutex;
@@ -146,6 +147,10 @@ impl TransactionManager {
                 rfrb: RfRb::new(),
             },
         );
+        trace::emit(EventKind::TxnBegin {
+            txn: id,
+            node: node.0 as u64,
+        });
         TxnId(id)
     }
 
@@ -218,6 +223,10 @@ impl TransactionManager {
             commit_seq,
             rfrb: entry.rfrb,
         });
+        trace::emit(EventKind::TxnCommit {
+            txn: txn.0,
+            commit_seq,
+        });
         self.gc_tick(sink)?;
         Ok(commit_seq)
     }
@@ -234,6 +243,7 @@ impl TransactionManager {
                 reason: "not active".into(),
             })?
         };
+        trace::emit(EventKind::TxnRollback { txn: txn.0 });
         for key in entry.rfrb.rb.iter_keys() {
             sink.delete_page(
                 cloud_space_of(&entry.rfrb, key),
@@ -284,6 +294,7 @@ impl TransactionManager {
     /// and delete their RF pages. Returns pages deleted.
     pub fn gc_tick(&self, sink: &dyn DeletionSink) -> IqResult<usize> {
         let mut deleted = 0usize;
+        let mut consumed = 0u64;
         loop {
             let entry = {
                 let mut g = self.inner.lock();
@@ -326,6 +337,13 @@ impl TransactionManager {
                 self.inner.lock().chain.push_front(entry);
                 return Err(e);
             }
+            consumed += 1;
+        }
+        if trace::is_enabled() {
+            trace::emit(EventKind::GcTick {
+                consumed,
+                remaining: self.inner.lock().chain.len() as u64,
+            });
         }
         Ok(deleted)
     }

@@ -16,8 +16,18 @@
 
 use std::collections::BTreeMap;
 
+use iq_common::trace::{self, EventKind};
 use iq_common::{BlockNum, DbSpaceId, KeySet, ObjectKey, PhysicalLocator};
 use serde::{Deserialize, Serialize};
+
+/// The bitmap bit a locator flips: the key offset for cloud pages, the
+/// first block number for conventional runs.
+fn locator_bit(loc: PhysicalLocator) -> u64 {
+    match loc {
+        PhysicalLocator::Object(key) => key.offset(),
+        PhysicalLocator::Blocks { start, .. } => start.0,
+    }
+}
 
 /// One side (RF or RB) of the bitmap pair.
 #[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
@@ -93,11 +103,17 @@ impl RfRb {
 
     /// Record a page allocation (RB).
     pub fn record_alloc(&mut self, space: DbSpaceId, loc: PhysicalLocator) {
+        trace::emit(EventKind::RbFlip {
+            key: locator_bit(loc),
+        });
         self.rb.record(space, loc);
     }
 
     /// Record a page deletion/supersession (RF).
     pub fn record_free(&mut self, space: DbSpaceId, loc: PhysicalLocator) {
+        trace::emit(EventKind::RfFlip {
+            key: locator_bit(loc),
+        });
         self.rf.record(space, loc);
     }
 

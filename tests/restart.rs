@@ -54,6 +54,12 @@ fn reopen_recovers_committed_state_and_reclaims_inflight_garbage() {
     let store = db.cloud_store(space).unwrap();
     let objects_with_garbage = store.object_count();
 
+    // The first life of the instance runs in stats epoch 0 and has
+    // generated backend traffic.
+    let pre_crash_requests = store.stats.snapshot().total_requests;
+    assert!(pre_crash_requests > 0);
+    assert_eq!(store.stats.epoch(), 0);
+
     // Power off and reopen.
     let durable = db.into_durable();
     let db = Database::reopen(durable, cfg).unwrap();
@@ -75,6 +81,19 @@ fn reopen_recovers_committed_state_and_reclaims_inflight_garbage() {
         "in-flight garbage must be reclaimed ({objects_with_garbage} before)"
     );
     assert_eq!(store.max_write_count(), 1);
+
+    // Reopen started a fresh stats epoch on the surviving backend: the
+    // current snapshot holds only post-restart traffic (recovery polling
+    // and the verification scan), while the merged lifetime view still
+    // accounts for the first life.
+    assert!(store.stats.epoch() >= 1);
+    let current = store.stats.snapshot();
+    assert!(current.total_requests > 0);
+    assert_eq!(
+        store.stats.lifetime_snapshot().total_requests,
+        pre_crash_requests + current.total_requests,
+        "lifetime view must merge pre-crash and post-restart epochs"
+    );
 
     // Key monotonicity survived the restart.
     let max_key_after = db.shared().mx.coordinator.keygen().unwrap().max_allocated();
