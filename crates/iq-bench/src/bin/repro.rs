@@ -31,6 +31,7 @@ fn main() {
                        --fig8       network bandwidth during load\n\
                        --fig9       scale-out (2/4/8 nodes)\n\
                        --ablations  design-choice ablations\n\
+                       --gc         batched multi-object GC deletion ablation\n\
                        --faults     fault sweep: retry/backoff under a flaky store\n\
                        --explain    time-model phase totals + folded event journal\n\n\
                      MACHINE-READABLE MODES (exit after running; stdout is the artifact):\n\
@@ -139,6 +140,12 @@ fn main() {
         reports.push(experiments::ablation_keyrange());
         reports.push(experiments::ablation_ocm_mode());
         reports.push(experiments::ablation_rollback_notify());
+        if !want("gc") {
+            reports.push(experiments::ablation_gc_batching(sf).expect("ablation_gc_batching"));
+        }
+    }
+    if want("gc") {
+        reports.push(experiments::ablation_gc_batching(sf).expect("ablation_gc_batching"));
     }
     for r in &reports {
         println!("{}", r.to_text());

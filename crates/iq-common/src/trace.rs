@@ -227,6 +227,17 @@ pub enum EventKind {
         /// Chain entries remaining after the tick.
         remaining: u64,
     },
+    /// GC: one batched deletion pass — eligible chain entries were drained
+    /// together, their keys deduped and fanned out as multi-object
+    /// deletes over the worker pool.
+    GcBatch {
+        /// Cloud keys submitted for deletion in this pass.
+        keys: u64,
+        /// Simulated multi-object delete requests issued (incl. retries).
+        requests: u64,
+        /// Peak number of delete batches in flight concurrently.
+        in_flight_peak: u64,
+    },
     /// GC / restart polling: a dead page version was deleted (or polled)
     /// after its deferral window.
     DeferredDelete {
@@ -289,6 +300,7 @@ impl EventKind {
             EventKind::RbFlip { .. } => "RbFlip",
             EventKind::RfFlip { .. } => "RfFlip",
             EventKind::GcTick { .. } => "GcTick",
+            EventKind::GcBatch { .. } => "GcBatch",
             EventKind::DeferredDelete { .. } => "DeferredDelete",
             EventKind::ScanMorsel { .. } => "ScanMorsel",
             EventKind::SpanBegin { .. } => "SpanBegin",

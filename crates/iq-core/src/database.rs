@@ -195,6 +195,36 @@ fn register_core_metrics(shared: &Arc<Shared>) {
             ),
         ]
     });
+    let w = Arc::downgrade(shared);
+    shared.metrics.register("gc", move || {
+        let Some(s) = w.upgrade() else {
+            return Vec::new();
+        };
+        let g = s.txns.gc_stats();
+        vec![
+            ("ticks".into(), MetricValue::U64(g.ticks)),
+            (
+                "entries_consumed".into(),
+                MetricValue::U64(g.entries_consumed),
+            ),
+            ("keys_deleted".into(), MetricValue::U64(g.keys_deleted)),
+            (
+                "block_runs_deleted".into(),
+                MetricValue::U64(g.block_runs_deleted),
+            ),
+            ("batches".into(), MetricValue::U64(g.batches)),
+            ("requests".into(), MetricValue::U64(g.requests)),
+            ("requests_saved".into(), MetricValue::U64(g.requests_saved)),
+            ("retried_keys".into(), MetricValue::U64(g.retried_keys)),
+            ("requeues".into(), MetricValue::U64(g.requeues)),
+            ("in_flight_peak".into(), MetricValue::U64(g.in_flight_peak)),
+            ("batch_le_1".into(), MetricValue::U64(g.batch_hist[0])),
+            ("batch_le_10".into(), MetricValue::U64(g.batch_hist[1])),
+            ("batch_le_100".into(), MetricValue::U64(g.batch_hist[2])),
+            ("batch_le_1000".into(), MetricValue::U64(g.batch_hist[3])),
+            ("batch_gt_1000".into(), MetricValue::U64(g.batch_hist[4])),
+        ]
+    });
 }
 
 /// The flattened metric values for one device's request ledger (current
@@ -348,6 +378,7 @@ impl Database {
         };
         let keygen = mx.coordinator.keygen()?;
         let txns = TransactionManager::new(Arc::clone(&log), Some(keygen));
+        txns.set_gc_workers(config.scan_workers.max(1));
         let shared = Arc::new(Shared {
             buffer: BufferManager::new(config.buffer_bytes),
             txns,
@@ -683,7 +714,11 @@ impl Database {
                 let _ = self.rollback_inner(txn, true);
             })?;
         }
-        let seq = self.shared.txns.commit(txn, self.shared.gc_sink.as_ref())?;
+        // Deferred GC: the commit only moves the transaction onto the
+        // committed chain. Reclamation runs through the budgeted driver
+        // ([`Self::gc_tick`] / [`Self::gc_drain`]), so commit latency no
+        // longer includes the deletion fan-out.
+        let seq = self.shared.txns.commit_deferred(txn)?;
         self.shared
             .catalog
             .lock()
@@ -724,9 +759,23 @@ impl Database {
         }
     }
 
-    /// Run a garbage-collection tick on the committed chain.
-    pub fn gc_tick(&self) -> IqResult<usize> {
-        self.shared.txns.gc_tick(self.shared.gc_sink.as_ref())
+    /// Run one budgeted garbage-collection pass over the committed chain,
+    /// consuming at most `budget` eligible entries. Commits defer
+    /// reclamation to this driver, so deletion cost is paid here — as
+    /// deduped, coalesced, worker-pool-parallel multi-object deletes —
+    /// instead of inline on the commit path. Returns pages reclaimed
+    /// (first-time only; requeued retries never double-count).
+    pub fn gc_tick(&self, budget: usize) -> IqResult<usize> {
+        self.shared
+            .txns
+            .gc_tick_budget(self.shared.gc_sink.as_ref(), budget)
+    }
+
+    /// Drain every currently-eligible chain entry in one batched pass.
+    /// Eligibility depends only on the active-transaction horizon, so a
+    /// single unbounded pass reaches everything a loop would.
+    pub fn gc_drain(&self) -> IqResult<usize> {
+        self.gc_tick(usize::MAX)
     }
 
     /// Emit a checkpoint (key-generator state + freelists) to the log.
@@ -1051,6 +1100,7 @@ impl Database {
             };
             let keygen = mx.coordinator.keygen()?;
             let txns = TransactionManager::new(Arc::clone(&durable.log), Some(keygen));
+            txns.set_gc_workers(config.scan_workers.max(1));
             let shared = Arc::new(Shared {
                 buffer: BufferManager::new(config.buffer_bytes),
                 txns,

@@ -9,9 +9,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use iq_common::{DbSpaceId, IqError, IqResult, PhysicalLocator};
+use iq_common::{DbSpaceId, IqError, IqResult, ObjectKey, PhysicalLocator};
 use iq_storage::DbSpace;
-use iq_txn::DeletionSink;
+use iq_txn::{BulkDeleteOutcome, DeletionSink};
 use parking_lot::RwLock;
 
 /// Deletes pages against the database's registered dbspaces.
@@ -55,6 +55,56 @@ impl DeletionSink for DatabaseSink {
             }
         }
     }
+
+    fn delete_pages(&self, space: DbSpaceId, pages: &[PhysicalLocator]) -> BulkDeleteOutcome {
+        // Bulk cloud deletions skip the per-key existence poll: the keys
+        // go to every cloud dbspace as blind ≤1000-key multi-object
+        // deletes (keys are globally unique and deleting an absent key is
+        // a no-op). Block runs still release per run against their space.
+        let keys: Vec<ObjectKey> = pages
+            .iter()
+            .filter_map(|l| match l {
+                PhysicalLocator::Object(k) => Some(*k),
+                PhysicalLocator::Blocks { .. } => None,
+            })
+            .collect();
+        let mut key_err: HashMap<u64, IqError> = HashMap::new();
+        let mut requests = 0u64;
+        let mut retried_keys = 0u64;
+        if !keys.is_empty() {
+            let spaces: Vec<Arc<DbSpace>> = self.spaces.read().values().cloned().collect();
+            for s in spaces.iter().filter(|s| s.is_cloud()) {
+                if let Ok(o) = s.delete_batch(&keys) {
+                    requests += o.requests;
+                    retried_keys += o.retried_keys;
+                    for (k, r) in o.results {
+                        if let Err(e) = r {
+                            key_err.entry(k.offset()).or_insert(e);
+                        }
+                    }
+                }
+            }
+        }
+        let mut results = Vec::with_capacity(pages.len());
+        for &loc in pages {
+            let r = match loc {
+                PhysicalLocator::Object(k) => match key_err.remove(&k.offset()) {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                },
+                PhysicalLocator::Blocks { .. } => {
+                    requests += 1;
+                    self.delete_page(space, loc)
+                }
+            };
+            results.push((loc, r));
+        }
+        BulkDeleteOutcome {
+            results,
+            requests,
+            retried_keys,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -62,7 +112,7 @@ mod tests {
     use super::*;
     use bytes::Bytes;
     use iq_common::{ObjectKey, PageId, VersionId};
-    use iq_objectstore::{BlockDeviceSim, ConsistencyConfig, ObjectStoreSim, RetryPolicy};
+    use iq_objectstore::{BlockDeviceSim, ConsistencyConfig, IoOp, ObjectStoreSim, RetryPolicy};
     use iq_storage::{CountingKeySource, Page, PageKind, StorageConfig};
 
     #[test]
@@ -107,5 +157,39 @@ mod tests {
         .unwrap();
         // Unknown dbspace for block runs errors.
         assert!(sink.delete_page(DbSpaceId(9), conv_loc).is_err());
+    }
+
+    #[test]
+    fn bulk_path_batches_cloud_keys_into_one_request() {
+        let sink = DatabaseSink::new();
+        let store = Arc::new(ObjectStoreSim::new(ConsistencyConfig::strong()));
+        let cloud = Arc::new(DbSpace::cloud(
+            DbSpaceId(1),
+            "c",
+            StorageConfig::test_small(),
+            store.clone(),
+            RetryPolicy::default(),
+        ));
+        sink.register(cloud.clone());
+
+        let keys = CountingKeySource::default();
+        let mut locs = Vec::new();
+        for i in 0..20u64 {
+            let page = Page::new(
+                PageId(i),
+                VersionId(1),
+                PageKind::Data,
+                Bytes::from(vec![i as u8; 64]),
+            );
+            locs.push(cloud.write_page(&page, &keys).unwrap());
+        }
+        // An absent key rides along: blind batch deletes are no-ops there.
+        locs.push(PhysicalLocator::Object(ObjectKey::from_offset(999_999)));
+        let out = sink.delete_pages(DbSpaceId(u32::MAX), &locs);
+        assert_eq!(out.results.len(), 21);
+        assert!(out.results.iter().all(|(_, r)| r.is_ok()));
+        assert_eq!(out.requests, 1, "21 keys fit one multi-object request");
+        assert_eq!(store.stats.snapshot().op(IoOp::Delete).count, 1);
+        assert_eq!(store.object_count(), 0);
     }
 }

@@ -33,7 +33,7 @@ use iq_common::{IqError, IqResult, ObjectKey, SimDuration};
 use parking_lot::Mutex;
 
 use crate::metrics::StatsSnapshot;
-use crate::traits::ObjectBackend;
+use crate::traits::{ObjectBackend, DELETE_BATCH_MAX};
 
 /// A scripted fault schedule. All rates are per-request probabilities in
 /// `[0, 1]`, evaluated deterministically (see module docs).
@@ -49,6 +49,12 @@ pub struct FaultPlan {
     /// Probability any PUT/GET is rejected with `Throttled` (the S3
     /// `SlowDown` / HTTP 503 class).
     pub throttle_rate: f64,
+    /// Probability a DELETE of one key is rejected with `Throttled`. In a
+    /// multi-object delete this is evaluated per key, so a batch can
+    /// partially fail: some keys are removed, the rest come back in the
+    /// error list — exactly the S3 `DeleteObjects` failure mode the
+    /// batch-aware retry layer must handle.
+    pub delete_fail_rate: f64,
     /// Fraction of keys whose visibility window is stretched: their first
     /// [`FaultPlan::stretch_get_misses`] GETs report `ObjectNotFound`
     /// even though the PUT landed.
@@ -75,6 +81,7 @@ impl FaultPlan {
             put_fail_rate: 0.0,
             get_fail_rate: 0.0,
             throttle_rate: 0.0,
+            delete_fail_rate: 0.0,
             stretch_fraction: 0.0,
             stretch_get_misses: 0,
             crash_at_op: None,
@@ -102,6 +109,7 @@ enum OpClass {
     Get = 2,
     Throttle = 3,
     Stretch = 4,
+    Delete = 5,
 }
 
 /// Counters of faults the injector has actually fired.
@@ -113,6 +121,8 @@ pub struct FaultStats {
     pub get_errors: u64,
     /// `Throttled` rejections injected.
     pub throttles: u64,
+    /// Per-key DELETE rejections injected (inside batches or singletons).
+    pub delete_errors: u64,
     /// Extra GET misses served for stretched keys.
     pub stretched_misses: u64,
     /// Requests refused because the client is crashed.
@@ -235,6 +245,20 @@ impl FaultInjector {
         }
         Ok(())
     }
+
+    /// Per-key delete fault draw (shared by singleton and batch deletes so
+    /// both paths see the same deterministic fault stream).
+    fn maybe_fail_delete(&self, key: ObjectKey) -> Option<IqError> {
+        let rate = self.plan.lock().delete_fail_rate;
+        if rate > 0.0 {
+            let attempt = self.next_attempt(key, OpClass::Delete);
+            if self.draw(key, OpClass::Delete, attempt) < rate {
+                self.stats.lock().delete_errors += 1;
+                return Some(IqError::Throttled("injected SlowDown (delete)".into()));
+            }
+        }
+        None
+    }
 }
 
 impl ObjectBackend for FaultInjector {
@@ -281,7 +305,50 @@ impl ObjectBackend for FaultInjector {
 
     fn delete(&self, key: ObjectKey) -> IqResult<()> {
         self.tick()?;
+        if let Some(e) = self.maybe_fail_delete(key) {
+            return Err(e);
+        }
         self.inner.delete(key)
+    }
+
+    fn delete_batch(&self, keys: &[ObjectKey]) -> Vec<(ObjectKey, IqResult<()>)> {
+        let mut out = Vec::with_capacity(keys.len());
+        for chunk in keys.chunks(DELETE_BATCH_MAX) {
+            // One client-side request per chunk: a single op-clock tick
+            // (and therefore a single crash-cut check) covers the whole
+            // multi-object delete.
+            if let Err(e) = self.tick() {
+                out.extend(chunk.iter().map(|&k| (k, Err(e.clone()))));
+                continue;
+            }
+            // Per-key fault draws partition the chunk: survivors reach the
+            // wrapped store in one request, failed keys never leave the
+            // client — the S3 partial-failure shape the batch-aware retry
+            // layer re-drives.
+            let mut verdicts: Vec<Option<IqError>> = Vec::with_capacity(chunk.len());
+            let mut pass: Vec<ObjectKey> = Vec::with_capacity(chunk.len());
+            for &k in chunk {
+                let v = self.maybe_fail_delete(k);
+                if v.is_none() {
+                    pass.push(k);
+                }
+                verdicts.push(v);
+            }
+            let mut inner_results = self.inner.delete_batch(&pass).into_iter();
+            for (&k, verdict) in chunk.iter().zip(verdicts) {
+                match verdict {
+                    Some(e) => out.push((k, Err(e))),
+                    None => {
+                        let (ik, r) = inner_results
+                            .next()
+                            .expect("one inner result per surviving key");
+                        debug_assert_eq!(ik, k);
+                        out.push((k, r));
+                    }
+                }
+            }
+        }
+        out
     }
 
     fn exists(&self, key: ObjectKey) -> bool {
@@ -391,6 +458,44 @@ mod tests {
         }
         assert_eq!(inj.get(key(9)).unwrap(), Bytes::from_static(b"v"));
         assert_eq!(inj.fault_stats().stretched_misses, 3);
+    }
+
+    #[test]
+    fn batch_delete_partially_fails_per_key() {
+        let store = sim();
+        let plan = FaultPlan {
+            seed: 11,
+            delete_fail_rate: 0.3,
+            ..FaultPlan::none()
+        };
+        let inj = FaultInjector::new(store.clone(), plan);
+        let keys: Vec<ObjectKey> = (0..100u64).map(key).collect();
+        for &k in &keys {
+            inj.put(k, Bytes::from_static(b"x")).unwrap();
+        }
+        let results = inj.delete_batch(&keys);
+        assert_eq!(results.len(), keys.len());
+        let failed: Vec<ObjectKey> = results
+            .iter()
+            .filter(|(_, r)| r.is_err())
+            .map(|(k, _)| *k)
+            .collect();
+        assert!(
+            !failed.is_empty() && failed.len() < keys.len(),
+            "want a partial batch failure, got {}/{}",
+            failed.len(),
+            keys.len()
+        );
+        for (k, r) in &results {
+            match r {
+                Ok(()) => assert!(!store.exists(*k), "deleted key still resident"),
+                Err(e) => {
+                    assert!(matches!(e, IqError::Throttled(_)), "unexpected: {e}");
+                    assert!(store.exists(*k), "failed key must survive the batch");
+                }
+            }
+        }
+        assert_eq!(inj.fault_stats().delete_errors as usize, failed.len());
     }
 
     #[test]

@@ -41,6 +41,6 @@ pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use metrics::{DeviceStats, IoOp, StatsSnapshot};
 pub use object_store::{ConsistencyConfig, ObjectStoreSim};
 pub use profiles::{ComputeProfile, DeviceProfile, VolumeKind};
-pub use retry::RetryPolicy;
+pub use retry::{BatchDeleteOutcome, RetryPolicy};
 pub use timemodel::{PhaseLoad, TimeModel};
-pub use traits::{BlockBackend, ObjectBackend};
+pub use traits::{BlockBackend, ObjectBackend, DELETE_BATCH_MAX};

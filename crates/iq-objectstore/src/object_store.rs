@@ -37,7 +37,7 @@ use iq_common::{DetRng, IqError, IqResult, ObjectKey};
 use parking_lot::Mutex;
 
 use crate::metrics::{DeviceStats, IoOp};
-use crate::traits::ObjectBackend;
+use crate::traits::{ObjectBackend, DELETE_BATCH_MAX};
 
 /// Consistency behaviour of the simulated store.
 #[derive(Debug, Clone)]
@@ -296,6 +296,28 @@ impl ObjectBackend for ObjectStoreSim {
         Ok(())
     }
 
+    fn delete_batch(&self, keys: &[ObjectKey]) -> Vec<(ObjectKey, IqResult<()>)> {
+        let mut out = Vec::with_capacity(keys.len());
+        for chunk in keys.chunks(DELETE_BATCH_MAX) {
+            // One multi-object request per chunk: a single op-clock tick and
+            // a single ledger entry cover up to DELETE_BATCH_MAX keys —
+            // this is the whole cost advantage over per-key deletes.
+            self.tick();
+            self.stats
+                .record_prefixed(IoOp::Delete, 0, chunk.first().map(|k| k.hashed_prefix()));
+            let mut objects = self.objects.lock();
+            for &key in chunk {
+                if let Some(obj) = objects.remove(&key) {
+                    self.resident
+                        .fetch_sub(obj.data.len() as u64, Ordering::Relaxed);
+                }
+                trace::emit(EventKind::ObjectDelete { key: key.offset() });
+                out.push((key, Ok(())));
+            }
+        }
+        out
+    }
+
     fn exists(&self, key: ObjectKey) -> bool {
         self.tick();
         self.stats
@@ -423,6 +445,27 @@ mod tests {
         s.delete(key(5)).unwrap(); // no-op, no panic
         assert!(!s.exists(key(5)));
         assert!(matches!(s.get(key(5)), Err(IqError::ObjectNotFound(_))));
+    }
+
+    #[test]
+    fn batch_delete_charges_one_request_per_chunk() {
+        let s = ObjectStoreSim::new(ConsistencyConfig::strong());
+        let keys: Vec<ObjectKey> = (0..2500u64).map(key).collect();
+        for &k in &keys {
+            s.put(k, Bytes::from_static(b"x")).unwrap();
+        }
+        s.reset_stats();
+        // 2500 keys + one never-written straggler: still 3 requests
+        // (ceil(2501/1000)), and deleting the absent key succeeds.
+        let mut all = keys.clone();
+        all.push(key(999_999));
+        let results = s.delete_batch(&all);
+        assert_eq!(results.len(), 2501);
+        assert!(results.iter().all(|(_, r)| r.is_ok()));
+        assert_eq!(s.object_count(), 0);
+        assert_eq!(s.resident_bytes(), 0);
+        let snap = s.stats.snapshot();
+        assert_eq!(snap.op(IoOp::Delete).count, 3);
     }
 
     #[test]

@@ -29,7 +29,28 @@ use iq_common::trace::{self, EventKind};
 use iq_common::{IqError, IqResult, ObjectKey, SimDuration};
 
 use crate::object_store::ConsistencyConfig;
-use crate::traits::ObjectBackend;
+use crate::traits::{ObjectBackend, DELETE_BATCH_MAX};
+
+/// Result of a batch delete driven through [`RetryPolicy::delete_batch`].
+#[derive(Debug)]
+pub struct BatchDeleteOutcome {
+    /// Final per-key outcome, in input order. Keys whose transient
+    /// failures outlived the budget carry `RetriesExhausted`.
+    pub results: Vec<(ObjectKey, IqResult<()>)>,
+    /// Simulated multi-object delete requests issued, counting every
+    /// retry round (`ceil(len / 1000)` per round).
+    pub requests: u64,
+    /// Total keys re-driven across retry rounds (a key retried twice
+    /// counts twice) — the "retried subset" the policy keeps small.
+    pub retried_keys: u64,
+}
+
+impl BatchDeleteOutcome {
+    /// First per-key error, if any key ultimately failed.
+    pub fn first_error(&self) -> Option<&IqError> {
+        self.results.iter().find_map(|(_, r)| r.as_ref().err())
+    }
+}
 
 /// Retry budget and backoff schedule for object-store operations.
 ///
@@ -210,6 +231,67 @@ impl RetryPolicy {
             }
         }
     }
+
+    /// Multi-object DELETE with failed-subset retry.
+    ///
+    /// The first round submits every key; each later round re-submits
+    /// *only* the keys whose previous outcome was transient (the S3
+    /// `DeleteObjects` idiom — succeeded keys are final, deletes are
+    /// idempotent so re-driving a key is always safe). One backoff is
+    /// charged per retry round, not per key: the whole round is a single
+    /// client sleep. Keys expected to be unique; never fails as a whole —
+    /// per-key verdicts live in the returned outcome.
+    pub fn delete_batch(
+        &self,
+        store: &dyn ObjectBackend,
+        keys: &[ObjectKey],
+    ) -> BatchDeleteOutcome {
+        let mut settled: std::collections::HashMap<u64, IqResult<()>> =
+            std::collections::HashMap::with_capacity(keys.len());
+        let mut requests = 0u64;
+        let mut retried_keys = 0u64;
+        let mut pending: Vec<ObjectKey> = keys.to_vec();
+        let mut attempt = 1u32;
+        while !pending.is_empty() {
+            requests += pending.len().div_ceil(DELETE_BATCH_MAX) as u64;
+            let mut transient: Vec<ObjectKey> = Vec::new();
+            for (k, r) in store.delete_batch(&pending) {
+                match r {
+                    Err(e) if e.is_transient() && attempt < self.max_attempts => {
+                        Self::trace_attempt(k, attempt, &e);
+                        transient.push(k);
+                    }
+                    Err(e) if e.is_transient() => {
+                        settled.insert(
+                            k.offset(),
+                            Err(IqError::RetriesExhausted {
+                                key: k,
+                                attempts: attempt,
+                            }),
+                        );
+                    }
+                    r => {
+                        settled.insert(k.offset(), r);
+                    }
+                }
+            }
+            if transient.is_empty() {
+                break;
+            }
+            retried_keys += transient.len() as u64;
+            self.back_off(store, transient[0], attempt);
+            pending = transient;
+            attempt += 1;
+        }
+        BatchDeleteOutcome {
+            results: keys
+                .iter()
+                .map(|&k| (k, settled.remove(&k.offset()).unwrap_or(Ok(()))))
+                .collect(),
+            requests,
+            retried_keys,
+        }
+    }
 }
 
 /// SplitMix64 finalizer — the stateless hash behind the deterministic
@@ -308,6 +390,70 @@ mod tests {
         let snap = store.stats_snapshot();
         assert!(snap.retries > 0, "windows must have forced backoffs");
         assert!(snap.backoff_nanos > 0);
+    }
+
+    #[test]
+    fn batch_delete_retries_only_failed_subset() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        use std::sync::Arc;
+        let store = Arc::new(ObjectStoreSim::new(ConsistencyConfig::strong()));
+        let plan = FaultPlan {
+            seed: 5,
+            delete_fail_rate: 0.4,
+            ..FaultPlan::none()
+        };
+        let inj = FaultInjector::new(store.clone(), plan);
+        let keys: Vec<ObjectKey> = (0..500u64).map(key).collect();
+        for &k in &keys {
+            inj.put(k, Bytes::from_static(b"x")).unwrap();
+        }
+        let policy = RetryPolicy::attempts(16);
+        let outcome = policy.delete_batch(&inj, &keys);
+        assert!(outcome.results.iter().all(|(_, r)| r.is_ok()));
+        assert!(outcome.first_error().is_none());
+        assert_eq!(store.object_count(), 0, "every key must be reclaimed");
+        assert!(outcome.retried_keys > 0, "fault injection inactive");
+        // Only the failed subset is re-driven: at a 0.4 per-key failure
+        // rate the pending set shrinks geometrically, so the cumulative
+        // retried-key count stays well below one extra full pass.
+        assert!(
+            outcome.retried_keys < 500,
+            "re-drove more keys than one full pass: {}",
+            outcome.retried_keys
+        );
+        // …and each retry round is one sub-1000-key request.
+        assert!(outcome.requests < 16, "requests: {}", outcome.requests);
+    }
+
+    #[test]
+    fn batch_delete_exhaustion_is_per_key() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        use std::sync::Arc;
+        let store = Arc::new(ObjectStoreSim::new(ConsistencyConfig::strong()));
+        let plan = FaultPlan {
+            seed: 1,
+            delete_fail_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        let inj = FaultInjector::new(store.clone(), plan);
+        let keys = vec![key(1), key(2)];
+        for &k in &keys {
+            inj.put(k, Bytes::from_static(b"x")).unwrap();
+        }
+        let policy = RetryPolicy::attempts(3);
+        let outcome = policy.delete_batch(&inj, &keys);
+        for (k, r) in &outcome.results {
+            assert_eq!(
+                r.clone().unwrap_err(),
+                IqError::RetriesExhausted {
+                    key: *k,
+                    attempts: 3
+                }
+            );
+        }
+        assert_eq!(outcome.requests, 3);
+        assert_eq!(outcome.retried_keys, 4, "2 keys × 2 retry rounds");
+        assert_eq!(store.object_count(), 2, "nothing was deleted");
     }
 
     #[test]

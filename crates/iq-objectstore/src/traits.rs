@@ -5,6 +5,12 @@ use iq_common::{BlockNum, IqResult, ObjectKey, SimDuration};
 
 use crate::metrics::StatsSnapshot;
 
+/// Maximum number of keys a single multi-object delete request may carry.
+/// Mirrors the S3 `DeleteObjects` limit of 1000 keys per request; callers
+/// may pass larger slices to [`ObjectBackend::delete_batch`] and the
+/// backend splits them into requests of at most this size.
+pub const DELETE_BATCH_MAX: usize = 1000;
+
 /// An object store: flat key space, whole-object PUT/GET, no in-place
 /// update (unless an ablation explicitly enables overwrites).
 ///
@@ -26,6 +32,18 @@ pub trait ObjectBackend: Send + Sync {
     /// the paper's garbage collector *polls* whole key ranges, many of
     /// which were never flushed (§3.3).
     fn delete(&self, key: ObjectKey) -> IqResult<()>;
+
+    /// Delete many objects, reporting a per-key outcome in input order.
+    ///
+    /// Models multi-object delete (S3 `DeleteObjects`): a cost-aware
+    /// backend charges one request per [`DELETE_BATCH_MAX`] keys instead
+    /// of one per key, and a fault-injecting backend may fail an arbitrary
+    /// subset of the batch while the rest succeed. Like [`Self::delete`],
+    /// deleting an absent key is a success. The default implementation
+    /// falls back to one `delete` call per key.
+    fn delete_batch(&self, keys: &[ObjectKey]) -> Vec<(ObjectKey, IqResult<()>)> {
+        keys.iter().map(|&k| (k, self.delete(k))).collect()
+    }
 
     /// Whether the object currently exists (ignores the visibility window;
     /// used by tests and the GC's existence poll).

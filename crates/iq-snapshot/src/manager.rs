@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use iq_common::{DbSpaceId, IqResult, ObjectKey, PhysicalLocator, SimDuration, SimInstant};
 use iq_storage::{Catalog, DbSpace, KeySource};
-use iq_txn::DeletionSink;
+use iq_txn::{BulkDeleteOutcome, DeletionSink};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -90,21 +90,51 @@ impl SnapshotManager {
     /// pruning the FIFO. Since entries enter in expiry order, only the
     /// head needs checking. Returns pages deleted.
     pub fn sweep_expired(&self, sink: &dyn DeletionSink) -> IqResult<usize> {
+        // Entries enter in expiry order, so the expired prefix pops under
+        // one lock acquisition and dies in one bulk call (batch-aware
+        // sinks turn it into ≤1000-key multi-object deletes). Entries
+        // whose deletion fails re-enter at the front — still expired, so
+        // the next sweep retries them instead of leaking the pages.
+        let expired: Vec<Retained> = {
+            let mut g = self.state.lock();
+            let mut v = Vec::new();
+            while matches!(g.fifo.front(), Some(r) if r.expiry <= g.clock) {
+                v.push(g.fifo.pop_front().expect("front exists"));
+            }
+            v
+        };
         let mut deleted = 0usize;
-        loop {
-            let entry = {
-                let mut g = self.state.lock();
-                match g.fifo.front() {
-                    Some(r) if r.expiry <= g.clock => g.fifo.pop_front(),
-                    _ => None,
+        let mut first_err = None;
+        if !expired.is_empty() {
+            let locs: Vec<PhysicalLocator> = expired
+                .iter()
+                .map(|r| PhysicalLocator::Object(ObjectKey::from_offset(r.key_offset)))
+                .collect();
+            let out = sink.delete_pages(DbSpaceId(u32::MAX), &locs);
+            let mut failed = Vec::new();
+            for (r, (_, res)) in expired.into_iter().zip(out.results) {
+                match res {
+                    Ok(()) => deleted += 1,
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                        failed.push(r);
+                    }
                 }
-            };
-            let Some(r) = entry else { break };
-            sink.delete_page(
-                DbSpaceId(u32::MAX),
-                PhysicalLocator::Object(ObjectKey::from_offset(r.key_offset)),
-            )?;
-            deleted += 1;
+            }
+            if !failed.is_empty() {
+                let mut g = self.state.lock();
+                for r in failed.into_iter().rev() {
+                    g.fifo.push_front(r);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            let mut g = self.state.lock();
+            let now = g.clock;
+            g.snapshots.retain(|s| s.expiry > now);
+            return Err(e);
         }
         // Snapshots whose retention ended are dropped too ("data backed up
         // during a snapshot operation are automatically deleted ... when
@@ -239,6 +269,40 @@ impl DeletionSink for RetainingSink {
                 Ok(())
             }
             PhysicalLocator::Blocks { .. } => self.inner.delete_page(space, loc),
+        }
+    }
+
+    fn delete_pages(&self, space: DbSpaceId, pages: &[PhysicalLocator]) -> BulkDeleteOutcome {
+        // Cloud pages divert into retention — no store requests at all —
+        // while block runs flow through the inner sink's bulk path.
+        let blocks: Vec<PhysicalLocator> = pages
+            .iter()
+            .copied()
+            .filter(|l| matches!(l, PhysicalLocator::Blocks { .. }))
+            .collect();
+        let inner_out = if blocks.is_empty() {
+            BulkDeleteOutcome::default()
+        } else {
+            self.inner.delete_pages(space, &blocks)
+        };
+        let mut block_results = inner_out.results.into_iter();
+        let mut results = Vec::with_capacity(pages.len());
+        for &loc in pages {
+            let r = match loc {
+                PhysicalLocator::Object(key) => {
+                    self.manager.retain(key);
+                    Ok(())
+                }
+                PhysicalLocator::Blocks { .. } => {
+                    block_results.next().map(|(_, r)| r).unwrap_or(Ok(()))
+                }
+            };
+            results.push((loc, r));
+        }
+        BulkDeleteOutcome {
+            results,
+            requests: inner_out.requests,
+            retried_keys: inner_out.retried_keys,
         }
     }
 }

@@ -34,6 +34,9 @@ pub mod rfrb;
 
 pub use keygen::{KeyGenerator, KeyRange, NodeKeyCache, RangeProvider};
 pub use log::{LogRecord, TxnLog};
-pub use manager::{DeletionSink, ImmediateDeletion, TransactionManager, TxnOutcome};
+pub use manager::{
+    BulkDeleteOutcome, DeletionSink, GcStats, GcStatsSnapshot, ImmediateDeletion,
+    TransactionManager, TxnOutcome,
+};
 pub use multiplex::{Coordinator, Multiplex, NodeRole, SecondaryNode};
-pub use rfrb::RfRb;
+pub use rfrb::{coalesce_block_runs, RfRb};

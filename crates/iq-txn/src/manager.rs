@@ -13,24 +13,67 @@
 //! (`iq-snapshot`) substitutes a deferring sink to implement retention
 //! (§5), which is why the trait exists.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use iq_common::trace::{self, EventKind};
-use iq_common::{DbSpaceId, IqError, IqResult, NodeId, PhysicalLocator, TxnId};
+use iq_common::{
+    BlockNum, DbSpaceId, IqError, IqResult, KeySet, NodeId, ObjectKey, PhysicalLocator, TxnId,
+    WorkerPool,
+};
 use iq_storage::DbSpace;
 use parking_lot::Mutex;
 
 use crate::keygen::KeyGenerator;
 use crate::log::{LogRecord, TxnLog};
-use crate::rfrb::RfRb;
+use crate::rfrb::{coalesce_block_runs, PageSet, RfRb};
+
+/// Outcome of a [`DeletionSink::delete_pages`] bulk call.
+#[derive(Debug, Default)]
+pub struct BulkDeleteOutcome {
+    /// Per-page outcome, in input order.
+    pub results: Vec<(PhysicalLocator, IqResult<()>)>,
+    /// Simulated store requests issued on behalf of this call.
+    pub requests: u64,
+    /// Keys re-driven by the batch retry layer (failed-subset retries).
+    pub retried_keys: u64,
+}
+
+impl BulkDeleteOutcome {
+    /// First per-page error, if any page ultimately failed.
+    pub fn into_first_error(self) -> Option<IqError> {
+        self.results.into_iter().find_map(|(_, r)| r.err())
+    }
+}
 
 /// Where dead pages go: immediate deletion, or deferral to the snapshot
 /// manager's retention FIFO.
 pub trait DeletionSink: Send + Sync {
     /// Dispose of the page at `loc` in dbspace `space`.
     fn delete_page(&self, space: DbSpaceId, loc: PhysicalLocator) -> IqResult<()>;
+
+    /// Dispose of many pages at once, reporting per-page outcomes in
+    /// input order.
+    ///
+    /// Unlike a caller loop over [`Self::delete_page`] that stops at the
+    /// first error, the bulk call keeps going: deletes are idempotent and
+    /// the GC tracks per-entry completion, so pages that fail here get
+    /// exactly one more attempt on a later tick while finished pages are
+    /// never re-driven. Batch-aware sinks override this to issue
+    /// multi-object delete requests; the default is the per-page loop
+    /// (one simulated request per page).
+    fn delete_pages(&self, space: DbSpaceId, pages: &[PhysicalLocator]) -> BulkDeleteOutcome {
+        let mut results = Vec::with_capacity(pages.len());
+        for &loc in pages {
+            results.push((loc, self.delete_page(space, loc)));
+        }
+        BulkDeleteOutcome {
+            results,
+            requests: pages.len() as u64,
+            retried_keys: 0,
+        }
+    }
 }
 
 /// The default sink: release storage right away.
@@ -77,6 +120,55 @@ impl DeletionSink for ImmediateDeletion {
             }
         }
     }
+
+    fn delete_pages(&self, space: DbSpaceId, pages: &[PhysicalLocator]) -> BulkDeleteOutcome {
+        // Object keys go to each registered cloud store as one blind
+        // multi-object delete (keys are globally unique and deleting an
+        // absent key is a no-op); block runs fall back to per-run release.
+        let keys: Vec<ObjectKey> = pages
+            .iter()
+            .filter_map(|l| match l {
+                PhysicalLocator::Object(k) => Some(*k),
+                PhysicalLocator::Blocks { .. } => None,
+            })
+            .collect();
+        let mut key_err: HashMap<u64, IqError> = HashMap::new();
+        let mut requests = 0u64;
+        let mut retried_keys = 0u64;
+        if !keys.is_empty() {
+            let spaces: Vec<Arc<DbSpace>> = self.spaces.lock().values().cloned().collect();
+            for s in spaces.iter().filter(|s| s.is_cloud()) {
+                if let Ok(o) = s.delete_batch(&keys) {
+                    requests += o.requests;
+                    retried_keys += o.retried_keys;
+                    for (k, r) in o.results {
+                        if let Err(e) = r {
+                            key_err.entry(k.offset()).or_insert(e);
+                        }
+                    }
+                }
+            }
+        }
+        let mut results = Vec::with_capacity(pages.len());
+        for &loc in pages {
+            let r = match loc {
+                PhysicalLocator::Object(k) => match key_err.remove(&k.offset()) {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                },
+                PhysicalLocator::Blocks { .. } => {
+                    requests += 1;
+                    self.delete_page(space, loc)
+                }
+            };
+            results.push((loc, r));
+        }
+        BulkDeleteOutcome {
+            results,
+            requests,
+            retried_keys,
+        }
+    }
 }
 
 /// How a transaction ended.
@@ -101,6 +193,103 @@ struct ActiveTxn {
 struct CommittedTxn {
     commit_seq: u64,
     rfrb: RfRb,
+    /// RF pages already deleted by an earlier, partially failed GC pass.
+    /// Keeping the resume point per entry gives exactly-once reclamation
+    /// accounting across requeues: a retried entry only re-drives (and
+    /// only re-counts) the pages that actually failed.
+    done: PageSet,
+}
+
+/// Cumulative counters of the batched GC pipeline, exposed as the `gc.*`
+/// metrics source. All plain atomics: read via [`GcStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct GcStats {
+    /// Drain passes that found at least one eligible entry.
+    pub ticks: AtomicU64,
+    /// Chain entries fully reclaimed and dropped.
+    pub entries_consumed: AtomicU64,
+    /// Cloud keys deleted (first-time only; requeued retries do not
+    /// re-count pages that already succeeded).
+    pub keys_deleted: AtomicU64,
+    /// Conventional block runs released (pre-coalescing granularity).
+    pub block_runs_deleted: AtomicU64,
+    /// Multi-object delete batches submitted to the worker pool.
+    pub batches: AtomicU64,
+    /// Simulated store requests issued (keys + blocks, incl. retries).
+    pub requests: AtomicU64,
+    /// Requests avoided versus the per-key baseline (one request per
+    /// submitted key).
+    pub requests_saved: AtomicU64,
+    /// Keys re-driven by failed-subset retries.
+    pub retried_keys: AtomicU64,
+    /// Entries pushed back onto the chain after a partial failure.
+    pub requeues: AtomicU64,
+    /// Peak delete batches in flight across all passes.
+    pub in_flight_peak: AtomicU64,
+    /// Batch-size histogram: ≤1, ≤10, ≤100, ≤1000, >1000 keys.
+    pub batch_hist: [AtomicU64; 5],
+}
+
+/// Plain-value copy of [`GcStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStatsSnapshot {
+    /// See [`GcStats::ticks`].
+    pub ticks: u64,
+    /// See [`GcStats::entries_consumed`].
+    pub entries_consumed: u64,
+    /// See [`GcStats::keys_deleted`].
+    pub keys_deleted: u64,
+    /// See [`GcStats::block_runs_deleted`].
+    pub block_runs_deleted: u64,
+    /// See [`GcStats::batches`].
+    pub batches: u64,
+    /// See [`GcStats::requests`].
+    pub requests: u64,
+    /// See [`GcStats::requests_saved`].
+    pub requests_saved: u64,
+    /// See [`GcStats::retried_keys`].
+    pub retried_keys: u64,
+    /// See [`GcStats::requeues`].
+    pub requeues: u64,
+    /// See [`GcStats::in_flight_peak`].
+    pub in_flight_peak: u64,
+    /// See [`GcStats::batch_hist`].
+    pub batch_hist: [u64; 5],
+}
+
+impl GcStats {
+    fn note_batch(&self, keys: usize) {
+        let bucket = match keys {
+            0..=1 => 0,
+            2..=10 => 1,
+            11..=100 => 2,
+            101..=1000 => 3,
+            _ => 4,
+        };
+        self.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read every counter at once.
+    pub fn snapshot(&self) -> GcStatsSnapshot {
+        let mut hist = [0u64; 5];
+        for (out, src) in hist.iter_mut().zip(self.batch_hist.iter()) {
+            *out = src.load(Ordering::Relaxed);
+        }
+        GcStatsSnapshot {
+            ticks: self.ticks.load(Ordering::Relaxed),
+            entries_consumed: self.entries_consumed.load(Ordering::Relaxed),
+            keys_deleted: self.keys_deleted.load(Ordering::Relaxed),
+            block_runs_deleted: self.block_runs_deleted.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            requests_saved: self.requests_saved.load(Ordering::Relaxed),
+            retried_keys: self.retried_keys.load(Ordering::Relaxed),
+            requeues: self.requeues.load(Ordering::Relaxed),
+            in_flight_peak: self.in_flight_peak.load(Ordering::Relaxed),
+            batch_hist: hist,
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -119,6 +308,10 @@ pub struct TransactionManager {
     log: Arc<TxnLog>,
     /// Commit notifications trim the coordinator's active sets.
     keygen: Option<Arc<KeyGenerator>>,
+    /// Worker-pool width for the GC's delete fan-out.
+    gc_workers: AtomicUsize,
+    /// Counters behind the `gc.*` metrics source.
+    gc_stats: GcStats,
 }
 
 impl TransactionManager {
@@ -131,7 +324,19 @@ impl TransactionManager {
             inner: Mutex::new(TmInner::default()),
             log,
             keygen,
+            gc_workers: AtomicUsize::new(1),
+            gc_stats: GcStats::default(),
         }
+    }
+
+    /// Set how many workers fan out the GC's delete batches.
+    pub fn set_gc_workers(&self, workers: usize) {
+        self.gc_workers.store(workers.max(1), Ordering::Relaxed);
+    }
+
+    /// Cumulative GC pipeline counters.
+    pub fn gc_stats(&self) -> GcStatsSnapshot {
+        self.gc_stats.snapshot()
     }
 
     /// Begin a transaction on `node`. Its snapshot is the current commit
@@ -199,6 +404,16 @@ impl TransactionManager {
     /// garbage collect whatever the chain allows. Returns the commit
     /// sequence.
     pub fn commit(&self, txn: TxnId, sink: &dyn DeletionSink) -> IqResult<u64> {
+        let commit_seq = self.commit_deferred(txn)?;
+        self.gc_tick(sink)?;
+        Ok(commit_seq)
+    }
+
+    /// Commit *without* the inline GC pass. The caller (the `Database`'s
+    /// budgeted GC driver) schedules reclamation separately, so commit
+    /// latency no longer includes the deletion fan-out. Returns the
+    /// commit sequence.
+    pub fn commit_deferred(&self, txn: TxnId) -> IqResult<u64> {
         let entry = {
             let mut g = self.inner.lock();
             g.active.remove(&txn.0).ok_or_else(|| IqError::Txn {
@@ -222,12 +437,12 @@ impl TransactionManager {
         self.inner.lock().chain.push_back(CommittedTxn {
             commit_seq,
             rfrb: entry.rfrb,
+            done: PageSet::default(),
         });
         trace::emit(EventKind::TxnCommit {
             txn: txn.0,
             commit_seq,
         });
-        self.gc_tick(sink)?;
         Ok(commit_seq)
     }
 
@@ -244,16 +459,40 @@ impl TransactionManager {
             })?
         };
         trace::emit(EventKind::TxnRollback { txn: txn.0 });
-        for key in entry.rfrb.rb.iter_keys() {
-            sink.delete_page(
-                cloud_space_of(&entry.rfrb, key),
-                PhysicalLocator::Object(key),
-            )?;
+        // RB pages die immediately and in bulk: every cloud key in one
+        // batch, block runs grouped per dbspace — the space is resolved
+        // once per group instead of once per key.
+        let mut first_err: Option<IqError> = None;
+        let keys: Vec<PhysicalLocator> = entry
+            .rfrb
+            .rb
+            .iter_keys()
+            .map(PhysicalLocator::Object)
+            .collect();
+        if !keys.is_empty() {
+            first_err = sink
+                .delete_pages(CLOUD_SPACE_SENTINEL, &keys)
+                .into_first_error();
         }
-        for (space, start, count) in entry.rfrb.rb.iter_blocks() {
-            sink.delete_page(space, PhysicalLocator::Blocks { start, count })?;
+        for (&space, runs) in &entry.rfrb.rb.blocks {
+            let locs: Vec<PhysicalLocator> = runs
+                .iter()
+                .map(|&(start, count)| PhysicalLocator::Blocks {
+                    start: BlockNum(start),
+                    count,
+                })
+                .collect();
+            let err = sink
+                .delete_pages(DbSpaceId(space), &locs)
+                .into_first_error();
+            if first_err.is_none() {
+                first_err = err;
+            }
         }
-        Ok(())
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Simulate a node crash: its active transactions vanish *without*
@@ -291,61 +530,237 @@ impl TransactionManager {
     }
 
     /// Drop chain entries no longer referenced by any active transaction
-    /// and delete their RF pages. Returns pages deleted.
+    /// and delete their RF pages. Returns pages deleted (first-time only).
     pub fn gc_tick(&self, sink: &dyn DeletionSink) -> IqResult<usize> {
-        let mut deleted = 0usize;
-        let mut consumed = 0u64;
-        loop {
-            let entry = {
-                let mut g = self.inner.lock();
-                let oldest_active = g
-                    .active
-                    .values()
-                    .map(|t| t.start_seq)
-                    .min()
-                    .unwrap_or(u64::MAX);
-                // "When the oldest transaction in the chain is no longer
-                // referenced, its RF/RB bitmaps are used to compute the
-                // pages that can be deleted, and the transaction is
-                // dropped from the chain."
+        self.gc_tick_budget(sink, usize::MAX)
+    }
+
+    /// Budgeted GC drain: consume up to `budget` eligible chain entries
+    /// in one batched pass.
+    ///
+    /// "When the oldest transaction in the chain is no longer referenced,
+    /// its RF/RB bitmaps are used to compute the pages that can be
+    /// deleted, and the transaction is dropped from the chain" — but
+    /// instead of one synchronous delete per page, the pass:
+    ///
+    /// 1. pops every eligible entry under one lock acquisition (the
+    ///    oldest-active sequence is computed once per pass, not per
+    ///    entry);
+    /// 2. dedupes the pending cloud keys across entries into a single
+    ///    [`KeySet`], skipping pages an earlier partially-failed pass
+    ///    already deleted;
+    /// 3. groups block runs per dbspace and coalesces adjacent runs;
+    /// 4. fans ≤1000-key batches out over the worker pool as
+    ///    multi-object deletes.
+    ///
+    /// Crash safety: deletes are idempotent and an entry whose pages did
+    /// not all succeed is re-queued at the chain *front* with its resume
+    /// point (`done`) advanced, so a later tick re-drives only the failed
+    /// pages — nothing leaks and nothing is double-counted. On any page
+    /// failure the first error is returned after the re-queue.
+    pub fn gc_tick_budget(&self, sink: &dyn DeletionSink, budget: usize) -> IqResult<usize> {
+        // One lock pass for eligibility (the old loop re-derived the min
+        // active sequence under the lock for every entry).
+        let (mut entries, left_on_chain) = {
+            let mut g = self.inner.lock();
+            let oldest_active = g
+                .active
+                .values()
+                .map(|t| t.start_seq)
+                .min()
+                .unwrap_or(u64::MAX);
+            let mut v: Vec<CommittedTxn> = Vec::new();
+            while v.len() < budget {
                 match g.chain.front() {
-                    Some(front) if front.commit_seq <= oldest_active => g.chain.pop_front(),
-                    _ => None,
+                    Some(front) if front.commit_seq <= oldest_active => {
+                        v.push(g.chain.pop_front().expect("front exists"));
+                    }
+                    _ => break,
                 }
-            };
-            let Some(entry) = entry else { break };
-            // If the sink fails mid-entry (a crash during GC), push the
-            // entry back so a later tick retries it; deletes are
-            // idempotent, so re-deleting the prefix already processed is
-            // safe. Dropping the entry here would leak its RF pages
-            // forever — they'd never be polled again.
-            let mut delete_all = || -> IqResult<()> {
-                for key in entry.rfrb.rf.iter_keys() {
-                    sink.delete_page(
-                        cloud_space_of(&entry.rfrb, key),
-                        PhysicalLocator::Object(key),
-                    )?;
-                    deleted += 1;
-                }
-                for (space, start, count) in entry.rfrb.rf.iter_blocks() {
-                    sink.delete_page(space, PhysicalLocator::Blocks { start, count })?;
-                    deleted += 1;
-                }
-                Ok(())
-            };
-            if let Err(e) = delete_all() {
-                self.inner.lock().chain.push_front(entry);
-                return Err(e);
             }
-            consumed += 1;
+            (v, g.chain.len() as u64)
+        };
+        if entries.is_empty() {
+            if trace::is_enabled() {
+                trace::emit(EventKind::GcTick {
+                    consumed: 0,
+                    remaining: left_on_chain,
+                });
+            }
+            return Ok(0);
         }
+        self.gc_stats.ticks.fetch_add(1, Ordering::Relaxed);
+
+        // Pending work = RF minus the per-entry resume point; cloud keys
+        // dedupe globally (entries may free overlapping ranges), block
+        // runs dedupe and coalesce per dbspace.
+        let mut all_keys = KeySet::new();
+        for e in &entries {
+            let mut fresh = e.rfrb.rf.keys.clone();
+            fresh.subtract(&e.done.keys);
+            all_keys.union_with(&fresh);
+        }
+        let mut runs_by_space: BTreeMap<u32, Vec<(u64, u8)>> = BTreeMap::new();
+        for e in &entries {
+            for (&space, runs) in &e.rfrb.rf.blocks {
+                let done = e.done.blocks.get(&space);
+                for &run in runs {
+                    if done.is_none_or(|d| !d.contains(&run)) {
+                        runs_by_space.entry(space).or_default().push(run);
+                    }
+                }
+            }
+        }
+        for runs in runs_by_space.values_mut() {
+            coalesce_block_runs(runs);
+        }
+
+        // Fan the key batches out. Tasks never return Err: one failing
+        // batch must not cancel the others, so per-key verdicts travel in
+        // the outcome and are folded below.
+        let submitted_keys = all_keys.len();
+        let key_batches: Vec<Vec<PhysicalLocator>> = all_keys
+            .iter()
+            .map(|off| PhysicalLocator::Object(ObjectKey::from_offset(off)))
+            .collect::<Vec<_>>()
+            .chunks(GC_BATCH_KEYS)
+            .map(<[PhysicalLocator]>::to_vec)
+            .collect();
+        let workers = self.gc_workers.load(Ordering::Relaxed).max(1);
+        let pool = WorkerPool::new(workers.min(key_batches.len().max(1)));
+        let (res, pstats) = pool.run_ordered_with_stats(key_batches.len(), |i| {
+            Ok::<_, IqError>(sink.delete_pages(CLOUD_SPACE_SENTINEL, &key_batches[i]))
+        });
+        let outcomes = res.expect("gc batch tasks are infallible");
+
+        let mut key_requests = 0u64;
+        let mut retried = 0u64;
+        let mut failed_keys = KeySet::new();
+        let mut first_err: Option<IqError> = None;
+        for o in &outcomes {
+            key_requests += o.requests;
+            retried += o.retried_keys;
+            for (loc, r) in &o.results {
+                if let (PhysicalLocator::Object(k), Err(e)) = (loc, r) {
+                    failed_keys.insert(k.offset());
+                    if first_err.is_none() {
+                        first_err = Some(e.clone());
+                    }
+                }
+            }
+        }
+        for b in &key_batches {
+            self.gc_stats.note_batch(b.len());
+        }
+
+        // Block runs, one bulk call per dbspace (the space is resolved
+        // once per group — the old loop looked it up per key).
+        let mut block_requests = 0u64;
+        let mut failed_ranges: Vec<(u32, u64, u64)> = Vec::new();
+        for (space, runs) in &runs_by_space {
+            let locs: Vec<PhysicalLocator> = runs
+                .iter()
+                .map(|&(start, count)| PhysicalLocator::Blocks {
+                    start: BlockNum(start),
+                    count,
+                })
+                .collect();
+            let o = sink.delete_pages(DbSpaceId(*space), &locs);
+            block_requests += o.requests;
+            retried += o.retried_keys;
+            for (loc, r) in &o.results {
+                if let (PhysicalLocator::Blocks { start, count }, Err(e)) = (loc, r) {
+                    failed_ranges.push((*space, start.0, start.0 + u64::from(*count)));
+                    if first_err.is_none() {
+                        first_err = Some(e.clone());
+                    }
+                }
+            }
+        }
+
+        // Fold results back per entry: advance each entry's resume point
+        // by its pages that succeeded, count them (first-time only), and
+        // re-queue entries with surviving pages.
+        let mut keys_deleted = 0u64;
+        let mut runs_deleted = 0u64;
+        let mut consumed = 0u64;
+        let mut requeue: Vec<CommittedTxn> = Vec::new();
+        for mut e in entries.drain(..) {
+            let mut unfinished = false;
+            let mut pending = e.rfrb.rf.keys.clone();
+            pending.subtract(&e.done.keys);
+            let mut ok = pending.clone();
+            ok.subtract(&failed_keys);
+            if ok.len() < pending.len() {
+                unfinished = true;
+            }
+            keys_deleted += ok.len();
+            e.done.keys.union_with(&ok);
+            for (&space, runs) in &e.rfrb.rf.blocks {
+                for &(start, count) in runs {
+                    let done_runs = e.done.blocks.entry(space).or_default();
+                    if done_runs.contains(&(start, count)) {
+                        continue;
+                    }
+                    let end = start + u64::from(count);
+                    let failed = failed_ranges
+                        .iter()
+                        .any(|&(s, fs, fe)| s == space && start < fe && fs < end);
+                    if failed {
+                        unfinished = true;
+                    } else {
+                        done_runs.push((start, count));
+                        runs_deleted += 1;
+                    }
+                }
+            }
+            if unfinished {
+                requeue.push(e);
+            } else {
+                consumed += 1;
+            }
+        }
+        let requeued = requeue.len() as u64;
+        if !requeue.is_empty() {
+            let mut g = self.inner.lock();
+            for e in requeue.into_iter().rev() {
+                g.chain.push_front(e);
+            }
+        }
+
+        let s = &self.gc_stats;
+        s.entries_consumed.fetch_add(consumed, Ordering::Relaxed);
+        s.keys_deleted.fetch_add(keys_deleted, Ordering::Relaxed);
+        s.block_runs_deleted
+            .fetch_add(runs_deleted, Ordering::Relaxed);
+        s.requests
+            .fetch_add(key_requests + block_requests, Ordering::Relaxed);
+        s.requests_saved.fetch_add(
+            submitted_keys.saturating_sub(key_requests),
+            Ordering::Relaxed,
+        );
+        s.retried_keys.fetch_add(retried, Ordering::Relaxed);
+        s.requeues.fetch_add(requeued, Ordering::Relaxed);
+        s.in_flight_peak
+            .fetch_max(pstats.in_flight_peak as u64, Ordering::Relaxed);
+
         if trace::is_enabled() {
+            if submitted_keys > 0 {
+                trace::emit(EventKind::GcBatch {
+                    keys: submitted_keys,
+                    requests: key_requests,
+                    in_flight_peak: pstats.in_flight_peak as u64,
+                });
+            }
             trace::emit(EventKind::GcTick {
                 consumed,
-                remaining: self.inner.lock().chain.len() as u64,
+                remaining: left_on_chain + requeued,
             });
         }
-        Ok(deleted)
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok((keys_deleted + runs_deleted) as usize),
+        }
     }
 
     /// Committed-chain length (tests and monitoring).
@@ -360,12 +775,14 @@ impl TransactionManager {
 }
 
 /// RF/RB page sets carry the owning dbspace only for block runs; cloud
-/// keys are globally unique, so the sink resolves them by key. We pass the
-/// first registered cloud dbspace id — the sink implementations ignore the
-/// id for object locators (keys identify the store).
-fn cloud_space_of(_rfrb: &RfRb, _key: iq_common::ObjectKey) -> DbSpaceId {
-    DbSpaceId(u32::MAX)
-}
+/// keys are globally unique, so sinks resolve object locators by key and
+/// ignore the dbspace id. The constant replaces the per-key
+/// `cloud_space_of` lookup the old GC loop performed for every iteration.
+const CLOUD_SPACE_SENTINEL: DbSpaceId = DbSpaceId(u32::MAX);
+
+/// Per-batch key cap for the GC fan-out, mirroring the S3 multi-object
+/// delete limit (`iq_objectstore::DELETE_BATCH_MAX`).
+const GC_BATCH_KEYS: usize = 1000;
 
 #[cfg(test)]
 mod tests {
@@ -514,6 +931,264 @@ mod tests {
         tm.gc_tick(&sink).unwrap();
         assert_eq!(tm.chain_len(), 0);
         assert_eq!(sink.inner.cloud.lock().runs(), &[(40, 45)]);
+    }
+
+    #[test]
+    fn requeued_entry_resumes_without_double_counting() {
+        let (_, tm) = manager();
+        let sink = FlakySink {
+            inner: RecordingSink::default(),
+            remaining_failures: Mutex::new(1),
+        };
+        let w = tm.begin(NodeId(1));
+        for off in 40..45 {
+            tm.record_free(w, DbSpaceId(1), cloud(off)).unwrap();
+        }
+        tm.commit(w, &sink).unwrap_err();
+        // Four of five landed before the fault; the entry's resume point
+        // records them so they are neither re-driven nor re-counted.
+        assert_eq!(tm.gc_stats().keys_deleted, 4);
+        let healed = tm.gc_tick(&sink).unwrap();
+        assert_eq!(healed, 1, "only the failed page is re-driven");
+        assert_eq!(tm.gc_stats().keys_deleted, 5);
+        assert_eq!(tm.gc_stats().requeues, 1);
+        assert_eq!(sink.inner.cloud.lock().runs(), &[(40, 45)]);
+        assert_eq!(tm.chain_len(), 0);
+    }
+
+    /// Sink overriding the bulk path: records pages and charges one
+    /// request per ≤1000-page call, like a multi-object delete.
+    #[derive(Default)]
+    struct BatchRecordingSink {
+        inner: RecordingSink,
+        call_sizes: Mutex<Vec<usize>>,
+    }
+
+    impl DeletionSink for BatchRecordingSink {
+        fn delete_page(&self, space: DbSpaceId, loc: PhysicalLocator) -> IqResult<()> {
+            self.inner.delete_page(space, loc)
+        }
+
+        fn delete_pages(&self, space: DbSpaceId, pages: &[PhysicalLocator]) -> BulkDeleteOutcome {
+            self.call_sizes.lock().push(pages.len());
+            let mut results = Vec::with_capacity(pages.len());
+            for &loc in pages {
+                results.push((loc, self.inner.delete_page(space, loc)));
+            }
+            BulkDeleteOutcome {
+                results,
+                requests: pages.len().div_ceil(1000) as u64,
+                retried_keys: 0,
+            }
+        }
+    }
+
+    #[test]
+    fn gc_dedupes_keys_across_entries_into_one_batch() {
+        let (_, tm) = manager();
+        let sink = BatchRecordingSink::default();
+        let blocker = tm.begin(NodeId(3));
+        // Two entries free overlapping key ranges; the drain submits each
+        // key once.
+        let t1 = tm.begin(NodeId(1));
+        for off in 100..110 {
+            tm.record_free(t1, DbSpaceId(1), cloud(off)).unwrap();
+        }
+        tm.commit(t1, &sink).unwrap();
+        let t2 = tm.begin(NodeId(1));
+        for off in 105..115 {
+            tm.record_free(t2, DbSpaceId(1), cloud(off)).unwrap();
+        }
+        tm.commit(t2, &sink).unwrap();
+        tm.rollback(blocker, &sink).unwrap();
+        tm.gc_tick(&sink).unwrap();
+        assert_eq!(tm.chain_len(), 0);
+        assert_eq!(sink.inner.cloud.lock().runs(), &[(100, 115)]);
+        assert_eq!(
+            *sink.call_sizes.lock(),
+            vec![15],
+            "one deduped batch for both entries"
+        );
+        let stats = tm.gc_stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.requests_saved, 14);
+        assert_eq!(stats.batches, 1);
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    struct Round {
+        allocs: Vec<u64>,
+        frees: Vec<u64>,
+        runs: Vec<(u64, u8)>,
+        rollback: bool,
+        toggle_reader: bool,
+    }
+
+    /// A deterministic random RF/RB history: allocations, frees of live
+    /// keys, conventional block-run frees, rollbacks, and a long reader
+    /// that toggles to force chain buildup.
+    fn random_history(seed: u64, rounds: usize) -> Vec<Round> {
+        let mut s = seed;
+        let mut next_key = 1_000u64;
+        let mut next_block = 0u64;
+        let mut live: Vec<u64> = Vec::new();
+        let mut out = Vec::new();
+        for _ in 0..rounds {
+            let allocs: Vec<u64> = (0..splitmix(&mut s) % 6)
+                .map(|_| {
+                    let k = next_key;
+                    next_key += 1;
+                    k
+                })
+                .collect();
+            let mut frees = Vec::new();
+            let want = (splitmix(&mut s) % 4) as usize;
+            for _ in 0..want {
+                if live.is_empty() {
+                    break;
+                }
+                let i = (splitmix(&mut s) as usize) % live.len();
+                frees.push(live.swap_remove(i));
+            }
+            let runs: Vec<(u64, u8)> = (0..splitmix(&mut s) % 3)
+                .map(|_| {
+                    let count = 1 + (splitmix(&mut s) % 4) as u8;
+                    let start = next_block;
+                    next_block += u64::from(count);
+                    (start, count)
+                })
+                .collect();
+            let rollback = splitmix(&mut s).is_multiple_of(5);
+            if !rollback {
+                live.extend(&allocs);
+            }
+            out.push(Round {
+                allocs,
+                frees,
+                runs,
+                rollback,
+                toggle_reader: splitmix(&mut s).is_multiple_of(3),
+            });
+        }
+        out
+    }
+
+    fn run_history(
+        history: &[Round],
+        sink: &dyn DeletionSink,
+        workers: usize,
+    ) -> (GcStatsSnapshot, usize) {
+        let (_, tm) = manager();
+        tm.set_gc_workers(workers);
+        let mut reader = None;
+        for r in history {
+            if r.toggle_reader {
+                match reader.take() {
+                    Some(t) => tm.rollback(t, sink).unwrap(),
+                    None => reader = Some(tm.begin(NodeId(9))),
+                }
+            }
+            let t = tm.begin(NodeId(1));
+            for &k in &r.allocs {
+                tm.record_alloc(t, DbSpaceId(1), cloud(k)).unwrap();
+            }
+            for &k in &r.frees {
+                tm.record_free(t, DbSpaceId(1), cloud(k)).unwrap();
+            }
+            for &(start, count) in &r.runs {
+                tm.record_free(
+                    t,
+                    DbSpaceId(2),
+                    PhysicalLocator::Blocks {
+                        start: BlockNum(start),
+                        count,
+                    },
+                )
+                .unwrap();
+            }
+            if r.rollback {
+                tm.rollback(t, sink).unwrap();
+            } else {
+                tm.commit(t, sink).unwrap();
+            }
+        }
+        if let Some(t) = reader {
+            tm.rollback(t, sink).unwrap();
+        }
+        tm.gc_tick(sink).unwrap();
+        assert_eq!(tm.chain_len(), 0);
+        (tm.gc_stats(), tm.active_count())
+    }
+
+    /// Blocks covered by a recorded run list, as a canonical set (GC
+    /// coalescing may trim with different run boundaries).
+    fn covered_blocks(runs: &[(u32, u64, u8)]) -> std::collections::BTreeSet<(u32, u64)> {
+        runs.iter()
+            .flat_map(|&(space, start, count)| {
+                (start..start + u64::from(count)).map(move |b| (space, b))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_gc_reclaims_same_pages_as_per_key_baseline() {
+        for seed in [1u64, 7, 42, 1337] {
+            let history = random_history(seed, 48);
+            // Baseline: the default per-page sink loop, serial GC.
+            let per_key = RecordingSink::default();
+            let (base_stats, _) = run_history(&history, &per_key, 1);
+            // Batched: multi-object sink, parallel fan-out.
+            let batched = BatchRecordingSink::default();
+            let (batch_stats, _) = run_history(&history, &batched, 4);
+
+            assert_eq!(
+                per_key.cloud.lock().runs(),
+                batched.inner.cloud.lock().runs(),
+                "seed {seed}: reclaimed key sets diverge"
+            );
+            assert_eq!(
+                covered_blocks(&per_key.blocks.lock()),
+                covered_blocks(&batched.inner.blocks.lock()),
+                "seed {seed}: reclaimed block sets diverge"
+            );
+            assert_eq!(
+                base_stats.keys_deleted, batch_stats.keys_deleted,
+                "seed {seed}"
+            );
+            if base_stats.keys_deleted > base_stats.ticks {
+                assert!(
+                    batch_stats.requests < base_stats.requests,
+                    "seed {seed}: batching must cut request count \
+                     ({} vs {})",
+                    batch_stats.requests,
+                    base_stats.requests
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gc_budget_limits_entries_per_tick() {
+        let (_, tm) = manager();
+        let sink = RecordingSink::default();
+        let blocker = tm.begin(NodeId(3));
+        for i in 0..4u64 {
+            let t = tm.begin(NodeId(1));
+            tm.record_free(t, DbSpaceId(1), cloud(200 + i)).unwrap();
+            tm.commit(t, &sink).unwrap();
+        }
+        tm.rollback(blocker, &sink).unwrap();
+        assert_eq!(tm.gc_tick_budget(&sink, 3).unwrap(), 3);
+        assert_eq!(tm.chain_len(), 1, "budget leaves the tail queued");
+        assert_eq!(tm.gc_tick_budget(&sink, 3).unwrap(), 1);
+        assert_eq!(tm.chain_len(), 0);
     }
 
     #[test]

@@ -84,6 +84,34 @@ impl PageSet {
     }
 }
 
+/// Sort, dedupe and merge adjacent `(start, count)` block runs: runs whose
+/// ranges touch or overlap collapse into one as long as the combined
+/// length still fits the `u8` run-length field (pages occupy 1–16 blocks,
+/// so a merged trim can cover many freed pages). The GC uses this to turn
+/// per-page trims into per-extent trims before hitting the device.
+pub fn coalesce_block_runs(runs: &mut Vec<(u64, u8)>) {
+    if runs.len() < 2 {
+        return;
+    }
+    runs.sort_unstable();
+    runs.dedup();
+    let mut out: Vec<(u64, u8)> = Vec::with_capacity(runs.len());
+    for &(start, count) in runs.iter() {
+        if let Some(&mut (ref mut pstart, ref mut pcount)) = out.last_mut() {
+            let pend = *pstart + u64::from(*pcount);
+            let combined = u64::from(*pcount).saturating_add(u64::from(count));
+            if start <= pend && combined <= u64::from(u8::MAX) {
+                // Adjacent or overlapping and still expressible: extend.
+                let end = (start + u64::from(count)).max(pend);
+                *pcount = (end - *pstart) as u8;
+                continue;
+            }
+        }
+        out.push((start, count));
+    }
+    *runs = out;
+}
+
 /// A transaction's pair of RF/RB bitmaps.
 #[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
 pub struct RfRb {
@@ -185,6 +213,17 @@ mod tests {
         let image = rfrb.to_bytes();
         assert_eq!(RfRb::from_bytes(&image), Some(rfrb));
         assert_eq!(RfRb::from_bytes(b"garbage"), None);
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent_runs_capped_at_u8() {
+        let mut runs = vec![(10, 4), (14, 4), (30, 2), (14, 4), (18, 2)];
+        coalesce_block_runs(&mut runs);
+        assert_eq!(runs, vec![(10, 10), (30, 2)]);
+        // A merge that would overflow the u8 run-length field stays split.
+        let mut big = vec![(0, 200), (200, 100)];
+        coalesce_block_runs(&mut big);
+        assert_eq!(big, vec![(0, 200), (200, 100)]);
     }
 
     #[test]

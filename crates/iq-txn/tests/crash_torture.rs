@@ -245,11 +245,13 @@ fn crash_mid_parallel_flush() {
     assert_eq!(sim.max_write_count(), 1);
 }
 
-/// Scenario C — the client dies in the middle of garbage collection:
-/// some superseded pages are deleted, then the sink starts failing. The
-/// chain entry must be re-queued (not leaked), a healed tick must finish
-/// the job idempotently, and the *new* live versions must never be
-/// touched.
+/// Scenario C — the client dies while garbage collection is draining
+/// the chain: the batched delete request is refused (a batch is one
+/// request on the op clock, all-or-nothing like S3 `DeleteObjects`).
+/// The chain entry must be re-queued (not leaked), a healed tick must
+/// finish the job idempotently, and the *new* live versions must never
+/// be touched. (`crash_mid_batch_requeues_and_reclaims_once` covers the
+/// multi-chunk cut where a prefix of batches lands before the crash.)
 #[test]
 fn crash_mid_gc() {
     let log = Arc::new(TxnLog::new());
@@ -289,9 +291,10 @@ fn crash_mid_gc() {
     tm.commit(t2, &sink).unwrap();
     assert_eq!(tm.chain_len(), 1, "v1 deletions deferred behind the reader");
 
-    // Reader ends; GC may now run — and the client dies two deletes in.
+    // Reader ends; GC may now run — and the client dies before the
+    // batched delete request lands.
     tm.rollback(reader, &sink).unwrap();
-    inj.arm_crash(2);
+    inj.arm_crash(0);
     let err = tm.gc_tick(&sink);
     assert!(err.is_err(), "mid-GC crash surfaces");
     assert_eq!(tm.chain_len(), 1, "interrupted entry re-queued, not leaked");
@@ -329,6 +332,73 @@ fn crash_mid_gc() {
             "committed keys trimmed after replay"
         );
     }
+}
+
+/// Scenario C′ — the cut lands *between* delete batches: the freed set
+/// spans two ≤1000-key multi-object requests, the first lands, the
+/// second is refused. The chain entry must be re-queued with its resume
+/// point advanced past the batch that succeeded, so the healed tick
+/// re-drives only the failed tail and every page is counted exactly once.
+#[test]
+fn crash_mid_batch_requeues_and_reclaims_once() {
+    let log = Arc::new(TxnLog::new());
+    let mx = Multiplex::new(Arc::clone(&log), 1, 0);
+    let w1 = mx.secondary(W1).unwrap();
+    let (space, inj, sim) = faulted_cloud(FaultPlan::none());
+    let cache = w1.key_cache().unwrap();
+
+    let tm = TransactionManager::new(Arc::clone(&log), Some(mx.coordinator.keygen().unwrap()));
+    let sink = ImmediateDeletion::new();
+    sink.register(space.clone());
+
+    // 1005 committed pages: the GC will need two delete batches.
+    const N: u64 = 1005;
+    let t1 = tm.begin(W1);
+    let v1 = flush_pages(&space, &cache, N, 0x44).unwrap();
+    for &k in &v1 {
+        tm.record_alloc(t1, SPACE, PhysicalLocator::Object(k))
+            .unwrap();
+    }
+    tm.commit(t1, &sink).unwrap();
+
+    // A reader pins the snapshot while T2 frees all 1005 pages.
+    let reader = tm.begin(W1);
+    let t2 = tm.begin(W1);
+    for &k in &v1 {
+        tm.record_free(t2, SPACE, PhysicalLocator::Object(k))
+            .unwrap();
+    }
+    tm.commit(t2, &sink).unwrap();
+    assert_eq!(tm.chain_len(), 1);
+
+    // Reader ends; the client dies after the first batch request.
+    tm.rollback(reader, &sink).unwrap();
+    inj.arm_crash(1);
+    let err = tm.gc_tick(&sink);
+    assert!(err.is_err(), "mid-batch crash surfaces");
+    assert_eq!(tm.chain_len(), 1, "interrupted entry re-queued, not leaked");
+    assert_eq!(
+        sim.object_count(),
+        (N - 1000) as usize,
+        "the first 1000-key batch landed before the cut"
+    );
+    assert!(inj.fault_stats().refused_while_crashed > 0);
+
+    // Heal: only the failed tail is re-driven, and the accounting stays
+    // exactly-once across the requeue.
+    inj.heal();
+    let deleted = tm.gc_tick(&sink).unwrap();
+    assert_eq!(
+        deleted as u64,
+        N - 1000,
+        "resume point skips the landed batch"
+    );
+    assert_eq!(tm.chain_len(), 0);
+    assert_eq!(sim.object_count(), 0, "no RF page leaked");
+    assert_eq!(sim.max_write_count(), 1, "never-write-twice holds");
+    let stats = tm.gc_stats();
+    assert_eq!(stats.keys_deleted, N, "each page counted exactly once");
+    assert_eq!(stats.requeues, 1);
 }
 
 /// The three scripted cuts above, replayed under a *flaky* store as well:

@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut meta_v2 = TableMeta::new(table, "t", schema, 128);
     load(&db, &mut meta_v2, 0..250);
     db.save_table_meta(&meta_v2)?;
-    db.gc_tick()?;
+    db.gc_drain()?;
     println!(
         "v2 loaded: {} rows; store now holds {} objects (v1 pages retained, not deleted)",
         count_rows(&db, &meta_v2),

@@ -139,7 +139,7 @@ fn table_level_versioning_isolates_readers() {
     db.commit(writer).unwrap();
     db.rollback(reader).unwrap();
     // After commit + GC the new version is what resolves.
-    db.gc_tick().unwrap();
+    db.gc_drain().unwrap();
     db.shared().buffer.clear();
     let r2 = db.begin();
     let pager2 = db.pager(r2).unwrap();
@@ -347,7 +347,7 @@ fn drop_table_reclaims_all_pages() {
     assert!(store.object_count() > 0);
 
     db.drop_table(table).unwrap();
-    db.gc_tick().unwrap();
+    db.gc_drain().unwrap();
     // Retention is on in the test config: the pages moved into the FIFO
     // instead of dying — droppable tables stay snapshot-restorable.
     let retained = db.snapshot_manager().unwrap().retained_count();

@@ -45,7 +45,7 @@ fn snapshot_view_time_travels_without_restore() {
     let mut meta_v2 = TableMeta::new(table, "t", schema(), 64);
     load(&db, &mut meta_v2, 0..100);
     db.save_table_meta(&meta_v2).unwrap();
-    db.gc_tick().unwrap();
+    db.gc_drain().unwrap();
 
     // The live database sees v2...
     let live_txn = db.begin();

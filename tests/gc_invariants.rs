@@ -119,7 +119,7 @@ fn run_sequence(ops: &[Op]) {
                 db.recover_coordinator().unwrap();
             }
             Op::Gc => {
-                db.gc_tick().unwrap();
+                db.gc_drain().unwrap();
             }
         }
     }
@@ -128,7 +128,7 @@ fn run_sequence(ops: &[Op]) {
     if let Some(ocm) = db.ocm() {
         ocm.quiesce();
     }
-    db.gc_tick().unwrap();
+    db.gc_drain().unwrap();
 
     let store = db.cloud_store(space).unwrap();
     // Invariant 1: never-write-twice survived everything.

@@ -159,7 +159,7 @@ fn reopen_preserves_custom_page_sizes_and_conventional_spaces() {
     let txn = db.begin();
     load(&db, &mut m3, txn, 300);
     db.commit(txn).unwrap();
-    db.gc_tick().unwrap();
+    db.gc_drain().unwrap();
     let rtxn = db.begin();
     let pager = db.pager(rtxn).unwrap();
     assert_eq!(m3.scan(&pager, &[0], None, db.meter()).unwrap().len(), 300);
