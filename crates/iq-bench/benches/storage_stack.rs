@@ -154,6 +154,7 @@ fn bench_ocm(c: &mut Criterion) {
             slot_bytes: 4096,
             capacity_bytes: 8 << 20,
             retry: RetryPolicy::default(),
+            protected_fraction: 0.8,
         },
     );
     // Warm 512 objects through write-back.

@@ -32,6 +32,7 @@ fn main() {
                        --fig9       scale-out (2/4/8 nodes)\n\
                        --ablations  design-choice ablations\n\
                        --gc         batched multi-object GC deletion ablation\n\
+                       --cache      sharded scan-resistant buffer-cache ablation\n\
                        --faults     fault sweep: retry/backoff under a flaky store\n\
                        --explain    time-model phase totals + folded event journal\n\n\
                      MACHINE-READABLE MODES (exit after running; stdout is the artifact):\n\
@@ -143,9 +144,15 @@ fn main() {
         if !want("gc") {
             reports.push(experiments::ablation_gc_batching(sf).expect("ablation_gc_batching"));
         }
+        if !want("cache") {
+            reports.push(experiments::ablation_cache(sf).expect("ablation_cache"));
+        }
     }
     if want("gc") {
         reports.push(experiments::ablation_gc_batching(sf).expect("ablation_gc_batching"));
+    }
+    if want("cache") {
+        reports.push(experiments::ablation_cache(sf).expect("ablation_cache"));
     }
     for r in &reports {
         println!("{}", r.to_text());

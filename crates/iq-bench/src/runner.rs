@@ -165,7 +165,7 @@ impl PowerRun {
         let reset_all = || {
             user_space.reset_backend_stats();
             ssd.stats.reset();
-            db.buffer_stats().reset();
+            db.buffer_stats().begin_epoch();
         };
         let user_stats_snapshot = || -> StatsSnapshot { user_space.backend_stats() };
 

@@ -134,6 +134,14 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             .map(|(_, v)| v)
     }
 
+    /// Mutable lookup without touching recency (bookkeeping writes — e.g.
+    /// marking a frame clean at commit — are not accesses and must not
+    /// reorder the replacement list).
+    pub fn peek_mut(&mut self, key: &K) -> Option<&mut V> {
+        let idx = *self.map.get(key)?;
+        self.slab[idx].occupied.as_mut().map(|(_, v)| v)
+    }
+
     /// Remove an entry.
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let idx = self.map.remove(key)?;

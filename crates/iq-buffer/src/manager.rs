@@ -14,16 +14,36 @@
 //! read) from **prefetched loads** (latency was overlapped); the
 //! virtual-time model prices the former serially, which is what makes
 //! short queries on S3 slower than on EBS (the paper's Q2/Q19 exception).
+//!
+//! # Concurrency structure
+//!
+//! The frame table is split across a power-of-two number of
+//! [shards](crate::shard) so parallel scan workers touching disjoint pages
+//! take disjoint locks; byte accounting is a process-wide atomic and the
+//! dirty-page index is a separate small mutex (lock order: shard →
+//! dirty-index, never the reverse). Replacement within each shard is a
+//! scan-resistant [segmented LRU](crate::slru): prefetched (scan) loads are
+//! admitted probationary so one large scan cannot displace the point-read
+//! working set — the property the paper's §5 RAM-over-OCM-over-store cache
+//! hierarchy depends on to keep the per-request-billed object store cold.
+//!
+//! No shard lock is ever held across a [`FlushSink::flush`] or a backend
+//! GET. An evicted dirty frame is flushed *after* its shard lock is
+//! released; the key is parked in the shard's single-flight `loading` set
+//! for the duration so a concurrent reader waits for the flush (and then
+//! reloads through the updated blockmap) instead of resurrecting the
+//! pre-flush frame.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use iq_common::trace::{self, EventKind};
 use iq_common::{IqResult, PageId, TableId, TxnId, WorkerPool};
 use iq_storage::Page;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
-use crate::lru::LruCache;
+use crate::shard::{shard_count, shard_index, Shard, ShardInner};
+use crate::slru::Admission;
 
 /// Cache key: table, logical page number, and table-version epoch.
 ///
@@ -70,17 +90,87 @@ struct Frame {
     bytes: usize,
 }
 
+/// Dirty-page index, shared across shards. Guarded by its own mutex;
+/// always acquired *after* a shard lock (lock order: shard → dirty).
 #[derive(Default)]
-struct Inner {
-    frames: LruCache<FrameKey, Frame>,
-    used_bytes: usize,
-    dirty_by_txn: HashMap<TxnId, HashSet<FrameKey>>,
-    /// Keys with a load in flight; concurrent readers wait instead of
-    /// running the loader a second time.
-    loading: HashSet<FrameKey>,
+struct DirtyIndex {
+    by_txn: HashMap<TxnId, HashSet<FrameKey>>,
+    /// Dirty frames popped by the evictor whose [`FlushSink::flush`] is
+    /// still in flight, per transaction. The commit path waits for this to
+    /// reach zero before claiming the dirty set, so "all associated dirty
+    /// pages are flushed" (§3.1) covers eviction flushes racing the commit.
+    evict_in_flight: HashMap<TxnId, usize>,
+}
+
+/// Point-in-time copy of the buffer counters. All fields are totals over
+/// one epoch (or the process lifetime, for
+/// [`BufferStats::lifetime_snapshot`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BufferStatsSnapshot {
+    /// Cache hits.
+    pub hits: u64,
+    /// Misses where a query waited on the load.
+    pub demand_misses: u64,
+    /// Pages loaded by the prefetcher.
+    pub prefetched: u64,
+    /// Frames evicted (clean or dirty).
+    pub evictions: u64,
+    /// Dirty frames flushed due to eviction.
+    pub dirty_evictions: u64,
+    /// Dirty frames flushed at commit.
+    pub commit_flushes: u64,
+    /// Probationary→protected SLRU promotions.
+    pub promotions: u64,
+    /// Protected→probationary SLRU demotions (protected overflow).
+    pub demotions: u64,
+    /// Peak commit flushes in flight at once during the epoch.
+    pub flush_in_flight_peak: u64,
+    /// Wall-clock nanoseconds inside commit-flush fan-outs (diagnostic).
+    pub flush_wall_nanos: u64,
+    /// Wall-clock nanoseconds threads spent blocked on shard locks
+    /// (diagnostic; the contention signal `repro --cache` reports).
+    pub lock_wait_nanos: u64,
+}
+
+impl BufferStatsSnapshot {
+    /// Fraction of loads that were demand misses (serial latency).
+    pub fn demand_fraction(&self) -> f64 {
+        let d = self.demand_misses as f64;
+        let p = self.prefetched as f64;
+        if d + p == 0.0 {
+            0.0
+        } else {
+            d / (d + p)
+        }
+    }
+
+    fn saturating_sub(&self, base: &BufferStatsSnapshot) -> BufferStatsSnapshot {
+        BufferStatsSnapshot {
+            hits: self.hits.saturating_sub(base.hits),
+            demand_misses: self.demand_misses.saturating_sub(base.demand_misses),
+            prefetched: self.prefetched.saturating_sub(base.prefetched),
+            evictions: self.evictions.saturating_sub(base.evictions),
+            dirty_evictions: self.dirty_evictions.saturating_sub(base.dirty_evictions),
+            commit_flushes: self.commit_flushes.saturating_sub(base.commit_flushes),
+            promotions: self.promotions.saturating_sub(base.promotions),
+            demotions: self.demotions.saturating_sub(base.demotions),
+            // Max-counter: reset to 0 at `begin_epoch`, never subtracted.
+            flush_in_flight_peak: self.flush_in_flight_peak,
+            flush_wall_nanos: self.flush_wall_nanos.saturating_sub(base.flush_wall_nanos),
+            lock_wait_nanos: self.lock_wait_nanos.saturating_sub(base.lock_wait_nanos),
+        }
+    }
 }
 
 /// Counters exposed for tests and the benchmark harness.
+///
+/// Counters are monotone for the process lifetime; phase boundaries are
+/// expressed with [`BufferStats::begin_epoch`], which records the current
+/// totals as a baseline that [`BufferStats::snapshot`] subtracts — the
+/// epoch-style API `DeviceStats` uses. The previous `reset()` stored zeros
+/// into counters that shards were concurrently incrementing with `Relaxed`
+/// ordering, so a snapshot taken near a phase boundary could mix pre- and
+/// post-reset values (torn snapshot); baselines never race the increments.
 #[derive(Debug, Default)]
 pub struct BufferStats {
     /// Cache hits.
@@ -95,35 +185,95 @@ pub struct BufferStats {
     pub dirty_evictions: AtomicU64,
     /// Dirty frames flushed at commit.
     pub commit_flushes: AtomicU64,
-    /// Peak number of commit flushes in flight at once (across all
-    /// [`BufferManager::flush_txn_parallel`] calls since the last reset).
+    /// Probationary→protected SLRU promotions.
+    pub promotions: AtomicU64,
+    /// Protected→probationary SLRU demotions.
+    pub demotions: AtomicU64,
+    /// Peak number of commit flushes in flight at once (max-counter; reset
+    /// at each [`BufferStats::begin_epoch`]).
     pub flush_in_flight_peak: AtomicU64,
     /// Wall-clock nanoseconds spent inside commit-flush fan-outs.
     /// Diagnostic only — reported results use virtual time.
     pub flush_wall_nanos: AtomicU64,
+    /// Wall-clock nanoseconds spent blocked acquiring shard locks.
+    /// Diagnostic only.
+    pub lock_wait_nanos: AtomicU64,
+    /// Totals at the start of the current epoch.
+    baseline: Mutex<BufferStatsSnapshot>,
+    /// Epochs begun so far.
+    epochs: AtomicU64,
 }
 
 impl BufferStats {
-    /// Zero all counters (benchmark phase boundaries).
-    pub fn reset(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.demand_misses.store(0, Ordering::Relaxed);
-        self.prefetched.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
-        self.dirty_evictions.store(0, Ordering::Relaxed);
-        self.commit_flushes.store(0, Ordering::Relaxed);
-        self.flush_in_flight_peak.store(0, Ordering::Relaxed);
-        self.flush_wall_nanos.store(0, Ordering::Relaxed);
+    fn load_totals(&self) -> BufferStatsSnapshot {
+        BufferStatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            demand_misses: self.demand_misses.load(Ordering::Relaxed),
+            prefetched: self.prefetched.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            dirty_evictions: self.dirty_evictions.load(Ordering::Relaxed),
+            commit_flushes: self.commit_flushes.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            demotions: self.demotions.load(Ordering::Relaxed),
+            flush_in_flight_peak: self.flush_in_flight_peak.load(Ordering::Relaxed),
+            flush_wall_nanos: self.flush_wall_nanos.load(Ordering::Relaxed),
+            lock_wait_nanos: self.lock_wait_nanos.load(Ordering::Relaxed),
+        }
     }
 
-    /// Fraction of loads that were demand misses (serial latency).
+    /// Start a new epoch: current totals become the baseline that
+    /// [`BufferStats::snapshot`] subtracts. The in-flight-peak max-counter
+    /// restarts from zero.
+    pub fn begin_epoch(&self) {
+        let mut base = self.baseline.lock();
+        self.flush_in_flight_peak.store(0, Ordering::Relaxed);
+        let mut totals = self.load_totals();
+        totals.flush_in_flight_peak = 0;
+        *base = totals;
+        self.epochs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Epochs begun so far (0 until the first [`BufferStats::begin_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epochs.load(Ordering::Relaxed)
+    }
+
+    /// Counters accumulated in the current epoch.
+    pub fn snapshot(&self) -> BufferStatsSnapshot {
+        let base = *self.baseline.lock();
+        self.load_totals().saturating_sub(&base)
+    }
+
+    /// Counters accumulated over the whole process lifetime (epoch
+    /// boundaries ignored; the in-flight peak is the current epoch's).
+    pub fn lifetime_snapshot(&self) -> BufferStatsSnapshot {
+        self.load_totals()
+    }
+
+    /// Fraction of loads in the current epoch that were demand misses
+    /// (serial latency).
     pub fn demand_fraction(&self) -> f64 {
-        let d = self.demand_misses.load(Ordering::Relaxed) as f64;
-        let p = self.prefetched.load(Ordering::Relaxed) as f64;
-        if d + p == 0.0 {
-            0.0
-        } else {
-            d / (d + p)
+        self.snapshot().demand_fraction()
+    }
+}
+
+/// Construction knobs for [`BufferManager::with_options`].
+#[derive(Debug, Clone, Copy)]
+pub struct BufferOptions {
+    /// Requested shard count; rounded to a power of two in `[1, 64]`.
+    /// 1 reproduces the historical single-lock manager exactly.
+    pub shards: usize,
+    /// Fraction of each shard's byte budget reserved for the protected
+    /// SLRU segment (clamped to `[0, 1]`; 0 disables scan resistance and
+    /// yields plain LRU).
+    pub protected_fraction: f64,
+}
+
+impl Default for BufferOptions {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            protected_fraction: 0.8,
         }
     }
 }
@@ -131,21 +281,43 @@ impl BufferStats {
 /// The buffer manager.
 pub struct BufferManager {
     capacity_bytes: usize,
-    inner: Mutex<Inner>,
-    /// Signalled whenever an in-flight load finishes (see `Inner::loading`).
-    load_done: Condvar,
+    shards: Vec<Shard<FrameKey, Frame>>,
+    shard_mask: usize,
+    /// Per-shard protected-segment weight budget (kept to rebuild shards
+    /// in [`BufferManager::clear`]).
+    protected_capacity: usize,
+    /// Bytes currently cached, across all shards.
+    used_bytes: AtomicUsize,
+    dirty: Mutex<DirtyIndex>,
+    /// Signalled when an eviction flush completes (`evict_in_flight`
+    /// decrements); commit waits on this.
+    evict_done: Condvar,
     /// Live counters.
     pub stats: BufferStats,
 }
 
 impl BufferManager {
     /// A manager with the given RAM budget (SAP IQ reserves half the
-    /// instance RAM for it, §6).
+    /// instance RAM for it, §6) — single shard, default SLRU split.
+    /// Production wiring passes [`BufferOptions`] via
+    /// [`BufferManager::with_options`].
     pub fn new(capacity_bytes: usize) -> Self {
+        Self::with_options(capacity_bytes, BufferOptions::default())
+    }
+
+    /// A manager with explicit shard and SLRU configuration.
+    pub fn with_options(capacity_bytes: usize, options: BufferOptions) -> Self {
+        let n = shard_count(options.shards);
+        let fraction = options.protected_fraction.clamp(0.0, 1.0);
+        let protected_capacity = ((capacity_bytes as f64 * fraction) / n as f64) as usize;
         Self {
             capacity_bytes,
-            inner: Mutex::new(Inner::default()),
-            load_done: Condvar::new(),
+            shards: (0..n).map(|_| Shard::new(protected_capacity)).collect(),
+            shard_mask: n - 1,
+            protected_capacity,
+            used_bytes: AtomicUsize::new(0),
+            dirty: Mutex::new(DirtyIndex::default()),
+            evict_done: Condvar::new(),
             stats: BufferStats::default(),
         }
     }
@@ -155,24 +327,66 @@ impl BufferManager {
         self.capacity_bytes
     }
 
+    /// Number of shards the frame table is split across.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a key maps to (stable across runs; used by the cache
+    /// ablation to compute per-shard load).
+    pub fn shard_of(&self, key: &FrameKey) -> usize {
+        shard_index(key, self.shard_mask)
+    }
+
     /// Bytes currently cached.
     pub fn used_bytes(&self) -> usize {
-        self.inner.lock().used_bytes
+        self.used_bytes.load(Ordering::Relaxed)
     }
 
     /// Number of cached frames.
     pub fn frame_count(&self) -> usize {
-        self.inner.lock().frames.len()
+        self.shards.iter().map(|s| s.inner.lock().cache.len()).sum()
     }
 
     fn frame_cost(page: &Page) -> usize {
         page.body.len() + 128 // header + bookkeeping overhead estimate
     }
 
+    /// Acquire a shard lock, charging any blocking wait to
+    /// `lock_wait_nanos`. The uncontended path is a single `try_lock`.
+    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, ShardInner<FrameKey, Frame>> {
+        if let Some(guard) = self.shards[idx].inner.try_lock() {
+            return guard;
+        }
+        let started = std::time::Instant::now();
+        let guard = self.shards[idx].inner.lock();
+        self.stats
+            .lock_wait_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        guard
+    }
+
+    /// Drain the shard's SLRU promotion/demotion counters into the global
+    /// stats. Called while the shard lock is held.
+    fn absorb_tier_moves(&self, inner: &mut ShardInner<FrameKey, Frame>) {
+        let (promotions, demotions) = inner.cache.take_tier_moves();
+        if promotions > 0 {
+            self.stats
+                .promotions
+                .fetch_add(promotions, Ordering::Relaxed);
+        }
+        if demotions > 0 {
+            self.stats.demotions.fetch_add(demotions, Ordering::Relaxed);
+        }
+    }
+
     /// Look up a page; `None` on miss (no load attempted).
     pub fn get(&self, key: FrameKey) -> Option<Page> {
-        let mut inner = self.inner.lock();
-        let hit = inner.frames.get(&key).map(|f| f.page.clone());
+        let idx = self.shard_of(&key);
+        let mut inner = self.lock_shard(idx);
+        let hit = inner.cache.get(&key).map(|f| f.page.clone());
+        self.absorb_tier_moves(&mut inner);
+        drop(inner);
         if hit.is_some() {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
             trace::emit(EventKind::BufferHit {
@@ -184,7 +398,9 @@ impl BufferManager {
     }
 
     /// Look up or load via `loader`. `demand=true` means a query is
-    /// blocked on this read; `false` means the prefetcher issued it.
+    /// blocked on this read; `false` means the prefetcher issued it —
+    /// prefetched frames are admitted to the probationary SLRU segment so
+    /// a scan's pages cannot displace the protected working set.
     pub fn get_or_load(
         &self,
         key: FrameKey,
@@ -192,22 +408,26 @@ impl BufferManager {
         sink: &dyn FlushSink,
         loader: impl FnOnce() -> IqResult<Page>,
     ) -> IqResult<Page> {
+        let idx = self.shard_of(&key);
         // Single-flight: concurrent readers of the same frame (e.g. a
         // morsel worker demand-reading a group whose prefetch another
         // worker claimed moments earlier) must not run `loader` twice.
         // A duplicate load would double-charge the I/O meters and make
         // the demand/prefetch split depend on thread timing.
         {
-            let mut inner = self.inner.lock();
+            let mut inner = self.lock_shard(idx);
             let mut waited = false;
             loop {
-                if let Some(frame) = inner.frames.get(&key) {
+                let hit = inner.cache.get(&key).map(|f| f.page.clone());
+                if let Some(page) = hit {
+                    self.absorb_tier_moves(&mut inner);
+                    drop(inner);
                     self.stats.hits.fetch_add(1, Ordering::Relaxed);
                     trace::emit(EventKind::BufferHit {
                         table: key.table.0 as u64,
                         page: key.page.0,
                     });
-                    return Ok(frame.page.clone());
+                    return Ok(page);
                 }
                 if inner.loading.insert(key) {
                     break;
@@ -219,14 +439,14 @@ impl BufferManager {
                         page: key.page.0,
                     });
                 }
-                self.load_done.wait(&mut inner);
+                self.shards[idx].load_done.wait(&mut inner);
             }
         }
         let page = match loader() {
             Ok(page) => page,
             Err(e) => {
-                self.inner.lock().loading.remove(&key);
-                self.load_done.notify_all();
+                self.lock_shard(idx).loading.remove(&key);
+                self.shards[idx].load_done.notify_all();
                 return Err(e);
             }
         };
@@ -240,29 +460,45 @@ impl BufferManager {
             page: key.page.0,
             demand,
         });
-        let inserted = self.insert_clean(key, page.clone(), sink);
-        self.inner.lock().loading.remove(&key);
-        self.load_done.notify_all();
+        let admit = if demand {
+            Admission::Demand
+        } else {
+            Admission::Scan
+        };
+        let inserted = self.insert_clean(key, page.clone(), admit, sink);
+        self.lock_shard(idx).loading.remove(&key);
+        self.shards[idx].load_done.notify_all();
         inserted?;
         Ok(page)
     }
 
-    fn insert_clean(&self, key: FrameKey, page: Page, sink: &dyn FlushSink) -> IqResult<()> {
-        let mut inner = self.inner.lock();
+    fn insert_clean(
+        &self,
+        key: FrameKey,
+        page: Page,
+        admit: Admission,
+        sink: &dyn FlushSink,
+    ) -> IqResult<()> {
+        let idx = self.shard_of(&key);
         let cost = Self::frame_cost(&page);
-        if let Some(old) = inner.frames.insert(
-            key,
-            Frame {
-                page,
-                dirty: None,
-                bytes: cost,
-            },
-        ) {
-            inner.used_bytes -= old.bytes;
-            debug_assert!(old.dirty.is_none(), "clean insert over a dirty frame");
+        {
+            let mut inner = self.lock_shard(idx);
+            if let Some(old) = inner.cache.insert(
+                key,
+                Frame {
+                    page,
+                    dirty: None,
+                    bytes: cost,
+                },
+                cost,
+                admit,
+            ) {
+                self.used_bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+                debug_assert!(old.dirty.is_none(), "clean insert over a dirty frame");
+            }
+            self.used_bytes.fetch_add(cost, Ordering::Relaxed);
         }
-        inner.used_bytes += cost;
-        self.evict_to_fit(&mut inner, sink)
+        self.evict_to_fit(idx, Some(&key), sink)
     }
 
     /// Insert or overwrite a page dirtied by `txn`. May trigger eviction
@@ -274,36 +510,81 @@ impl BufferManager {
         txn: TxnId,
         sink: &dyn FlushSink,
     ) -> IqResult<()> {
-        let mut inner = self.inner.lock();
+        let idx = self.shard_of(&key);
         let cost = Self::frame_cost(&page);
-        if let Some(old) = inner.frames.insert(
-            key,
-            Frame {
-                page,
-                dirty: Some(txn),
-                bytes: cost,
-            },
-        ) {
-            inner.used_bytes -= old.bytes;
-            if let Some(prev_txn) = old.dirty {
-                if prev_txn != txn {
-                    if let Some(set) = inner.dirty_by_txn.get_mut(&prev_txn) {
-                        set.remove(&key);
+        {
+            let mut inner = self.lock_shard(idx);
+            let old = inner.cache.insert(
+                key,
+                Frame {
+                    page,
+                    dirty: Some(txn),
+                    bytes: cost,
+                },
+                cost,
+                Admission::Demand,
+            );
+            // Shard lock is still held: dirty-index updates follow the
+            // shard → dirty lock order.
+            let mut dirty = self.dirty.lock();
+            if let Some(old) = old {
+                self.used_bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+                if let Some(prev_txn) = old.dirty {
+                    if prev_txn != txn {
+                        if let Some(set) = dirty.by_txn.get_mut(&prev_txn) {
+                            set.remove(&key);
+                        }
                     }
                 }
             }
+            self.used_bytes.fetch_add(cost, Ordering::Relaxed);
+            dirty.by_txn.entry(txn).or_default().insert(key);
         }
-        inner.used_bytes += cost;
-        inner.dirty_by_txn.entry(txn).or_default().insert(key);
-        self.evict_to_fit(&mut inner, sink)
+        self.evict_to_fit(idx, Some(&key), sink)
     }
 
-    fn evict_to_fit(&self, inner: &mut Inner, sink: &dyn FlushSink) -> IqResult<()> {
-        while inner.used_bytes > self.capacity_bytes {
-            let Some((key, frame)) = inner.frames.pop_lru() else {
-                break;
+    /// Evict until the byte budget fits, preferring victims from `home`'s
+    /// shard outward. `protect` (the just-inserted key) is skipped while
+    /// any other victim exists; if the cache cannot otherwise fit, a
+    /// second pass may evict it — an insert larger than the whole budget
+    /// must still not pin itself resident forever.
+    fn evict_to_fit(
+        &self,
+        home: usize,
+        protect: Option<&FrameKey>,
+        sink: &dyn FlushSink,
+    ) -> IqResult<()> {
+        let mut exclude = protect;
+        while self.used_bytes.load(Ordering::Relaxed) > self.capacity_bytes {
+            match self.pop_one_victim(home, exclude) {
+                Some((idx, key, frame)) => self.finish_eviction(idx, key, frame, sink)?,
+                None if exclude.is_some() => exclude = None, // pass 2
+                None => break,                               // cache is empty
+            }
+        }
+        Ok(())
+    }
+
+    /// Pop one eviction victim, sweeping shards from `home` outward. For a
+    /// dirty victim the key is parked in its shard's `loading` set (so a
+    /// concurrent `get_or_load` waits out the flush instead of reloading a
+    /// pre-flush frame) and its transaction's `evict_in_flight` count is
+    /// bumped (so a racing commit waits for the flush). All bookkeeping
+    /// happens under the shard lock; the flush itself does not.
+    fn pop_one_victim(
+        &self,
+        home: usize,
+        protect: Option<&FrameKey>,
+    ) -> Option<(usize, FrameKey, Frame)> {
+        let n = self.shards.len();
+        for i in 0..n {
+            let idx = (home + i) & self.shard_mask;
+            let exclude = if idx == home { protect } else { None };
+            let mut inner = self.lock_shard(idx);
+            let Some((key, frame)) = inner.cache.pop_victim_excluding(exclude) else {
+                continue;
             };
-            inner.used_bytes -= frame.bytes;
+            self.used_bytes.fetch_sub(frame.bytes, Ordering::Relaxed);
             self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             trace::emit(EventKind::BufferEvict {
                 table: key.table.0 as u64,
@@ -311,17 +592,52 @@ impl BufferManager {
                 dirty: frame.dirty.is_some(),
             });
             if let Some(txn) = frame.dirty {
-                // "A dirty page can be flushed from the cache earlier as
-                // well (upon eviction), when the buffer manager needs to
-                // make room for a more recent page" (§3.1).
-                sink.flush(key, &frame.page, txn, FlushCause::Eviction)?;
-                self.stats.dirty_evictions.fetch_add(1, Ordering::Relaxed);
-                if let Some(set) = inner.dirty_by_txn.get_mut(&txn) {
+                inner.loading.insert(key);
+                let mut dirty = self.dirty.lock(); // shard → dirty order
+                if let Some(set) = dirty.by_txn.get_mut(&txn) {
                     set.remove(&key);
+                }
+                *dirty.evict_in_flight.entry(txn).or_insert(0) += 1;
+            }
+            return Some((idx, key, frame));
+        }
+        None
+    }
+
+    /// Flush a popped dirty victim with no shard lock held, then release
+    /// its single-flight claim and in-flight count. Clean victims need no
+    /// work. On a sink error the frame is gone (budget already released)
+    /// and the error propagates, as in the historical serial path.
+    fn finish_eviction(
+        &self,
+        idx: usize,
+        key: FrameKey,
+        frame: Frame,
+        sink: &dyn FlushSink,
+    ) -> IqResult<()> {
+        let Some(txn) = frame.dirty else {
+            return Ok(());
+        };
+        // "A dirty page can be flushed from the cache earlier as well
+        // (upon eviction), when the buffer manager needs to make room for
+        // a more recent page" (§3.1).
+        let result = sink.flush(key, &frame.page, txn, FlushCause::Eviction);
+        if result.is_ok() {
+            self.stats.dirty_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        {
+            let mut dirty = self.dirty.lock();
+            if let Some(count) = dirty.evict_in_flight.get_mut(&txn) {
+                *count -= 1;
+                if *count == 0 {
+                    dirty.evict_in_flight.remove(&txn);
                 }
             }
         }
-        Ok(())
+        self.evict_done.notify_all();
+        self.lock_shard(idx).loading.remove(&key);
+        self.shards[idx].load_done.notify_all();
+        result
     }
 
     /// Flush every dirty page of `txn` (commit path). Pages stay cached,
@@ -339,46 +655,57 @@ impl BufferManager {
     /// Flush every dirty page of `txn`, fanning the sink writes across
     /// `workers` threads.
     ///
-    /// The buffer lock is held only to claim the dirty set — frames are
-    /// marked clean and their pages snapshotted under the lock, then the
-    /// lock is released and the object-store uploads proceed in parallel.
-    /// This fixes the serial design's worst property: the whole cache was
-    /// locked across every upload of the commit.
+    /// Locks are held only to claim the dirty set — frames are marked
+    /// clean and their pages snapshotted under short per-shard locks, then
+    /// the object-store uploads proceed with no lock held.
     ///
     /// Correctness under the never-write-twice policy: each page is flushed
-    /// exactly once (claiming the dirty set is atomic), in a deterministic
-    /// key-sorted task order, and the set of object keys written is the
-    /// same as a serial flush. On a mid-flush sink error the lowest-keyed
-    /// error is returned — as in a serial run — and every page whose flush
-    /// did not complete is re-marked dirty and re-tracked under `txn`, so
-    /// the caller's rollback can discard it; no flush is silently dropped.
+    /// exactly once (claiming the dirty set is atomic, and the claim waits
+    /// out any in-flight eviction flushes of the same transaction), in a
+    /// deterministic key-sorted task order, and the set of object keys
+    /// written is the same as a serial flush. On a mid-flush sink error the
+    /// lowest-keyed error is returned — as in a serial run — and every page
+    /// whose flush did not complete is re-marked dirty and re-tracked under
+    /// `txn`, so the caller's rollback can discard it; no flush is silently
+    /// dropped.
     pub fn flush_txn_parallel(
         &self,
         txn: TxnId,
         sink: &dyn FlushSink,
         workers: usize,
     ) -> IqResult<()> {
-        // Phase 1 (short lock): claim the dirty set, mark frames clean and
-        // snapshot their pages in deterministic key order.
-        let batch: Vec<(FrameKey, Page)> = {
-            let mut inner = self.inner.lock();
-            let mut keys: Vec<FrameKey> = inner
-                .dirty_by_txn
+        // Phase 1a: claim the dirty key set, first waiting out eviction
+        // flushes of this transaction still in flight (their pages must be
+        // persisted before commit declares them so).
+        let keys: Vec<FrameKey> = {
+            let mut dirty = self.dirty.lock();
+            while dirty.evict_in_flight.get(&txn).copied().unwrap_or(0) > 0 {
+                self.evict_done.wait(&mut dirty);
+            }
+            let mut keys: Vec<FrameKey> = dirty
+                .by_txn
                 .remove(&txn)
                 .map(|s| s.into_iter().collect())
                 .unwrap_or_default();
             keys.sort(); // deterministic flush order
-            keys.into_iter()
-                .filter_map(|key| {
-                    let frame = inner.frames.get_mut(&key)?;
-                    if frame.dirty != Some(txn) {
-                        return None;
-                    }
-                    frame.dirty = None;
-                    Some((key, frame.page.clone()))
-                })
-                .collect()
+            keys
         };
+
+        // Phase 1b (short per-shard locks): mark frames clean and snapshot
+        // their pages. `peek_mut` — commit bookkeeping is not an access
+        // and must not reorder the replacement lists.
+        let batch: Vec<(FrameKey, Page)> = keys
+            .into_iter()
+            .filter_map(|key| {
+                let mut inner = self.lock_shard(self.shard_of(&key));
+                let frame = inner.cache.peek_mut(&key)?;
+                if frame.dirty != Some(txn) {
+                    return None;
+                }
+                frame.dirty = None;
+                Some((key, frame.page.clone()))
+            })
+            .collect();
 
         // Phase 2 (no lock): fan the uploads across the pool.
         let started = std::time::Instant::now();
@@ -399,19 +726,24 @@ impl BufferManager {
             .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
         if let Err(e) = result {
-            // Phase 3 (error path, short lock): everything not confirmed
+            // Phase 3 (error path, short locks): everything not confirmed
             // flushed goes back to being dirty under `txn`, so the caller's
             // rollback discards it instead of leaking a clean-but-
             // unpersisted frame.
-            let mut inner = self.inner.lock();
             for (i, (key, _)) in batch.iter().enumerate() {
                 if done[i].load(Ordering::Acquire) != 0 {
                     continue;
                 }
-                if let Some(frame) = inner.frames.get_mut(key) {
+                let mut inner = self.lock_shard(self.shard_of(key));
+                if let Some(frame) = inner.cache.peek_mut(key) {
                     if frame.dirty.is_none() {
                         frame.dirty = Some(txn);
-                        inner.dirty_by_txn.entry(txn).or_default().insert(*key);
+                        self.dirty
+                            .lock()
+                            .by_txn
+                            .entry(txn)
+                            .or_default()
+                            .insert(*key);
                     }
                 }
             }
@@ -430,26 +762,23 @@ impl BufferManager {
     /// Discard (without flushing) every dirty page of a rolled-back
     /// transaction; its writes must never reach storage from here.
     pub fn discard_txn(&self, txn: TxnId) {
-        // Claim the dirty set under a short lock, do the sorting/bookkeeping
-        // outside it, then re-lock to drop the frames. Readers of other
+        // Claim the dirty set under the index lock, sort outside any shard
+        // lock, then drop the frames shard by shard. Readers of other
         // transactions are never blocked behind the full sweep.
-        let keys: Vec<FrameKey> = {
-            let mut inner = self.inner.lock();
-            inner
-                .dirty_by_txn
+        let mut keys: Vec<FrameKey> = {
+            let mut dirty = self.dirty.lock();
+            dirty
+                .by_txn
                 .remove(&txn)
                 .map(|s| s.into_iter().collect())
                 .unwrap_or_default()
         };
-        let mut keys = keys;
         keys.sort(); // deterministic removal order
-        let mut inner = self.inner.lock();
         for key in keys {
-            if let Some(frame) = inner.frames.peek(&key) {
-                if frame.dirty == Some(txn) {
-                    if let Some(f) = inner.frames.remove(&key) {
-                        inner.used_bytes -= f.bytes;
-                    }
+            let mut inner = self.lock_shard(self.shard_of(&key));
+            if inner.cache.peek(&key).map(|f| f.dirty) == Some(Some(txn)) {
+                if let Some(f) = inner.cache.remove(&key) {
+                    self.used_bytes.fetch_sub(f.bytes, Ordering::Relaxed);
                 }
             }
         }
@@ -457,11 +786,11 @@ impl BufferManager {
 
     /// Drop a frame (e.g. after its table version is garbage collected).
     pub fn invalidate(&self, key: FrameKey) {
-        let mut inner = self.inner.lock();
-        if let Some(f) = inner.frames.remove(&key) {
-            inner.used_bytes -= f.bytes;
+        let mut inner = self.lock_shard(self.shard_of(&key));
+        if let Some(f) = inner.cache.remove(&key) {
+            self.used_bytes.fetch_sub(f.bytes, Ordering::Relaxed);
             if let Some(txn) = f.dirty {
-                if let Some(set) = inner.dirty_by_txn.get_mut(&txn) {
+                if let Some(set) = self.dirty.lock().by_txn.get_mut(&txn) {
                     set.remove(&key);
                 }
             }
@@ -470,23 +799,30 @@ impl BufferManager {
 
     /// Number of dirty pages currently held for `txn`.
     pub fn dirty_count(&self, txn: TxnId) -> usize {
-        self.inner
-            .lock()
-            .dirty_by_txn
-            .get(&txn)
-            .map_or(0, |s| s.len())
+        self.dirty.lock().by_txn.get(&txn).map_or(0, |s| s.len())
     }
 
     /// Whether a frame is cached, without touching recency or stats.
     pub fn contains(&self, key: FrameKey) -> bool {
-        self.inner.lock().frames.peek(&key).is_some()
+        self.lock_shard(self.shard_of(&key))
+            .cache
+            .peek(&key)
+            .is_some()
     }
 
     /// Drop every frame and dirty list without flushing (crash simulation
     /// and point-in-time restore — RAM contents do not survive either).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        *inner = Inner::default();
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            inner.cache = crate::slru::SlruCache::new(self.protected_capacity);
+            inner.loading.clear();
+        }
+        let mut dirty = self.dirty.lock();
+        dirty.by_txn.clear();
+        dirty.evict_in_flight.clear();
+        drop(dirty);
+        self.used_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -788,5 +1124,249 @@ mod tests {
         bm.invalidate(key(1, 1));
         assert_eq!(bm.used_bytes(), 0);
         assert_eq!(bm.frame_count(), 0);
+    }
+
+    #[test]
+    fn sharded_manager_spreads_frames_and_accounts_globally() {
+        let bm = BufferManager::with_options(
+            1 << 20,
+            BufferOptions {
+                shards: 8,
+                protected_fraction: 0.8,
+            },
+        );
+        assert_eq!(bm.shard_count(), 8);
+        let sink = RecordingSink::default();
+        for p in 0..64 {
+            bm.get_or_load(key(1, p), true, &sink, || Ok(page(p, 64)))
+                .unwrap();
+        }
+        assert_eq!(bm.frame_count(), 64);
+        assert_eq!(bm.used_bytes(), 64 * (64 + 128));
+        // Keys land on more than one shard.
+        let distinct: HashSet<usize> = (0..64).map(|p| bm.shard_of(&key(1, p))).collect();
+        assert!(distinct.len() > 1, "uniform keys hit a single shard");
+        // Every frame is retrievable and shard placement is stable.
+        for p in 0..64 {
+            assert!(bm.get(key(1, p)).is_some());
+            assert_eq!(bm.shard_of(&key(1, p)), bm.shard_of(&key(1, p)));
+        }
+        bm.clear();
+        assert_eq!(bm.frame_count(), 0);
+        assert_eq!(bm.used_bytes(), 0);
+    }
+
+    #[test]
+    fn sharded_eviction_respects_global_budget() {
+        // 8 shards but a budget of ~3 frames: eviction must work across
+        // shard boundaries, not per shard.
+        let bm = BufferManager::with_options(
+            3500,
+            BufferOptions {
+                shards: 8,
+                protected_fraction: 0.8,
+            },
+        );
+        let sink = RecordingSink::default();
+        let txn = TxnId(7);
+        for p in 1..=4 {
+            bm.put_dirty(key(1, p), page(p, 1000), txn, &sink).unwrap();
+        }
+        assert!(bm.used_bytes() <= 3500);
+        assert_eq!(sink.flushed.lock().len(), 1);
+        assert_eq!(bm.frame_count(), 3);
+    }
+
+    #[test]
+    fn scan_loads_cannot_displace_protected_working_set() {
+        // Budget for 8 frames of 64+128 bytes.
+        let bm = BufferManager::new(8 * 192);
+        let sink = RecordingSink::default();
+        // Hot set: 4 pages, demand-loaded and re-referenced (promoted).
+        for p in 0..4 {
+            bm.get_or_load(key(1, p), true, &sink, || Ok(page(p, 64)))
+                .unwrap();
+            assert!(bm.get(key(1, p)).is_some());
+        }
+        // Cold scan: 32 prefetched pages, never re-referenced.
+        for p in 100..132 {
+            bm.get_or_load(key(1, p), false, &sink, || Ok(page(p, 64)))
+                .unwrap();
+        }
+        // The hot set survived the scan.
+        for p in 0..4 {
+            assert!(
+                bm.contains(key(1, p)),
+                "scan displaced protected hot page {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_snapshot_isolates_phases() {
+        let bm = BufferManager::new(1 << 20);
+        let sink = RecordingSink::default();
+        bm.get_or_load(key(1, 1), true, &sink, || Ok(page(1, 64)))
+            .unwrap();
+        bm.get(key(1, 1));
+        assert_eq!(bm.stats.epoch(), 0);
+        let before = bm.stats.snapshot();
+        assert_eq!(before.hits, 1);
+        assert_eq!(before.demand_misses, 1);
+
+        bm.stats.begin_epoch();
+        assert_eq!(bm.stats.epoch(), 1);
+        let fresh = bm.stats.snapshot();
+        assert_eq!(fresh.hits, 0);
+        assert_eq!(fresh.demand_misses, 0);
+        assert_eq!(bm.stats.demand_fraction(), 0.0);
+
+        // New-epoch traffic counts from zero; lifetime view merges epochs.
+        bm.get_or_load(key(1, 2), false, &sink, || Ok(page(2, 64)))
+            .unwrap();
+        let cur = bm.stats.snapshot();
+        assert_eq!(cur.prefetched, 1);
+        assert_eq!(cur.demand_misses, 0);
+        assert_eq!(bm.stats.demand_fraction(), 0.0);
+        let life = bm.stats.lifetime_snapshot();
+        assert_eq!(life.demand_misses, 1);
+        assert_eq!(life.prefetched, 1);
+    }
+
+    #[test]
+    fn commit_waits_for_in_flight_eviction_flush() {
+        // An eviction flush of txn's page is parked inside the sink while
+        // the commit runs: flush_txn must not return before that page is
+        // persisted, and must not flush it a second time.
+        struct GateSink {
+            flushed: PMutex<Vec<(FrameKey, FlushCause)>>,
+            evict_entered: std::sync::Barrier,
+            evict_release: std::sync::Barrier,
+        }
+        impl FlushSink for GateSink {
+            fn flush(
+                &self,
+                key: FrameKey,
+                _page: &Page,
+                _txn: TxnId,
+                cause: FlushCause,
+            ) -> IqResult<()> {
+                if cause == FlushCause::Eviction {
+                    self.evict_entered.wait();
+                    self.evict_release.wait();
+                }
+                self.flushed.lock().push((key, cause));
+                Ok(())
+            }
+        }
+        let bm = BufferManager::new(3500);
+        let sink = GateSink {
+            flushed: PMutex::new(Vec::new()),
+            evict_entered: std::sync::Barrier::new(2),
+            evict_release: std::sync::Barrier::new(2),
+        };
+        let txn = TxnId(3);
+        for p in 1..=3 {
+            bm.put_dirty(key(1, p), page(p, 1000), txn, &sink).unwrap();
+        }
+        std::thread::scope(|scope| {
+            let bm = &bm;
+            let sink_ref = &sink;
+            // Overflow triggers eviction of key(1,1); its flush parks.
+            scope.spawn(move || {
+                bm.put_dirty(key(1, 4), page(4, 1000), txn, sink_ref)
+                    .unwrap();
+            });
+            sink.evict_entered.wait();
+            // Commit in parallel with the parked eviction flush.
+            let committer = scope.spawn(move || bm.flush_txn_parallel(txn, sink_ref, 2));
+            // Give the committer a moment to reach the wait, then release.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(
+                !committer.is_finished(),
+                "commit returned before the in-flight eviction flush persisted the page"
+            );
+            sink.evict_release.wait();
+            committer.join().unwrap().unwrap();
+        });
+        let flushed = sink.flushed.into_inner();
+        // key(1,1) flushed exactly once, as an eviction; the rest at commit.
+        assert_eq!(
+            flushed
+                .iter()
+                .filter(|(k, _)| *k == key(1, 1))
+                .collect::<Vec<_>>(),
+            vec![&(key(1, 1), FlushCause::Eviction)]
+        );
+        assert_eq!(flushed.len(), 4);
+        assert_eq!(bm.dirty_count(txn), 0);
+    }
+
+    #[test]
+    fn reader_waits_out_eviction_flush_instead_of_resurrecting_stale_frame() {
+        // While a dirty victim's flush is in flight its key sits in the
+        // shard's loading set; a concurrent get_or_load must wait, then
+        // run its loader (fresh read through the updated blockmap).
+        struct SlowEvictSink {
+            evict_entered: std::sync::Barrier,
+            evict_release: std::sync::Barrier,
+            gated: AtomicU64,
+        }
+        impl FlushSink for SlowEvictSink {
+            fn flush(
+                &self,
+                _key: FrameKey,
+                _page: &Page,
+                _txn: TxnId,
+                cause: FlushCause,
+            ) -> IqResult<()> {
+                // Gate only the first eviction flush; the reader's own
+                // re-insert may evict again and must not re-enter the
+                // two-party barrier.
+                if cause == FlushCause::Eviction && self.gated.fetch_add(1, Ordering::Relaxed) == 0
+                {
+                    self.evict_entered.wait();
+                    self.evict_release.wait();
+                }
+                Ok(())
+            }
+        }
+        let bm = BufferManager::new(3500);
+        let sink = SlowEvictSink {
+            evict_entered: std::sync::Barrier::new(2),
+            evict_release: std::sync::Barrier::new(2),
+            gated: AtomicU64::new(0),
+        };
+        let txn = TxnId(5);
+        for p in 1..=3 {
+            bm.put_dirty(key(1, p), page(p, 1000), txn, &sink).unwrap();
+        }
+        let loads = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            let bm = &bm;
+            let sink_ref = &sink;
+            scope.spawn(move || {
+                // Evicts key(1,1); flush parks inside the sink.
+                bm.put_dirty(key(1, 4), page(4, 1000), txn, sink_ref)
+                    .unwrap();
+            });
+            sink.evict_entered.wait();
+            let loads = &loads;
+            let reader = scope.spawn(move || {
+                bm.get_or_load(key(1, 1), true, sink_ref, || {
+                    loads.fetch_add(1, Ordering::Relaxed);
+                    Ok(page(1, 64))
+                })
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(
+                !reader.is_finished(),
+                "reader completed while the eviction flush was still in flight"
+            );
+            sink.evict_release.wait();
+            let got = reader.join().unwrap().unwrap();
+            assert_eq!(got.body[0], 1);
+            assert_eq!(loads.load(Ordering::Relaxed), 1, "loader ran exactly once");
+        });
     }
 }

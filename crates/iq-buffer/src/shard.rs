@@ -1,0 +1,114 @@
+//! Buffer-cache sharding.
+//!
+//! The frame table is split across a power-of-two number of shards, each
+//! guarded by its own `Mutex` + `Condvar`. A page maps to a shard by
+//! hashing its key, so concurrent scan workers touching disjoint pages
+//! take disjoint locks — the single-`Mutex<Inner>` serialization the
+//! paper's §5 cache hierarchy would otherwise hit at 8+ workers becomes
+//! per-shard contention only. Single-flight loading (the `loading` set +
+//! condvar wait in `get_or_load`) is preserved per shard: two workers
+//! faulting the same page still coalesce into one backend GET.
+
+use crate::slru::SlruCache;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// Hard ceiling on shard count; beyond this, lock contention is no longer
+/// the bottleneck and per-shard capacity fragments eviction quality.
+pub const MAX_SHARDS: usize = 64;
+
+/// Round a requested shard count to the nearest usable power of two in
+/// `[1, MAX_SHARDS]`. A request of 0 or 1 yields the single-shard layout
+/// that is observably equivalent to the historical single-lock manager.
+pub fn shard_count(requested: usize) -> usize {
+    requested.clamp(1, MAX_SHARDS).next_power_of_two()
+}
+
+/// Map a key to its shard for a power-of-two shard count (`mask` is
+/// `count - 1`). Uses the std SipHash hasher with default keys, which is
+/// deterministic across processes — shard placement (and therefore
+/// per-shard eviction order) replays identically run to run, keeping the
+/// single-threaded repro traces byte-stable.
+pub fn shard_index<K: Hash>(key: &K, mask: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    let v = h.finish();
+    ((v ^ (v >> 32)) as usize) & mask
+}
+
+/// Interior state of one shard: its SLRU frame list plus the set of keys
+/// currently being loaded (single-flight claims).
+pub struct ShardInner<K, V> {
+    /// The shard's scan-resistant frame list.
+    pub cache: SlruCache<K, V>,
+    /// Keys with a load (or eviction flush) in flight; readers wait on
+    /// the shard's condvar instead of running a duplicate load.
+    pub loading: HashSet<K>,
+}
+
+/// One cache shard: state behind its own lock, plus the condvar that
+/// `get_or_load` waiters park on while another thread loads (or an evictor
+/// flushes) a claimed key.
+pub struct Shard<K, V> {
+    /// Shard state behind its own lock.
+    pub inner: Mutex<ShardInner<K, V>>,
+    /// Signalled whenever an entry leaves the `loading` set.
+    pub load_done: Condvar,
+}
+
+impl<K: Eq + Hash + Clone, V> Shard<K, V> {
+    /// Empty shard whose protected segment holds `protected_capacity`
+    /// weight (0 ⇒ plain LRU).
+    pub fn new(protected_capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(ShardInner {
+                cache: SlruCache::new(protected_capacity),
+                loading: HashSet::new(),
+            }),
+            load_done: Condvar::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_count_rounds_and_clamps() {
+        assert_eq!(shard_count(0), 1);
+        assert_eq!(shard_count(1), 1);
+        assert_eq!(shard_count(3), 4);
+        assert_eq!(shard_count(8), 8);
+        assert_eq!(shard_count(33), 64);
+        assert_eq!(shard_count(1000), MAX_SHARDS);
+    }
+
+    #[test]
+    fn shard_index_stays_in_range_and_is_deterministic() {
+        let mask = shard_count(8) - 1;
+        for k in 0u64..1000 {
+            let i = shard_index(&k, mask);
+            assert!(i <= mask);
+            assert_eq!(i, shard_index(&k, mask));
+        }
+    }
+
+    #[test]
+    fn shard_index_spreads_keys() {
+        let shards = 8;
+        let mask = shards - 1;
+        let mut counts = vec![0usize; shards];
+        for k in 0u64..4096 {
+            counts[shard_index(&k, mask)] += 1;
+        }
+        // Every shard sees a meaningful share of a uniform key stream.
+        for &c in &counts {
+            assert!(
+                c > 4096 / shards / 4,
+                "lopsided shard distribution: {counts:?}"
+            );
+        }
+    }
+}

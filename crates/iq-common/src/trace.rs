@@ -244,6 +244,19 @@ pub enum EventKind {
         /// Key offset.
         key: u64,
     },
+    /// Prefetch admission: a speculative window prefetch was shed because
+    /// the in-flight budget was exhausted — the scan degrades those pages
+    /// to demand loads instead of queueing behind a slow backend.
+    PrefetchShed {
+        /// Row groups dropped from the speculative window.
+        groups: u64,
+    },
+    /// Prefetch admission: the AIMD controller shrank the in-flight limit
+    /// after the backend pushed back (SlowDown / retries exhausted).
+    PrefetchThrottle {
+        /// The new in-flight limit.
+        limit: u64,
+    },
     /// Scan: one morsel (row group) was claimed and processed.
     ScanMorsel {
         /// Table id.
@@ -302,6 +315,8 @@ impl EventKind {
             EventKind::GcTick { .. } => "GcTick",
             EventKind::GcBatch { .. } => "GcBatch",
             EventKind::DeferredDelete { .. } => "DeferredDelete",
+            EventKind::PrefetchShed { .. } => "PrefetchShed",
+            EventKind::PrefetchThrottle { .. } => "PrefetchThrottle",
             EventKind::ScanMorsel { .. } => "ScanMorsel",
             EventKind::SpanBegin { .. } => "SpanBegin",
             EventKind::SpanEnd { .. } => "SpanEnd",

@@ -32,7 +32,7 @@ impl Pager {
         self.txn
     }
 
-    fn load_page(&self, table: TableId, page: PageId) -> IqResult<Page> {
+    fn load_page(&self, table: TableId, page: PageId, demand: bool) -> IqResult<Page> {
         let ts = self.shared.table_store(table)?;
         let space = self.shared.space(ts.space)?;
         let io = PageIo {
@@ -45,7 +45,10 @@ impl Pager {
         match loc {
             PhysicalLocator::Object(key) => {
                 let image = match self.shared.ocm_for(ts.space) {
-                    Some(ocm) => ocm.read(key)?,
+                    // Scan-driven loads are hinted so the OCM admits them
+                    // probationary: a cold table scan must not wash the
+                    // promoted point-read set out of the SSD cache.
+                    Some(ocm) => ocm.read_hinted(key, !demand)?,
                     None => space.get_raw(key)?,
                 };
                 let image = match self.shared.config.encryption_key {
@@ -65,7 +68,7 @@ impl PageStore for Pager {
         let key = FrameKey { table, page, epoch };
         self.shared
             .buffer
-            .get_or_load(key, demand, self, || self.load_page(table, page))
+            .get_or_load(key, demand, self, || self.load_page(table, page, demand))
     }
 
     fn write_page(
@@ -96,7 +99,7 @@ impl PageStore for Pager {
             // block-based prefetching" (§1); ours is plan-driven.
             self.shared
                 .buffer
-                .get_or_load(key, false, self, || self.load_page(table, page))?;
+                .get_or_load(key, false, self, || self.load_page(table, page, false))?;
         }
         Ok(())
     }

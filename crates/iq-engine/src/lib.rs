@@ -38,6 +38,7 @@ pub mod load;
 pub mod meter;
 pub mod niche;
 pub mod ops;
+pub mod prefetch;
 pub mod store;
 pub mod table;
 pub mod value;
@@ -49,6 +50,7 @@ pub use hg::HgIndex;
 pub use load::load_parallel;
 pub use meter::WorkMeter;
 pub use niche::{CmpIndex, DateIndex, TextIndex};
+pub use prefetch::{PrefetchAdmission, PrefetchTicket, PREFETCH_DEPTH};
 pub use store::{MemPageStore, PageStore};
 pub use table::{ColumnDef, RangePartitioning, Schema, TableMeta, TableWriter};
 pub use value::{DataType, KeyVal, Value};

@@ -1,0 +1,189 @@
+//! Admission control for scan prefetch.
+//!
+//! Morsel scans overlap I/O by prefetching upcoming row groups. Against a
+//! throttling object store that is a liability: every SlowDown stretches
+//! the prefetch call, and unbounded speculative windows pile more work
+//! behind it — exactly the congestion the paper's tuned prefetch (§1) and
+//! Taurus's "fast and frugal" argument warn about. The
+//! [`PrefetchAdmission`] controller bounds the speculative groups in
+//! flight and adapts the bound AIMD-style: additive increase on each
+//! successful prefetch, multiplicative (halving) decrease whenever the
+//! backend pushes back with [`IqError::Throttled`] or a retry budget runs
+//! out. A denied admission is not queued — the scan simply *sheds* the
+//! speculative window and lets those pages arrive as demand loads, so a
+//! degraded backend slows the scan down instead of burying itself under
+//! speculative GETs.
+//!
+//! The per-morsel *self*-prefetch (the load that keeps the metered
+//! demand/prefetch split independent of worker timing) is never gated:
+//! only speculative read-ahead is shed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use iq_common::trace::{self, EventKind};
+use iq_common::IqError;
+
+/// How many upcoming row groups one morsel wants in flight while it
+/// processes the current one.
+pub const PREFETCH_DEPTH: usize = 4;
+
+/// Bounded, AIMD-adapted admission for speculative prefetch windows.
+///
+/// One controller lives for the duration of one scan. The hard ceiling is
+/// `workers × PREFETCH_DEPTH`: each worker holds at most one window ticket
+/// of at most [`PREFETCH_DEPTH`] groups at a time, so a fault-free scan
+/// never sheds — the controller only bites when throttling has shrunk the
+/// limit below the natural concurrency.
+pub struct PrefetchAdmission {
+    /// Hard ceiling (and fault-free steady-state value) for `limit`.
+    max: usize,
+    /// Current in-flight budget in row groups; AIMD-adjusted.
+    limit: AtomicUsize,
+    /// Speculative row groups currently being prefetched.
+    in_flight: AtomicUsize,
+    /// Windows shed (diagnostic, drained by the scan ablation).
+    shed: AtomicUsize,
+}
+
+impl PrefetchAdmission {
+    /// Controller for a scan running on `workers` morsel workers.
+    pub fn new(workers: usize) -> Self {
+        let max = workers.max(1) * PREFETCH_DEPTH;
+        Self {
+            max,
+            limit: AtomicUsize::new(max),
+            in_flight: AtomicUsize::new(0),
+            shed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Ask to put `groups` speculative row groups in flight. `None` means
+    /// the budget is exhausted: the caller sheds the window (the pages
+    /// will be demand-loaded) rather than queueing. The returned ticket
+    /// releases the budget when dropped.
+    pub fn admit(&self, groups: usize) -> Option<PrefetchTicket<'_>> {
+        let mut current = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if current + groups > self.limit.load(Ordering::Relaxed) {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                trace::emit(EventKind::PrefetchShed {
+                    groups: groups as u64,
+                });
+                return None;
+            }
+            match self.in_flight.compare_exchange_weak(
+                current,
+                current + groups,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(PrefetchTicket { ctrl: self, groups }),
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// A prefetch completed cleanly: grow the budget by one group, up to
+    /// the ceiling (the additive half of AIMD).
+    pub fn record_success(&self) {
+        let _ = self
+            .limit
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |l| {
+                (l < self.max).then_some(l + 1)
+            });
+    }
+
+    /// A prefetch failed. Throttle-class errors (store SlowDown, retry
+    /// budget exhausted) halve the budget — the multiplicative half of
+    /// AIMD; anything else leaves it alone (the subsequent demand read
+    /// will surface a real fault to the query).
+    pub fn record_error(&self, err: &IqError) {
+        if !matches!(
+            err,
+            IqError::Throttled(_) | IqError::RetriesExhausted { .. }
+        ) {
+            return;
+        }
+        let updated = self
+            .limit
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |l| {
+                (l > 1).then_some((l / 2).max(1))
+            });
+        if let Ok(prev) = updated {
+            trace::emit(EventKind::PrefetchThrottle {
+                limit: ((prev / 2).max(1)) as u64,
+            });
+        }
+    }
+
+    /// Current in-flight budget in row groups.
+    pub fn limit(&self) -> usize {
+        self.limit.load(Ordering::Relaxed)
+    }
+
+    /// Windows shed so far.
+    pub fn shed_windows(&self) -> usize {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII admission ticket; dropping it returns the groups to the budget.
+pub struct PrefetchTicket<'a> {
+    ctrl: &'a PrefetchAdmission,
+    groups: usize,
+}
+
+impl Drop for PrefetchTicket<'_> {
+    fn drop(&mut self) {
+        self.ctrl.in_flight.fetch_sub(self.groups, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_workers_never_shed() {
+        // W workers each holding one ≤DEPTH-group ticket fit the ceiling.
+        let ctrl = PrefetchAdmission::new(8);
+        let tickets: Vec<_> = (0..8).map(|_| ctrl.admit(PREFETCH_DEPTH)).collect();
+        assert!(tickets.iter().all(|t| t.is_some()));
+        assert_eq!(ctrl.shed_windows(), 0);
+        drop(tickets);
+        assert!(ctrl.admit(PREFETCH_DEPTH).is_some());
+    }
+
+    #[test]
+    fn exhausted_budget_sheds_instead_of_queueing() {
+        let ctrl = PrefetchAdmission::new(1); // budget: 4 groups
+        let t1 = ctrl.admit(4).expect("fits");
+        assert!(ctrl.admit(1).is_none(), "over budget must shed");
+        assert_eq!(ctrl.shed_windows(), 1);
+        drop(t1);
+        assert!(ctrl.admit(4).is_some(), "budget returned on ticket drop");
+    }
+
+    #[test]
+    fn throttling_halves_and_success_regrows() {
+        let ctrl = PrefetchAdmission::new(2); // ceiling 8
+        let slow = IqError::Throttled("SlowDown".into());
+        ctrl.record_error(&slow);
+        assert_eq!(ctrl.limit(), 4);
+        ctrl.record_error(&slow);
+        ctrl.record_error(&slow);
+        ctrl.record_error(&slow);
+        assert_eq!(ctrl.limit(), 1, "floor is one group");
+        for _ in 0..100 {
+            ctrl.record_success();
+        }
+        assert_eq!(ctrl.limit(), 8, "additive increase caps at the ceiling");
+    }
+
+    #[test]
+    fn non_throttle_errors_leave_the_budget_alone() {
+        let ctrl = PrefetchAdmission::new(2);
+        ctrl.record_error(&IqError::Io("disk on fire".into()));
+        assert_eq!(ctrl.limit(), 8);
+    }
+}

@@ -21,13 +21,10 @@ use crate::encode::{decode_column, encode_column, Dictionary};
 use crate::expr::Expr;
 use crate::hg::HgIndex;
 use crate::meter::{cost, WorkMeter};
+use crate::prefetch::{PrefetchAdmission, PREFETCH_DEPTH};
 use crate::store::PageStore;
 use crate::value::{DataType, Value};
 use crate::zonemap::ZoneEntry;
-
-/// How many upcoming row groups the scan prefetches while processing the
-/// current one.
-const PREFETCH_DEPTH: usize = 4;
 
 /// One column of a schema.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -256,17 +253,30 @@ impl TableMeta {
         // prefetch-issued exactly once — serial or parallel. Group 0 is
         // demand-read, never prefetched, as before.
         let prefetch_cursor = AtomicUsize::new(1);
+        // Speculative windows pass through admission: bounded in flight,
+        // AIMD-shrunk when the store throttles, shed (degrading those
+        // pages to demand loads) instead of queueing behind SlowDowns.
+        let admission = PrefetchAdmission::new(workers);
 
         let chunks =
             WorkerPool::new(workers).run_ordered(survivors.len(), |i| -> IqResult<Chunk> {
                 let window_end = (i + 1 + PREFETCH_DEPTH).min(survivors.len());
                 let issued = prefetch_cursor.fetch_max(window_end, Ordering::Relaxed);
                 if issued < window_end {
-                    let upcoming: Vec<PageId> = survivors[issued..window_end]
-                        .iter()
-                        .flat_map(|&ng| needed.iter().map(move |&c| self.page_id(ng, c)))
-                        .collect();
-                    store.prefetch(self.id, &upcoming)?;
+                    if let Some(_ticket) = admission.admit(window_end - issued) {
+                        let upcoming: Vec<PageId> = survivors[issued..window_end]
+                            .iter()
+                            .flat_map(|&ng| needed.iter().map(move |&c| self.page_id(ng, c)))
+                            .collect();
+                        // Speculative read-ahead never fails the scan: a
+                        // throttle-class error shrinks the admission budget
+                        // and the pages arrive as demand loads instead; a
+                        // real fault resurfaces at the demand read below.
+                        match store.prefetch(self.id, &upcoming) {
+                            Ok(()) => admission.record_success(),
+                            Err(e) => admission.record_error(&e),
+                        }
+                    }
                 }
                 if i > 0 {
                     // The worker that claimed this group's prefetch may not
@@ -274,11 +284,14 @@ impl TableMeta {
                     // no-op when already cached) keeps the metered
                     // demand/prefetch split identical to the serial scan
                     // instead of depending on which worker wins the race.
+                    // Never gated — only speculative windows are shed.
                     let own: Vec<PageId> = needed
                         .iter()
                         .map(|&c| self.page_id(survivors[i], c))
                         .collect();
-                    store.prefetch(self.id, &own)?;
+                    if let Err(e) = store.prefetch(self.id, &own) {
+                        admission.record_error(&e);
+                    }
                 }
                 let chunk = self.read_group(store, survivors[i], &needed, meter)?;
                 meter.add(cost::FILTER * chunk.len() as u64);

@@ -1,4 +1,12 @@
-//! The OCM proper: single-LRU SSD cache with an asynchronous write queue.
+//! The OCM proper: a scan-resistant SSD cache with an asynchronous write
+//! queue.
+//!
+//! The slot list is a segmented LRU ([`iq_buffer::SlruCache`]): reads
+//! issued on behalf of a table scan are admitted probationary (see
+//! [`Ocm::read_hinted`]), so one analytic sweep over a large table cannot
+//! evict the point-read working set from the SSD tier — which would
+//! otherwise turn every subsequent point read into a priced object-store
+//! GET (§4/§5's motivation for the OCM).
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -6,7 +14,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use bytes::Bytes;
-use iq_buffer::LruCache;
+use iq_buffer::{Admission, SlruCache};
 use iq_common::trace::{self, EventKind};
 use iq_common::{IqError, IqResult, ObjectKey, TxnId};
 use iq_objectstore::{BlockBackend, BlockDeviceSim, ObjectBackend, RetryPolicy};
@@ -31,6 +39,10 @@ pub struct OcmConfig {
     pub slot_bytes: u32,
     /// SSD cache area in bytes.
     pub capacity_bytes: u64,
+    /// Fraction of the slot budget reserved for the protected SLRU
+    /// segment (clamped to `[0, 1]`; 0 yields plain LRU with no scan
+    /// resistance).
+    pub protected_fraction: f64,
     /// Retry budget for object-store operations.
     pub retry: RetryPolicy,
 }
@@ -84,7 +96,13 @@ enum Job {
         cache_slot: Option<u64>,
     },
     /// Asynchronous SSD population after a read-through or write-through.
-    CachePopulate { key: ObjectKey, data: Bytes },
+    /// `scan` carries the originating read's admission hint to the slot
+    /// list (scan reads are admitted probationary).
+    CachePopulate {
+        key: ObjectKey,
+        data: Bytes,
+        scan: bool,
+    },
 }
 
 impl Job {
@@ -97,7 +115,7 @@ impl Job {
 }
 
 struct Inner {
-    lru: LruCache<ObjectKey, CacheEntry>,
+    cache: SlruCache<ObjectKey, CacheEntry>,
     slots: SlotAllocator,
     queue: VecDeque<Job>,
     /// Outstanding asynchronous store uploads per transaction.
@@ -144,8 +162,10 @@ impl Ocm {
         let device_slots = ssd.capacity_blocks() / blocks_per_slot as u64;
         let budget_slots = config.capacity_bytes / config.slot_bytes as u64;
         let total_slots = device_slots.min(budget_slots);
+        let protected_slots =
+            (total_slots as f64 * config.protected_fraction.clamp(0.0, 1.0)) as usize;
         let inner = Arc::new(Mutex::new(Inner {
-            lru: LruCache::new(),
+            cache: SlruCache::new(protected_slots),
             slots: SlotAllocator::new(total_slots, blocks_per_slot),
             queue: VecDeque::new(),
             pending_puts: HashMap::new(),
@@ -203,7 +223,7 @@ impl Ocm {
 
     /// Entries currently cached.
     pub fn cached_objects(&self) -> usize {
-        self.inner.lock().lru.len()
+        self.inner.lock().cache.len()
     }
 
     /// Snapshot the Table 5 counters.
@@ -216,10 +236,18 @@ impl Ocm {
     }
 
     /// Read an object: SSD cache hit, or read-through with asynchronous
-    /// cache population.
+    /// cache population. Point-read admission (promotes on re-hit).
     pub fn read(&self, key: ObjectKey) -> IqResult<Bytes> {
+        self.read_hinted(key, false)
+    }
+
+    /// Read an object, hinting whether a table scan issued it. Scan reads
+    /// are admitted to the probationary SLRU segment so a full-table sweep
+    /// recycles its own slots instead of evicting the point-read working
+    /// set.
+    pub fn read_hinted(&self, key: ObjectKey, scan: bool) -> IqResult<Bytes> {
         let mut inner = self.inner.lock();
-        if let Some(entry) = inner.lru.get(&key).copied() {
+        if let Some(entry) = inner.cache.get(&key).copied() {
             // Sample the async-write queue depth: deep queues inflate SSD
             // read latency in the time model (Figure 6's anomaly).
             let depth = inner.queue.len() as u64;
@@ -230,7 +258,8 @@ impl Ocm {
             let blocks = entry.len.div_ceil(self.ssd.block_size()).max(1);
             // Hold the lock across the SSD read so eviction cannot recycle
             // the slot underneath us (the simulation's equivalent of a pin).
-            let image = self.ssd.read_blocks(start, blocks)?;
+            let image = self.ssd.read_blocks(start, blocks)?; // LOCK-OK: slot pin
+
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
             trace::emit(EventKind::OcmHit { key: key.offset() });
             return Ok(image.slice(0..entry.len as usize));
@@ -255,11 +284,12 @@ impl Ocm {
         // every later hit.
         if validate_slot_len(data.len(), self.config.slot_bytes).is_ok() {
             let mut inner = self.inner.lock();
-            if inner.lru.peek(&key).is_none() && !inner.pending_populates.contains_key(&key) {
+            if inner.cache.peek(&key).is_none() && !inner.pending_populates.contains_key(&key) {
                 inner.pending_populates.insert(key, data.clone());
                 inner.queue.push_back(Job::CachePopulate {
                     key,
                     data: data.clone(),
+                    scan,
                 });
                 self.work_cv.notify_one();
             }
@@ -319,7 +349,11 @@ impl Ocm {
                     .put(self.store.as_ref(), key, data.clone())?;
                 let mut inner = self.inner.lock();
                 inner.pending_populates.insert(key, data.clone());
-                inner.queue.push_back(Job::CachePopulate { key, data });
+                inner.queue.push_back(Job::CachePopulate {
+                    key,
+                    data,
+                    scan: false,
+                });
                 self.work_cv.notify_one();
                 Ok(())
             }
@@ -372,7 +406,7 @@ impl Ocm {
 
     /// Whether an object is currently cached (does not touch recency).
     pub fn contains(&self, key: ObjectKey) -> bool {
-        self.inner.lock().lru.peek(&key).is_some()
+        self.inner.lock().cache.peek(&key).is_some()
     }
 
     /// Snapshot of the SSD device's request ledger (queue-depth samples
@@ -385,7 +419,7 @@ impl Ocm {
     /// ephemeral, so the OCM always restarts cold).
     pub fn clear_cache(&self) {
         let mut inner = self.inner.lock();
-        while let Some((_, e)) = inner.lru.pop_lru() {
+        while let Some((_, e)) = inner.cache.pop_victim() {
             inner.slots.free(e.slot);
         }
     }
@@ -404,12 +438,13 @@ impl Drop for Ocm {
     }
 }
 
-/// Allocate a slot, evicting the LRU entry if the pool is exhausted.
+/// Allocate a slot, evicting the best SLRU victim (probationary first) if
+/// the pool is exhausted.
 fn allocate_slot(inner: &mut Inner, stats: &OcmStats) -> Option<u64> {
     if let Some(s) = inner.slots.allocate() {
         return Some(s);
     }
-    if let Some((old_key, old)) = inner.lru.pop_lru() {
+    if let Some((old_key, old)) = inner.cache.pop_victim() {
         stats.evictions.fetch_add(1, Ordering::Relaxed);
         trace::emit(EventKind::OcmEvict {
             key: old_key.offset(),
@@ -489,7 +524,12 @@ fn worker_loop(
                         // successfully written to the underlying object
                         // store" (§4).
                         if let Some(slot) = cache_slot {
-                            if let Some(old) = guard.lru.insert(key, CacheEntry { slot, len }) {
+                            if let Some(old) = guard.cache.insert(
+                                key,
+                                CacheEntry { slot, len },
+                                1,
+                                Admission::Demand,
+                            ) {
                                 guard.slots.free(old.slot);
                             }
                         }
@@ -503,8 +543,8 @@ fn worker_loop(
                 }
                 done_cv.notify_all();
             }
-            Job::CachePopulate { key, data } => {
-                if guard.lru.peek(&key).is_some() {
+            Job::CachePopulate { key, data, scan } => {
+                if guard.cache.peek(&key).is_some() {
                     // Already cached by a racing populate.
                     guard.pending_populates.remove(&key);
                     done_cv.notify_all();
@@ -533,7 +573,12 @@ fn worker_loop(
                 // or not — a stale entry would count phantom hits forever.
                 guard.pending_populates.remove(&key);
                 if ok {
-                    if let Some(old) = guard.lru.insert(key, CacheEntry { slot, len }) {
+                    let admit = if scan {
+                        Admission::Scan
+                    } else {
+                        Admission::Demand
+                    };
+                    if let Some(old) = guard.cache.insert(key, CacheEntry { slot, len }, 1, admit) {
                         guard.slots.free(old.slot);
                     }
                 } else {
@@ -564,6 +609,7 @@ mod tests {
             OcmConfig {
                 slot_bytes,
                 capacity_bytes: slots as u64 * slot_bytes as u64,
+                protected_fraction: 0.8,
                 retry: RetryPolicy::default(),
             },
         );
@@ -659,7 +705,7 @@ mod tests {
     }
 
     #[test]
-    fn eviction_frees_slots_single_lru() {
+    fn eviction_frees_slots_probationary_lru() {
         let (ocm, store) = setup(2);
         for off in 0..4u64 {
             store
@@ -678,6 +724,32 @@ mod tests {
         // Oldest two are gone; newest two are hits.
         assert!(!ocm.contains(key(0)));
         assert!(ocm.contains(key(3)));
+    }
+
+    #[test]
+    fn scan_reads_cannot_evict_promoted_point_read_set() {
+        let (ocm, store) = setup(2);
+        for off in 0..8u64 {
+            store
+                .put(key(off), Bytes::from(vec![off as u8; 100]))
+                .unwrap();
+        }
+        store.settle();
+        // Point-read key 0 twice: miss + hit, promoting it to protected.
+        ocm.read(key(0)).unwrap();
+        ocm.quiesce();
+        ocm.read(key(0)).unwrap();
+        // A scan sweeps keys 1..8 — four times the cache capacity.
+        for off in 1..8u64 {
+            ocm.read_hinted(key(off), true).unwrap();
+            ocm.quiesce();
+        }
+        // The scan recycled its own probationary slots; the hot key kept
+        // its slot and still hits.
+        assert!(ocm.contains(key(0)), "scan evicted the protected hot key");
+        let hits_before = ocm.stats_snapshot().hits;
+        ocm.read(key(0)).unwrap();
+        assert_eq!(ocm.stats_snapshot().hits, hits_before + 1);
     }
 
     #[test]
@@ -711,6 +783,7 @@ mod tests {
             OcmConfig {
                 slot_bytes,
                 capacity_bytes: slots * slot_bytes as u64,
+                protected_fraction: 0.8,
                 retry: RetryPolicy::default(),
             },
         );
