@@ -38,7 +38,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use iq_common::trace::{self, EventKind};
-use iq_common::{IqResult, PageId, TableId, TxnId, WorkerPool};
+use iq_common::{IqError, IqResult, PageId, TableId, TxnId, WorkerPool};
 use iq_storage::Page;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
@@ -97,9 +97,18 @@ struct DirtyIndex {
     by_txn: HashMap<TxnId, HashSet<FrameKey>>,
     /// Dirty frames popped by the evictor whose [`FlushSink::flush`] is
     /// still in flight, per transaction. The commit path waits for this to
-    /// reach zero before claiming the dirty set, so "all associated dirty
-    /// pages are flushed" (§3.1) covers eviction flushes racing the commit.
+    /// reach zero both before claiming the dirty set and again after the
+    /// per-shard clean pass, so "all associated dirty pages are flushed"
+    /// (§3.1) covers eviction flushes racing the commit from either side
+    /// of the claim.
     evict_in_flight: HashMap<TxnId, usize>,
+    /// First eviction-flush error per transaction. The evictor's caller
+    /// (an unrelated inserting thread) already gets the error inline; this
+    /// copy is for a racing or subsequent commit of the same transaction,
+    /// which must not report success while one of its pages sits
+    /// unpersisted and gone from the cache. Cleared by commit (surfaced),
+    /// rollback, and [`BufferManager::clear`].
+    evict_errors: HashMap<TxnId, IqError>,
 }
 
 /// Point-in-time copy of the buffer counters. All fields are totals over
@@ -627,6 +636,12 @@ impl BufferManager {
         }
         {
             let mut dirty = self.dirty.lock();
+            if let Err(e) = &result {
+                // The error propagates to the evicting thread below, but a
+                // commit of `txn` must also learn the page was never
+                // persisted — stash a copy for `flush_txn_parallel`.
+                dirty.evict_errors.entry(txn).or_insert_with(|| e.clone());
+            }
             if let Some(count) = dirty.evict_in_flight.get_mut(&txn) {
                 *count -= 1;
                 if *count == 0 {
@@ -638,6 +653,20 @@ impl BufferManager {
         self.lock_shard(idx).loading.remove(&key);
         self.shards[idx].load_done.notify_all();
         result
+    }
+
+    /// Block until no eviction flush of `txn`'s pages is in flight, then
+    /// surface any eviction-flush error recorded for the transaction (an
+    /// evicted-but-unpersisted page means commit must not succeed).
+    fn wait_out_eviction_flushes(&self, txn: TxnId) -> IqResult<()> {
+        let mut dirty = self.dirty.lock();
+        while dirty.evict_in_flight.get(&txn).copied().unwrap_or(0) > 0 {
+            self.evict_done.wait(&mut dirty);
+        }
+        match dirty.evict_errors.remove(&txn) {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Flush every dirty page of `txn` (commit path). Pages stay cached,
@@ -660,8 +689,10 @@ impl BufferManager {
     /// the object-store uploads proceed with no lock held.
     ///
     /// Correctness under the never-write-twice policy: each page is flushed
-    /// exactly once (claiming the dirty set is atomic, and the claim waits
-    /// out any in-flight eviction flushes of the same transaction), in a
+    /// exactly once (claiming the dirty set is atomic; in-flight eviction
+    /// flushes of the same transaction are waited out both before the claim
+    /// and again after the clean pass, which closes the window where an
+    /// eviction pops a claimed frame between the two phases), in a
     /// deterministic key-sorted task order, and the set of object keys
     /// written is the same as a serial flush. On a mid-flush sink error the
     /// lowest-keyed error is returned — as in a serial run — and every page
@@ -676,12 +707,12 @@ impl BufferManager {
     ) -> IqResult<()> {
         // Phase 1a: claim the dirty key set, first waiting out eviction
         // flushes of this transaction still in flight (their pages must be
-        // persisted before commit declares them so).
+        // persisted before commit declares them so). A prior eviction
+        // flush that *failed* fails the commit here, before anything is
+        // claimed.
+        self.wait_out_eviction_flushes(txn)?;
         let keys: Vec<FrameKey> = {
             let mut dirty = self.dirty.lock();
-            while dirty.evict_in_flight.get(&txn).copied().unwrap_or(0) > 0 {
-                self.evict_done.wait(&mut dirty);
-            }
             let mut keys: Vec<FrameKey> = dirty
                 .by_txn
                 .remove(&txn)
@@ -749,6 +780,19 @@ impl BufferManager {
             }
             return Err(e);
         }
+
+        // Phase 4: close the claim/evict race. Phase 1a's wait released
+        // the dirty lock before phase 1b visited the shards, so an evictor
+        // could pop a still-dirty frame of this transaction in that window
+        // — phase 1b then finds the frame gone and skips it. Any such
+        // eviction incremented `evict_in_flight` under the frame's shard
+        // lock before the frame disappeared, which happens-before phase
+        // 1b's acquisition of that same shard lock, so by now the count is
+        // visible here: wait it out (and surface its error) so commit
+        // never returns while an eviction is still persisting — or has
+        // failed to persist — one of its pages.
+        self.wait_out_eviction_flushes(txn)?;
+
         if !batch.is_empty() {
             trace::emit(EventKind::BufferFlush {
                 txn: txn.0,
@@ -767,6 +811,10 @@ impl BufferManager {
         // transactions are never blocked behind the full sweep.
         let mut keys: Vec<FrameKey> = {
             let mut dirty = self.dirty.lock();
+            // Rollback also clears any stashed eviction-flush error: the
+            // transaction is being abandoned, so the poison must not leak
+            // into an unrelated later reuse of the id.
+            dirty.evict_errors.remove(&txn);
             dirty
                 .by_txn
                 .remove(&txn)
@@ -812,17 +860,28 @@ impl BufferManager {
 
     /// Drop every frame and dirty list without flushing (crash simulation
     /// and point-in-time restore — RAM contents do not survive either).
+    ///
+    /// Callers are expected to have quiesced loads and commits of the old
+    /// incarnation, but byte accounting stays consistent even against
+    /// stragglers: every `used_bytes` mutation happens under the owning
+    /// shard's lock, and each shard's exact resident weight is subtracted
+    /// while that lock is held — a concurrent insert into an
+    /// already-swept shard keeps its bytes accounted instead of being
+    /// wiped by a trailing `store(0)`.
     pub fn clear(&self) {
         for shard in &self.shards {
             let mut inner = shard.inner.lock();
+            let freed: usize = inner.cache.iter().map(|(_, f)| f.bytes).sum();
             inner.cache = crate::slru::SlruCache::new(self.protected_capacity);
             inner.loading.clear();
+            if freed > 0 {
+                self.used_bytes.fetch_sub(freed, Ordering::Relaxed);
+            }
         }
         let mut dirty = self.dirty.lock();
         dirty.by_txn.clear();
         dirty.evict_in_flight.clear();
-        drop(dirty);
-        self.used_bytes.store(0, Ordering::Relaxed);
+        dirty.evict_errors.clear();
     }
 }
 
@@ -1300,6 +1359,210 @@ mod tests {
         );
         assert_eq!(flushed.len(), 4);
         assert_eq!(bm.dirty_count(txn), 0);
+    }
+
+    #[test]
+    fn commit_waits_for_eviction_racing_past_dirty_claim() {
+        // The adversarial interleaving the phase-4 wait exists for: the
+        // evictor pops a still-dirty frame of the committing transaction
+        // *after* commit's phase-1a wait released the dirty lock but
+        // *before* phase 1b visits that frame's shard, so phase 1b finds
+        // the frame gone and skips it. Commit must still not return until
+        // the eviction flush has persisted the page.
+        //
+        // Orchestration: the test holds the shard lock of the commit's
+        // first (lowest) claimed key, pinning the committer between phase
+        // 1a and phase 1b while the evictor pops a victim from the other
+        // shard and parks inside the sink.
+        struct GateSink {
+            flushed: PMutex<Vec<(FrameKey, FlushCause)>>,
+            evict_entered: std::sync::Barrier,
+            evict_release: std::sync::Barrier,
+        }
+        impl FlushSink for GateSink {
+            fn flush(
+                &self,
+                key: FrameKey,
+                _page: &Page,
+                _txn: TxnId,
+                cause: FlushCause,
+            ) -> IqResult<()> {
+                if cause == FlushCause::Eviction {
+                    self.evict_entered.wait();
+                    self.evict_release.wait();
+                }
+                self.flushed.lock().push((key, cause));
+                Ok(())
+            }
+        }
+        // Capacity fits 2 frames of 1000+128 bytes; a third insert evicts.
+        let bm = BufferManager::with_options(
+            2500,
+            BufferOptions {
+                shards: 2,
+                protected_fraction: 0.8,
+            },
+        );
+        // page_a: lowest page, so it is phase 1b's first key; page_v and
+        // page_new: on the *other* shard, so the evictor (whose victim
+        // sweep starts at page_new's home shard) pops page_v while the
+        // committer is stalled on page_a's shard.
+        let page_a = 1u64;
+        let s_a = bm.shard_of(&key(1, page_a));
+        let mut page_v = page_a + 1;
+        while bm.shard_of(&key(1, page_v)) == s_a {
+            page_v += 1;
+        }
+        let mut page_new = page_v + 1;
+        while bm.shard_of(&key(1, page_new)) == s_a {
+            page_new += 1;
+        }
+        let sink = GateSink {
+            flushed: PMutex::new(Vec::new()),
+            evict_entered: std::sync::Barrier::new(2),
+            evict_release: std::sync::Barrier::new(2),
+        };
+        let txn = TxnId(11);
+        let other_txn = TxnId(12);
+        bm.put_dirty(key(1, page_a), page(page_a, 1000), txn, &sink)
+            .unwrap();
+        bm.put_dirty(key(1, page_v), page(page_v, 1000), txn, &sink)
+            .unwrap();
+        std::thread::scope(|scope| {
+            let bm = &bm;
+            let sink_ref = &sink;
+            let stall = bm.shards[s_a].inner.lock();
+            let committer = scope.spawn(move || bm.flush_txn_parallel(txn, sink_ref, 2));
+            // Phase 1a has claimed the dirty set once the index is empty;
+            // phase 1b is now blocked on `stall`.
+            while bm.dirty_count(txn) != 0 {
+                std::thread::yield_now();
+            }
+            // Evictor: the insert overflows the budget and pops page_v —
+            // still dirty under `txn`, already claimed by the committer —
+            // then parks inside the sink with the flush in flight.
+            scope.spawn(move || {
+                bm.put_dirty(key(1, page_new), page(page_new, 1000), other_txn, sink_ref)
+                    .unwrap();
+            });
+            sink.evict_entered.wait();
+            // Let phase 1b run: it finds page_v's frame gone and skips it.
+            drop(stall);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(
+                !committer.is_finished(),
+                "commit returned while the racing eviction flush was still in flight"
+            );
+            sink.evict_release.wait();
+            committer.join().unwrap().unwrap();
+        });
+        let flushed = sink.flushed.into_inner();
+        // page_v persisted exactly once (by the eviction), page_a at
+        // commit; never-write-twice holds across the race.
+        assert_eq!(
+            flushed
+                .iter()
+                .filter(|(k, _)| *k == key(1, page_v))
+                .collect::<Vec<_>>(),
+            vec![&(key(1, page_v), FlushCause::Eviction)]
+        );
+        assert!(flushed.contains(&(key(1, page_a), FlushCause::Commit)));
+        assert_eq!(bm.dirty_count(txn), 0);
+        assert_eq!(bm.dirty_count(other_txn), 1);
+    }
+
+    #[test]
+    fn eviction_flush_error_fails_commit() {
+        // An eviction flush that fails leaves the page gone from the cache
+        // and unpersisted; the evicting (inserting) thread gets the error
+        // inline, but a commit of the owning transaction must fail too.
+        struct FailEvictSink;
+        impl FlushSink for FailEvictSink {
+            fn flush(
+                &self,
+                _key: FrameKey,
+                _page: &Page,
+                _txn: TxnId,
+                cause: FlushCause,
+            ) -> IqResult<()> {
+                if cause == FlushCause::Eviction {
+                    return Err(iq_common::IqError::Io("evict sink failed".into()));
+                }
+                Ok(())
+            }
+        }
+        let bm = BufferManager::new(3500);
+        let sink = FailEvictSink;
+        let txn = TxnId(21);
+        for p in 1..=3 {
+            bm.put_dirty(key(1, p), page(p, 1000), txn, &sink).unwrap();
+        }
+        // Overflow evicts key(1,1); its flush fails on the inserter...
+        let err = bm
+            .put_dirty(key(1, 4), page(4, 1000), txn, &sink)
+            .unwrap_err();
+        assert!(matches!(err, iq_common::IqError::Io(_)));
+        // ...and poisons the commit of the same transaction.
+        let err = bm.flush_txn(txn, &sink).unwrap_err();
+        assert!(matches!(err, iq_common::IqError::Io(_)));
+        // The dirty set was not claimed, so rollback still discards it —
+        // and clears the poison for any later reuse of the id.
+        assert_eq!(bm.dirty_count(txn), 3);
+        bm.discard_txn(txn);
+        assert_eq!(bm.dirty_count(txn), 0);
+        bm.put_dirty(key(1, 9), page(9, 100), txn, &sink).unwrap();
+        bm.flush_txn(txn, &sink).unwrap();
+    }
+
+    #[test]
+    fn clear_racing_inserts_keeps_byte_accounting_consistent() {
+        // clear() sweeps shards one at a time; loads racing the sweep may
+        // land in an already-cleared shard. Their bytes must stay counted:
+        // a trailing store(0) would wipe them and under-count used_bytes
+        // for the rest of the run.
+        let bm = BufferManager::with_options(
+            1 << 20,
+            BufferOptions {
+                shards: 8,
+                protected_fraction: 0.8,
+            },
+        );
+        let sink = RecordingSink::default();
+        std::thread::scope(|scope| {
+            let bm = &bm;
+            let sink = &sink;
+            for t in 0..4u64 {
+                scope.spawn(move || {
+                    for round in 0..200u64 {
+                        let p = t * 1000 + round;
+                        let _ = bm.get_or_load(key(1, p), true, sink, || Ok(page(p, 64)));
+                    }
+                });
+            }
+            for _ in 0..50 {
+                bm.clear();
+                std::thread::yield_now();
+            }
+        });
+        // Whatever survived the sweeps, the atomic accounting matches the
+        // frames actually resident (every mutation happens under the
+        // owning shard's lock, so this equality is exact, not approximate).
+        let resident: usize = bm
+            .shards
+            .iter()
+            .map(|s| {
+                s.inner
+                    .lock()
+                    .cache
+                    .iter()
+                    .map(|(_, f)| f.bytes)
+                    .sum::<usize>()
+            })
+            .sum();
+        assert_eq!(bm.used_bytes(), resident);
+        bm.clear();
+        assert_eq!(bm.used_bytes(), 0);
+        assert_eq!(bm.frame_count(), 0);
     }
 
     #[test]

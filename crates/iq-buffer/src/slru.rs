@@ -100,9 +100,8 @@ impl<K: Eq + Hash + Clone, V> SlruCache<K, V> {
 
     /// Insert or replace. New keys enter the probationary segment at MRU;
     /// a key already resident is updated in place — a protected entry stays
-    /// protected, a probationary entry has its grace flag re-derived from
-    /// the new admission — with recency refreshed. Returns the previous
-    /// value if present.
+    /// protected, a probationary entry keeps its promotion progress — with
+    /// recency refreshed. Returns the previous value if present.
     pub fn insert(&mut self, key: K, value: V, weight: usize, admit: Admission) -> Option<V> {
         if self.protected.peek(&key).is_some() {
             let slot = self.protected.get_mut(&key).expect("peeked");
@@ -113,7 +112,18 @@ impl<K: Eq + Hash + Clone, V> SlruCache<K, V> {
             self.rebalance();
             return Some(old);
         }
-        let grace = admit == Admission::Scan;
+        // A probationary re-insert must not reset promotion progress: an
+        // entry that already earned (Demand admission) or burned (spent
+        // grace hit) its promote-on-next-hit state keeps it even when the
+        // new admission is scan-tagged — e.g. an OCM CachePopulate racing
+        // a point read. Grace is granted only to brand-new scan entries,
+        // or re-asserted while the old entry was still in grace itself.
+        let grace = self
+            .probationary
+            .peek(&key)
+            .map_or(admit == Admission::Scan, |s| {
+                s.grace && admit == Admission::Scan
+            });
         self.probationary
             .insert(
                 key,
@@ -332,6 +342,38 @@ mod tests {
         assert_eq!(c.insert(1, "b", 2, Admission::Scan), Some("a"));
         assert!(c.is_protected(&1));
         assert_eq!(c.peek(&1), Some(&"b"));
+    }
+
+    #[test]
+    fn probationary_reinsert_keeps_promotion_progress() {
+        let mut c = SlruCache::new(10);
+        // Demand-admitted entry: a scan-tagged re-insert (a prefetch
+        // racing the point read) must not grant it a grace hit.
+        c.insert(1, "a", 1, Admission::Demand);
+        assert_eq!(c.insert(1, "b", 1, Admission::Scan), Some("a"));
+        c.get(&1);
+        assert!(c.is_protected(&1), "scan re-insert reset demand entry");
+        // Scan entry whose grace hit was already spent: re-insert must not
+        // restore the grace and delay promotion again.
+        c.insert(2, "a", 1, Admission::Scan);
+        c.get(&2); // grace hit spent
+        c.insert(2, "b", 1, Admission::Scan);
+        c.get(&2);
+        assert!(c.is_protected(&2), "scan re-insert restored spent grace");
+        // Scan entry still in grace: a scan re-insert keeps the grace, so
+        // promotion still takes two hits.
+        c.insert(3, "a", 1, Admission::Scan);
+        c.insert(3, "b", 1, Admission::Scan);
+        c.get(&3);
+        assert!(!c.is_protected(&3));
+        c.get(&3);
+        assert!(c.is_protected(&3));
+        // A demand re-insert over a grace entry upgrades it: first hit
+        // promotes.
+        c.insert(4, "a", 1, Admission::Scan);
+        c.insert(4, "b", 1, Admission::Demand);
+        c.get(&4);
+        assert!(c.is_protected(&4));
     }
 
     #[test]
