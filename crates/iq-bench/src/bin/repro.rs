@@ -33,6 +33,8 @@ fn main() {
                        --ablations  design-choice ablations\n\
                        --gc         batched multi-object GC deletion ablation\n\
                        --cache      sharded scan-resistant buffer-cache ablation\n\
+                       --pack       commit-flush page-packing ablation (pack size\n\
+                                    sweep 1/4/16/64 + whole-object-GET leg)\n\
                        --faults     fault sweep: retry/backoff under a flaky store\n\
                        --explain    time-model phase totals + folded event journal\n\n\
                      MACHINE-READABLE MODES (exit after running; stdout is the artifact):\n\
@@ -45,7 +47,11 @@ fn main() {
                                        object (add --faults to exercise the retry\n\
                                        and backoff counters)\n\n\
                      --sf sets the functional scale factor (default 0.01);\n\
-                     results are projected to the paper's SF 1000."
+                     results are projected to the paper's SF 1000.\n\n\
+                     The --gc, --cache and --pack sections also write their\n\
+                     measurement rows to BENCH_gc.json / BENCH_cache.json /\n\
+                     BENCH_pack.json in the working directory, so the perf\n\
+                     trajectory is tracked PR-over-PR."
                 );
                 return;
             }
@@ -147,14 +153,36 @@ fn main() {
         if !want("cache") {
             reports.push(experiments::ablation_cache(sf).expect("ablation_cache"));
         }
+        if !want("pack") {
+            reports.push(experiments::ablation_pack(sf).expect("ablation_pack"));
+        }
     }
     if want("gc") {
-        reports.push(experiments::ablation_gc_batching(sf).expect("ablation_gc_batching"));
+        let m = experiments::gc_batching_measurements(sf).expect("gc_batching_measurements");
+        write_bench("gc", sf, &m);
+        reports.push(experiments::report_gc_batching(&m));
     }
     if want("cache") {
-        reports.push(experiments::ablation_cache(sf).expect("ablation_cache"));
+        let m = experiments::cache_measurements(sf).expect("cache_measurements");
+        write_bench("cache", sf, &m);
+        reports.push(experiments::report_cache(&m));
+    }
+    if want("pack") {
+        let m = experiments::pack_measurements(sf).expect("pack_measurements");
+        write_bench("pack", sf, &m);
+        reports.push(experiments::report_pack(&m));
     }
     for r in &reports {
         println!("{}", r.to_text());
     }
+}
+
+/// Write one ablation's measurement rows to `BENCH_<name>.json` so the
+/// perf trajectory is tracked PR-over-PR (`{"sf": ..., "rows": [...]}`).
+fn write_bench<T: serde::Serialize>(name: &str, sf: f64, rows: &T) {
+    let path = format!("BENCH_{name}.json");
+    let rows = serde_json::to_string(rows).expect("bench rows serialize");
+    let doc = format!("{{\n  \"sf\": {sf},\n  \"rows\": {rows}\n}}\n");
+    std::fs::write(&path, doc).expect("write bench json");
+    eprintln!("bench trajectory written to {path}");
 }

@@ -730,6 +730,7 @@ pub fn run_all(sf: f64) -> IqResult<Vec<Report>> {
     out.push(ablation_rollback_notify());
     out.push(ablation_gc_batching(sf)?);
     out.push(ablation_cache(sf)?);
+    out.push(ablation_pack(sf)?);
     Ok(out)
 }
 
@@ -814,6 +815,10 @@ pub fn metrics_export(sf: f64, faults: bool) -> IqResult<String> {
     use iq_objectstore::{FaultPlan, RetryPolicy};
 
     let mut cfg = DatabaseConfig::test_small();
+    // Pack the commit flush so the `pack.*` source reports a live
+    // lifecycle (composites written, ranged member GETs) rather than
+    // zeros.
+    cfg.pack_pages = 4;
     if faults {
         cfg.fault = Some(FaultPlan::flaky(7, 0.05));
         cfg.retry = RetryPolicy {
@@ -918,6 +923,7 @@ pub fn ablation_ocm_mode() -> Report {
 }
 
 /// One measured mode of [`ablation_gc_batching`].
+#[derive(serde::Serialize)]
 pub struct GcBatchingMeasure {
     /// Row label.
     pub label: &'static str,
@@ -1047,7 +1053,12 @@ pub fn gc_batching_measurements(sf: f64) -> IqResult<Vec<GcBatchingMeasure>> {
 /// those requests under the S3 device model, so the batching win shows up
 /// in both columns.
 pub fn ablation_gc_batching(sf: f64) -> IqResult<Report> {
-    let measures = gc_batching_measurements(sf)?;
+    Ok(report_gc_batching(&gc_batching_measurements(sf)?))
+}
+
+/// Render [`gc_batching_measurements`] rows as the ablation report
+/// (split out so `repro` can emit the same rows to `BENCH_gc.json`).
+pub fn report_gc_batching(measures: &[GcBatchingMeasure]) -> Report {
     let keys = measures.first().map(|m| m.keys).unwrap_or(0);
     let mut r = Report::new(
         format!("Ablation — batched multi-object GC deletion ({keys} freed pages)"),
@@ -1061,7 +1072,7 @@ pub fn ablation_gc_batching(sf: f64) -> IqResult<Report> {
         ],
     );
     let base = measures.first().map(|m| m.wall_secs).unwrap_or(0.0);
-    for m in &measures {
+    for m in measures {
         r.row(vec![
             m.label.to_string(),
             m.workers.to_string(),
@@ -1080,10 +1091,11 @@ pub fn ablation_gc_batching(sf: f64) -> IqResult<Report> {
             per_key.delete_requests as f64 / batched.delete_requests.max(1) as f64,
         ));
     }
-    Ok(r)
+    r
 }
 
 /// One measured configuration of [`ablation_cache`].
+#[derive(serde::Serialize)]
 pub struct CacheMeasure {
     /// Row label.
     pub label: &'static str,
@@ -1267,7 +1279,12 @@ pub fn cache_measurements(sf: f64) -> IqResult<Vec<CacheMeasure>> {
 /// operation counts under the lock-contention model, so the sharding win
 /// and the scan-resistance win each show up in their own column.
 pub fn ablation_cache(sf: f64) -> IqResult<Report> {
-    let measures = cache_measurements(sf)?;
+    Ok(report_cache(&cache_measurements(sf)?))
+}
+
+/// Render [`cache_measurements`] rows as the ablation report (split out
+/// so `repro` can emit the same rows to `BENCH_cache.json`).
+pub fn report_cache(measures: &[CacheMeasure]) -> Report {
     let scan_pages = measures.first().map(|m| m.scan_ops).unwrap_or(0);
     let mut r = Report::new(
         format!("Ablation — sharded scan-resistant buffer cache ({scan_pages}-page cold scan, 8 workers)"),
@@ -1281,7 +1298,7 @@ pub fn ablation_cache(sf: f64) -> IqResult<Report> {
         ],
     );
     let base = measures.first().map(|m| m.modeled_wall_secs).unwrap_or(0.0);
-    for m in &measures {
+    for m in measures {
         r.row(vec![
             m.label.to_string(),
             format!("{:.0}%", m.steady_hit_rate * 100.0),
@@ -1296,7 +1313,267 @@ pub fn ablation_cache(sf: f64) -> IqResult<Report> {
          segment keeps the promoted hot set resident through a cold scan that flushes plain LRU \
          to 0% — measured lock-wait is machine-dependent and reported for orientation only",
     );
-    Ok(r)
+    r
+}
+
+/// One measured configuration of [`ablation_pack`].
+#[derive(serde::Serialize)]
+pub struct PackMeasure {
+    /// Row label.
+    pub label: String,
+    /// Commit-flush packing factor (`DatabaseConfig::pack_pages`).
+    pub pack_pages: usize,
+    /// Whether composite members were served with ranged GETs (`false`
+    /// fetches the whole composite and slices client-side).
+    pub ranged_gets: bool,
+    /// Data pages written by the load commit.
+    pub pages: u64,
+    /// Simulated-store PUT requests issued by the load commit (data
+    /// pages + blockmap nodes).
+    pub load_puts: u64,
+    /// GET-class requests for the cold full read-back after the load.
+    pub cold_gets: u64,
+    /// Bytes fetched beyond the requested member windows across the
+    /// whole lifecycle (0 under true ranged GETs).
+    pub over_read_bytes: u64,
+    /// Composite objects written across the lifecycle.
+    pub objects_written: u64,
+    /// Compaction rounds driven to a commit.
+    pub compactions: u64,
+    /// Live members rewritten into fresh composites by compaction.
+    pub compaction_rewritten: u64,
+    /// Fully-dead composites the GC reclaimed.
+    pub composites_reclaimed: u64,
+    /// PUT requests across the whole lifecycle.
+    pub total_puts: u64,
+    /// GET-class requests across the whole lifecycle.
+    pub total_gets: u64,
+    /// Modeled S3 request charges for the whole lifecycle (USD).
+    pub request_usd: f64,
+    /// FNV-1a over every byte served by the two cold read-backs — must
+    /// be identical across every packing geometry.
+    pub checksum: u64,
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// One full packed lifecycle on the simulated cloud store: load `pages`
+/// pages in one commit, cold-read everything back, overwrite every other
+/// page (leaving each composite half dead), GC, compact, GC again, and
+/// cold-read everything back once more — asserting byte-exact contents
+/// throughout. Request counts come from the store's own ledger.
+fn pack_lifecycle(
+    pages: u64,
+    pack_pages: usize,
+    ranged: bool,
+    label: &str,
+) -> IqResult<PackMeasure> {
+    use bytes::Bytes;
+    use iq_common::{PageId, TableId};
+    use iq_core::{Database, DatabaseConfig};
+    use iq_engine::PageStore;
+    use iq_objectstore::{CostLedger, IoOp};
+    use iq_storage::PageKind;
+    use std::sync::atomic::Ordering;
+
+    let mut cfg = DatabaseConfig::test_small();
+    // Table-1 geometry: a wide blockmap so node flushes stay a small
+    // constant against the data-page PUTs; OCM off so every request in
+    // the ledger is the flush/read path itself; retention off so frees
+    // reach the GC directly.
+    cfg.blockmap_fanout = 128;
+    cfg.ocm_bytes = 0;
+    cfg.retention = None;
+    cfg.pack_pages = pack_pages;
+    cfg.pack_ranged_gets = ranged;
+    let db = Database::create(cfg)?;
+    let space = db.create_cloud_dbspace("pack")?;
+    let table = TableId(1);
+    db.create_table(table, space)?;
+    let store = db.cloud_store(space).expect("cloud dbspace is simulated");
+
+    let body = |p: u64, v: u64| -> Bytes {
+        let mut buf = vec![0u8; 1024];
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = (p.wrapping_mul(31) ^ v.wrapping_mul(131) ^ i as u64) as u8;
+        }
+        Bytes::from(buf)
+    };
+
+    // Load: one transaction, `pages` dirty pages, one commit flush.
+    let txn = db.begin();
+    {
+        let pager = db.pager(txn)?;
+        for p in 0..pages {
+            pager.write_page(table, PageId(p), PageKind::Data, body(p, 1), txn)?;
+        }
+    }
+    db.commit(txn)?;
+    let load_puts = store.stats.snapshot().op(IoOp::Put).count;
+
+    // Cold read-back of every page.
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+    let gets_before = store.stats.snapshot().op(IoOp::Get).count;
+    db.shared().buffer.clear();
+    let rtxn = db.begin();
+    {
+        let pager = db.pager(rtxn)?;
+        for p in 0..pages {
+            let page = pager.read_page(table, PageId(p), true)?;
+            assert_eq!(page.body, body(p, 1), "{label}: page {p} after load");
+            fnv1a(&mut checksum, &page.body);
+        }
+    }
+    db.rollback(rtxn)?;
+    let cold_gets = store.stats.snapshot().op(IoOp::Get).count - gets_before;
+
+    // Churn: overwrite every other page, leaving every load composite
+    // exactly half live — the compaction candidate shape.
+    let txn = db.begin();
+    {
+        let pager = db.pager(txn)?;
+        for p in (0..pages).step_by(2) {
+            pager.write_page(table, PageId(p), PageKind::Data, body(p, 2), txn)?;
+        }
+    }
+    db.commit(txn)?;
+    db.gc_drain()?;
+    db.compact_tick(0.6, 10_000)?;
+    db.gc_drain()?;
+
+    // Final cold read-back: the overwrites and the compaction rewrites
+    // must both serve the exact bytes that were committed.
+    db.shared().buffer.clear();
+    let rtxn = db.begin();
+    {
+        let pager = db.pager(rtxn)?;
+        for p in 0..pages {
+            let v = if p % 2 == 0 { 2 } else { 1 };
+            let page = pager.read_page(table, PageId(p), true)?;
+            assert_eq!(page.body, body(p, v), "{label}: page {p} after compaction");
+            fnv1a(&mut checksum, &page.body);
+        }
+    }
+    db.rollback(rtxn)?;
+
+    let snap = store.stats.snapshot();
+    let mut ledger = CostLedger::default();
+    ledger.charge_requests(&DeviceProfile::s3(), &snap);
+    let ps = &db.shared().pack_stats;
+    let cs = db.shared().txns.composites().stats();
+    Ok(PackMeasure {
+        label: label.to_string(),
+        pack_pages,
+        ranged_gets: ranged,
+        pages,
+        load_puts,
+        cold_gets,
+        over_read_bytes: ps.bytes_over_read.load(Ordering::Relaxed),
+        objects_written: ps.objects_written.load(Ordering::Relaxed),
+        compactions: ps.compactions.load(Ordering::Relaxed),
+        compaction_rewritten: ps.compaction_rewritten.load(Ordering::Relaxed),
+        composites_reclaimed: cs.reclaimed,
+        total_puts: snap.op(IoOp::Put).count,
+        total_gets: snap.count_for(&[IoOp::Get, IoOp::GetMiss, IoOp::Head]),
+        request_usd: ledger.request_usd(),
+        checksum,
+    })
+}
+
+/// Run the packed lifecycle across the pack-size sweep {1, 4, 16, 64}
+/// plus the whole-object-GET leg, asserting the served bytes are
+/// identical in every geometry.
+pub fn pack_measurements(sf: f64) -> IqResult<Vec<PackMeasure>> {
+    // Page count tracks the scale factor; the floor keeps even the CI
+    // smoke at 512 pages (= 4 blockmap leaves at fanout 128), the shape
+    // the >=10x PUT claim is pinned against.
+    let pages = (((sf * 50_000.0) as u64).clamp(512, 4096) / 2) * 2;
+    let mut out = Vec::new();
+    for (label, pack, ranged) in [
+        ("pack=1 (per-page baseline)", 1usize, true),
+        ("pack=4", 4, true),
+        ("pack=16 (default)", 16, true),
+        ("pack=64", 64, true),
+        ("pack=16, whole-object GETs", 16, false),
+    ] {
+        out.push(pack_lifecycle(pages, pack, ranged, label)?);
+    }
+    let base = out[0].checksum;
+    for m in &out[1..] {
+        assert_eq!(
+            m.checksum, base,
+            "{}: packed reads must be byte-identical to the per-page baseline",
+            m.label
+        );
+    }
+    Ok(out)
+}
+
+/// Ablation — commit-flush page packing: composite objects, ranged GETs
+/// and compaction. One PUT per ~`pack_pages` dirty pages instead of one
+/// per page; request counts and the modeled request bill come straight
+/// from the simulated store's ledger.
+pub fn ablation_pack(sf: f64) -> IqResult<Report> {
+    Ok(report_pack(&pack_measurements(sf)?))
+}
+
+/// Render [`pack_measurements`] rows as the ablation report (split out
+/// so `repro` can emit the same rows to `BENCH_pack.json`).
+pub fn report_pack(measures: &[PackMeasure]) -> Report {
+    let pages = measures.first().map(|m| m.pages).unwrap_or(0);
+    let mut r = Report::new(
+        format!(
+            "Ablation — commit-flush page packing ({pages}-page load, half overwritten, compacted)"
+        ),
+        &[
+            "Config",
+            "Load PUTs",
+            "vs pack=1",
+            "Cold GETs",
+            "Over-read (KiB)",
+            "Composites",
+            "Compactions",
+            "Reclaimed",
+            "Request $",
+        ],
+    );
+    let base = measures.first().map(|m| m.load_puts).unwrap_or(0);
+    for m in measures {
+        r.row(vec![
+            m.label.clone(),
+            m.load_puts.to_string(),
+            format!("{:.1}x", base as f64 / m.load_puts.max(1) as f64),
+            m.cold_gets.to_string(),
+            format!("{:.0}", m.over_read_bytes as f64 / 1024.0),
+            m.objects_written.to_string(),
+            m.compactions.to_string(),
+            m.composites_reclaimed.to_string(),
+            format!("{:.6}", m.request_usd),
+        ]);
+    }
+    if let (Some(per_page), Some(packed)) = (
+        measures.first(),
+        measures
+            .iter()
+            .find(|m| m.pack_pages == 16 && m.ranged_gets),
+    ) {
+        r.note(format!(
+            "packing {} dirty pages per composite cuts the load's {} PUTs to {} ({:.0}x fewer); \
+             ranged GETs keep member reads one-page-sized (over-read 0), while the whole-object \
+             leg shows what slicing client-side would over-fetch; half-dead composites are \
+             rewritten by compaction and reclaimed only when every member is dead",
+            packed.pack_pages,
+            per_page.load_puts,
+            packed.load_puts,
+            per_page.load_puts as f64 / packed.load_puts.max(1) as f64,
+        ));
+    }
+    r
 }
 
 /// Ablation — notifying the coordinator on rollback vs not (§3.3's
@@ -1430,6 +1707,51 @@ mod tests {
             speedup >= 1.5,
             "sharding must model >= 1.5x on the scan phase, got {speedup:.2}x"
         );
+    }
+
+    /// The packing PR's acceptance bar: the packed commit flush must
+    /// issue at least 10x fewer PUTs than the per-page baseline while
+    /// serving byte-identical query results (the checksum equality is
+    /// asserted inside `pack_measurements` itself), and `pack_pages = 1`
+    /// must reproduce the per-page request count exactly.
+    #[test]
+    fn packing_cuts_load_puts_at_least_10x_with_identical_bytes() {
+        let m = pack_measurements(0.002).unwrap();
+        let base = &m[0]; // pack=1
+        let packed = m
+            .iter()
+            .find(|m| m.pack_pages == 16 && m.ranged_gets)
+            .unwrap();
+        assert_eq!(base.pack_pages, 1);
+        // pack=1 is exactly the old path: one PUT per data page plus the
+        // blockmap-node flushes, and zero composites.
+        assert!(
+            base.load_puts >= base.pages,
+            "per-page baseline: one PUT per data page, got {} for {} pages",
+            base.load_puts,
+            base.pages
+        );
+        assert_eq!(base.objects_written, 0, "pack=1 never writes composites");
+        assert_eq!(base.compactions, 0);
+        assert!(
+            base.load_puts >= 10 * packed.load_puts,
+            "packing must cut load PUTs 10x: {} vs {}",
+            base.load_puts,
+            packed.load_puts
+        );
+        assert!(
+            packed.objects_written >= packed.pages / 16,
+            "~pages/16 composites across load + churn"
+        );
+        // Ranged GETs never over-read; the whole-object leg must.
+        assert_eq!(packed.over_read_bytes, 0);
+        let whole = m.iter().find(|m| !m.ranged_gets).unwrap();
+        assert!(whole.over_read_bytes > 0, "slicing client-side over-reads");
+        // Compaction ran and the GC reclaimed the half-dead composites.
+        assert!(packed.compactions > 0, "half-dead composites must compact");
+        assert!(packed.composites_reclaimed > 0);
+        // The modeled request bill falls with the PUT count.
+        assert!(packed.request_usd < base.request_usd);
     }
 
     /// The PR's acceptance bar, part 2: a cold full-table scan must not

@@ -59,6 +59,83 @@ fn table1_trace_matches_golden_journal() {
     }
 }
 
+/// The packing events must flow through the same journal as everything
+/// else: a packed lifecycle (pack=4 load, cold member reads, half-dead
+/// overwrite, compaction) emits `PackFlush`, `RangeGet` and `Compaction`
+/// events, and two identical runs render byte-for-byte.
+#[test]
+fn packed_lifecycle_emits_pack_events_deterministically() {
+    use bytes::Bytes;
+    use iq_common::{trace, PageId, TableId};
+    use iq_core::{Database, DatabaseConfig};
+    use iq_engine::PageStore;
+    use iq_storage::PageKind;
+
+    let _g = TRACER.lock().unwrap();
+    let run = || -> String {
+        trace::enable(1 << 16);
+        let lifecycle = || -> iq_common::IqResult<()> {
+            let mut cfg = DatabaseConfig::test_small();
+            cfg.retention = None;
+            cfg.pack_pages = 4;
+            let db = Database::create(cfg)?;
+            let space = db.create_cloud_dbspace("pack")?;
+            let table = TableId(1);
+            db.create_table(table, space)?;
+            let body = |p: u64, v: u64| Bytes::from(vec![(p ^ v) as u8; 128]);
+            let txn = db.begin();
+            {
+                let pager = db.pager(txn)?;
+                for p in 0..16u64 {
+                    pager.write_page(table, PageId(p), PageKind::Data, body(p, 1), txn)?;
+                }
+            }
+            db.commit(txn)?;
+            // Cold member reads: ranged GETs against the composites.
+            db.shared().buffer.clear();
+            let rtxn = db.begin();
+            {
+                let pager = db.pager(rtxn)?;
+                for p in 0..16u64 {
+                    pager.read_page(table, PageId(p), true)?;
+                }
+            }
+            db.rollback(rtxn)?;
+            // Leave every composite half dead, then compact.
+            let txn = db.begin();
+            {
+                let pager = db.pager(txn)?;
+                for p in (0..16u64).step_by(2) {
+                    pager.write_page(table, PageId(p), PageKind::Data, body(p, 2), txn)?;
+                }
+            }
+            db.commit(txn)?;
+            db.gc_drain()?;
+            db.compact_tick(0.6, 100)?;
+            db.gc_drain()?;
+            Ok(())
+        };
+        let result = lifecycle();
+        trace::disable();
+        let journal = trace::render_jsonl(&trace::drain());
+        result.expect("packed lifecycle");
+        journal
+    };
+
+    let first = run();
+    for kind in ["PackFlush", "RangeGet", "Compaction"] {
+        assert!(
+            first.contains(kind),
+            "packed lifecycle lost its {kind} events"
+        );
+    }
+    let second = run();
+    assert_eq!(
+        first, second,
+        "the packed lifecycle's journal must replay byte-for-byte"
+    );
+}
+
 #[test]
 fn table1_trace_is_deterministic_under_faults() {
     let _g = TRACER.lock().unwrap();

@@ -81,6 +81,24 @@ pub trait FlushSink: Sync {
     /// Persist `page`. Implementations obtain a fresh object key for cloud
     /// dbspaces, update the blockmap, and record RF/RB bitmap entries.
     fn flush(&self, key: FrameKey, page: &Page, txn: TxnId, cause: FlushCause) -> IqResult<()>;
+
+    /// Persist a group of pages together. The packing sink coalesces the
+    /// group into one composite object (one PUT instead of
+    /// `items.len()`); the default just loops over [`FlushSink::flush`],
+    /// so non-packing sinks keep per-page semantics. A group either fully
+    /// succeeds or the caller treats every member as unflushed —
+    /// implementations must not leave a partially applied group mapped.
+    fn flush_group(
+        &self,
+        items: &[(FrameKey, Page)],
+        txn: TxnId,
+        cause: FlushCause,
+    ) -> IqResult<()> {
+        for (key, page) in items {
+            self.flush(*key, page, txn, cause)?;
+        }
+        Ok(())
+    }
 }
 
 struct Frame {
@@ -705,6 +723,30 @@ impl BufferManager {
         sink: &dyn FlushSink,
         workers: usize,
     ) -> IqResult<()> {
+        self.flush_txn_packed(txn, sink, workers, 1)
+    }
+
+    /// [`flush_txn_parallel`] with page packing: the claimed dirty set is
+    /// chunked into key-sorted groups of up to `pack_pages` frames, and
+    /// each group goes to the sink as one [`FlushSink::flush_group`] call
+    /// — the packing sink turns a group into a single composite-object
+    /// PUT. `pack_pages <= 1` degenerates to the per-page path (groups of
+    /// one; the default `flush_group` forwards to `flush`), byte-for-byte
+    /// identical to the pre-packing flush.
+    ///
+    /// Failure granularity is the group: a failed group re-dirties every
+    /// member (the packing sink maps no member of a failed composite), so
+    /// `flushed + re-dirtied == claimed` always holds and rollback can
+    /// discard exactly the unpersisted frames.
+    ///
+    /// [`flush_txn_parallel`]: BufferManager::flush_txn_parallel
+    pub fn flush_txn_packed(
+        &self,
+        txn: TxnId,
+        sink: &dyn FlushSink,
+        workers: usize,
+        pack_pages: usize,
+    ) -> IqResult<()> {
         // Phase 1a: claim the dirty key set, first waiting out eviction
         // flushes of this transaction still in flight (their pages must be
         // persisted before commit declares them so). A prior eviction
@@ -738,15 +780,20 @@ impl BufferManager {
             })
             .collect();
 
-        // Phase 2 (no lock): fan the uploads across the pool.
+        // Phase 2 (no lock): chunk the key-sorted batch into groups of up
+        // to `pack_pages` and fan the groups across the pool. The group —
+        // not the page — is the unit of success/failure.
         let started = std::time::Instant::now();
-        let done: Vec<AtomicU64> = (0..batch.len()).map(|_| AtomicU64::new(0)).collect();
+        let groups: Vec<&[(FrameKey, Page)]> = batch.chunks(pack_pages.max(1)).collect();
+        let done: Vec<AtomicU64> = (0..groups.len()).map(|_| AtomicU64::new(0)).collect();
         let (result, run) =
-            WorkerPool::new(workers).run_ordered_with_stats(batch.len(), |i| -> IqResult<()> {
-                let (key, page) = &batch[i];
-                sink.flush(*key, page, txn, FlushCause::Commit)?;
+            WorkerPool::new(workers).run_ordered_with_stats(groups.len(), |i| -> IqResult<()> {
+                let group = groups[i];
+                sink.flush_group(group, txn, FlushCause::Commit)?;
                 done[i].store(1, Ordering::Release);
-                self.stats.commit_flushes.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .commit_flushes
+                    .fetch_add(group.len() as u64, Ordering::Relaxed);
                 Ok(())
             });
         self.stats
@@ -757,24 +804,26 @@ impl BufferManager {
             .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
         if let Err(e) = result {
-            // Phase 3 (error path, short locks): everything not confirmed
-            // flushed goes back to being dirty under `txn`, so the caller's
-            // rollback discards it instead of leaking a clean-but-
-            // unpersisted frame.
-            for (i, (key, _)) in batch.iter().enumerate() {
+            // Phase 3 (error path, short locks): every member of every
+            // group not confirmed flushed goes back to being dirty under
+            // `txn`, so the caller's rollback discards it instead of
+            // leaking a clean-but-unpersisted frame.
+            for (i, group) in groups.iter().enumerate() {
                 if done[i].load(Ordering::Acquire) != 0 {
                     continue;
                 }
-                let mut inner = self.lock_shard(self.shard_of(key));
-                if let Some(frame) = inner.cache.peek_mut(key) {
-                    if frame.dirty.is_none() {
-                        frame.dirty = Some(txn);
-                        self.dirty
-                            .lock()
-                            .by_txn
-                            .entry(txn)
-                            .or_default()
-                            .insert(*key);
+                for (key, _) in group.iter() {
+                    let mut inner = self.lock_shard(self.shard_of(key));
+                    if let Some(frame) = inner.cache.peek_mut(key) {
+                        if frame.dirty.is_none() {
+                            frame.dirty = Some(txn);
+                            self.dirty
+                                .lock()
+                                .by_txn
+                                .entry(txn)
+                                .or_default()
+                                .insert(*key);
+                        }
                     }
                 }
             }
@@ -1003,6 +1052,85 @@ mod tests {
         // Re-flushing does nothing.
         bm.flush_txn(txn, &sink).unwrap();
         assert_eq!(sink.flushed.lock().len(), 5);
+    }
+
+    /// Sink recording whole groups, optionally failing a specific group.
+    #[derive(Default)]
+    struct GroupSink {
+        groups: PMutex<Vec<Vec<FrameKey>>>,
+        fail_group_containing: Option<FrameKey>,
+    }
+
+    impl FlushSink for GroupSink {
+        fn flush(&self, key: FrameKey, page: &Page, txn: TxnId, cause: FlushCause) -> IqResult<()> {
+            self.flush_group(&[(key, page.clone())], txn, cause)
+        }
+
+        fn flush_group(
+            &self,
+            items: &[(FrameKey, Page)],
+            _txn: TxnId,
+            _cause: FlushCause,
+        ) -> IqResult<()> {
+            if let Some(poison) = self.fail_group_containing {
+                if items.iter().any(|(k, _)| *k == poison) {
+                    return Err(IqError::Io("poisoned group".into()));
+                }
+            }
+            self.groups
+                .lock()
+                .push(items.iter().map(|(k, _)| *k).collect());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn packed_commit_chunks_into_sorted_groups() {
+        let bm = BufferManager::new(1 << 20);
+        let sink = GroupSink::default();
+        let txn = TxnId(3);
+        for p in 0..10 {
+            bm.put_dirty(key(1, p), page(p, 100), txn, &sink).unwrap();
+        }
+        bm.flush_txn_packed(txn, &sink, 2, 4).unwrap();
+        let mut groups = sink.groups.lock().clone();
+        groups.sort();
+        assert_eq!(
+            groups.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![4, 4, 2],
+            "10 pages at pack_pages=4 → groups of 4,4,2"
+        );
+        // Key-sorted within and across groups: a flat concat is sorted.
+        let flat: Vec<FrameKey> = groups.concat();
+        assert!(flat.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(bm.dirty_count(txn), 0);
+        assert_eq!(bm.stats.commit_flushes.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn failed_group_re_dirties_every_member() {
+        let bm = BufferManager::new(1 << 20);
+        let txn = TxnId(4);
+        let ok_sink = GroupSink::default();
+        for p in 0..8 {
+            bm.put_dirty(key(1, p), page(p, 100), txn, &ok_sink)
+                .unwrap();
+        }
+        // Poison the group holding page 5 (second group of four).
+        let sink = GroupSink {
+            groups: PMutex::new(Vec::new()),
+            fail_group_containing: Some(key(1, 5)),
+        };
+        bm.flush_txn_packed(txn, &sink, 1, 4).unwrap_err();
+        let flushed: usize = sink.groups.lock().iter().map(Vec::len).sum();
+        // Invariant: flushed + re-dirtied == claimed, at group granularity.
+        assert_eq!(flushed, 4);
+        assert_eq!(bm.dirty_count(txn), 4);
+        // The healed sink flushes exactly the re-dirtied group.
+        let healed = GroupSink::default();
+        bm.flush_txn_packed(txn, &healed, 1, 4).unwrap();
+        assert_eq!(healed.groups.lock().iter().map(Vec::len).sum::<usize>(), 4);
+        assert_eq!(bm.dirty_count(txn), 0);
     }
 
     #[test]

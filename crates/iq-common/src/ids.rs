@@ -149,8 +149,12 @@ impl fmt::Display for ObjectKey {
 }
 
 /// Where a page version physically lives: a run of blocks on a conventional
-/// dbspace, or an object in an object store. Serialized as the single
-/// overloaded 64-bit field plus the run length (which is 0 for objects).
+/// dbspace, an object in an object store, or a byte range inside a
+/// *composite* object (several sealed page images packed into one few-MB
+/// immutable upload). Whole objects and block runs serialize as the single
+/// overloaded 64-bit field plus the run length (which is 0 for objects);
+/// ranged locators additionally carry `(offset, len)` and need the v2
+/// blockmap node format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PhysicalLocator {
     /// `count` contiguous blocks starting at `start` (1–16 per page).
@@ -162,14 +166,31 @@ pub enum PhysicalLocator {
     },
     /// A single object holding the whole page image.
     Object(ObjectKey),
+    /// One member of a composite object: `len` bytes at `offset` inside
+    /// the object at `key`. Served by ranged GETs; pages are ≤512 KiB so
+    /// `u32` offsets cover any sane pack size.
+    ObjectRange {
+        /// Composite object's key.
+        key: ObjectKey,
+        /// Byte offset of this member's sealed image.
+        offset: u32,
+        /// Byte length of this member's sealed image.
+        len: u32,
+    },
 }
 
 impl PhysicalLocator {
     /// Encode into the overloaded `(u64, u8)` on-disk representation.
+    ///
+    /// Ranged locators do not fit this legacy 10-byte slot; callers that
+    /// may hold one must use the v2 blockmap node format instead.
     pub fn encode(self) -> (u64, u8) {
         match self {
             PhysicalLocator::Blocks { start, count } => (start.0, count),
             PhysicalLocator::Object(key) => (key.raw(), 0),
+            PhysicalLocator::ObjectRange { .. } => {
+                panic!("ranged locators require the v2 slot encoding")
+            }
         }
     }
 
@@ -190,7 +211,18 @@ impl PhysicalLocator {
 
     /// True if this locator points into an object store.
     pub fn is_cloud(self) -> bool {
-        matches!(self, PhysicalLocator::Object(_))
+        matches!(
+            self,
+            PhysicalLocator::Object(_) | PhysicalLocator::ObjectRange { .. }
+        )
+    }
+
+    /// The object key behind a cloud locator (whole or ranged).
+    pub fn object_key(self) -> Option<ObjectKey> {
+        match self {
+            PhysicalLocator::Object(key) | PhysicalLocator::ObjectRange { key, .. } => Some(key),
+            PhysicalLocator::Blocks { .. } => None,
+        }
     }
 }
 
@@ -254,6 +286,27 @@ mod tests {
         assert_eq!(n, 0);
         assert_eq!(PhysicalLocator::decode(raw, n), Some(o));
         assert!(o.is_cloud());
+    }
+
+    #[test]
+    fn ranged_locator_is_cloud_and_exposes_its_key() {
+        let key = ObjectKey::from_offset(5);
+        let r = PhysicalLocator::ObjectRange {
+            key,
+            offset: 4096,
+            len: 512,
+        };
+        assert!(r.is_cloud());
+        assert_eq!(r.object_key(), Some(key));
+        assert_eq!(PhysicalLocator::Object(key).object_key(), Some(key));
+        assert_eq!(
+            PhysicalLocator::Blocks {
+                start: BlockNum(3),
+                count: 1
+            }
+            .object_key(),
+            None
+        );
     }
 
     #[test]

@@ -73,6 +73,16 @@ pub enum EventKind {
         /// Bytes returned.
         bytes: u64,
     },
+    /// Object store: a ranged GET returned a byte slice of a composite
+    /// object (one request, `len` bytes on the wire).
+    RangeGet {
+        /// Key offset.
+        key: u64,
+        /// Byte offset of the requested range.
+        offset: u64,
+        /// Bytes returned.
+        len: u64,
+    },
     /// Object store: a GET missed (visibility window or deleted key).
     ObjectGetMiss {
         /// Key offset.
@@ -163,6 +173,27 @@ pub enum EventKind {
         page: u64,
         /// Whether the frame was dirty (forced a flush).
         dirty: bool,
+    },
+    /// Flush packing: several sealed page images were coalesced into one
+    /// composite object and uploaded with a single PUT.
+    PackFlush {
+        /// Composite object's key offset.
+        key: u64,
+        /// Member pages packed into the object.
+        pages: u64,
+        /// Total composite size in bytes.
+        bytes: u64,
+    },
+    /// GC/compaction: a sparse composite's live members were repacked
+    /// through the normal (never-write-twice) write path so the old
+    /// object can be reclaimed.
+    Compaction {
+        /// Composite object's key offset.
+        key: u64,
+        /// Live members rewritten.
+        rewritten: u64,
+        /// Members already dead at selection time.
+        dead: u64,
     },
     /// Buffer manager: a transaction's dirty set was flushed.
     BufferFlush {
@@ -291,6 +322,7 @@ impl EventKind {
         match self {
             EventKind::ObjectPut { .. } => "ObjectPut",
             EventKind::ObjectGet { .. } => "ObjectGet",
+            EventKind::RangeGet { .. } => "RangeGet",
             EventKind::ObjectGetMiss { .. } => "ObjectGetMiss",
             EventKind::ObjectDelete { .. } => "ObjectDelete",
             EventKind::ObjectHead { .. } => "ObjectHead",
@@ -304,6 +336,8 @@ impl EventKind {
             EventKind::BufferLoad { .. } => "BufferLoad",
             EventKind::SingleFlightWait { .. } => "SingleFlightWait",
             EventKind::BufferEvict { .. } => "BufferEvict",
+            EventKind::PackFlush { .. } => "PackFlush",
+            EventKind::Compaction { .. } => "Compaction",
             EventKind::BufferFlush { .. } => "BufferFlush",
             EventKind::TxnBegin { .. } => "TxnBegin",
             EventKind::TxnCommit { .. } => "TxnCommit",
@@ -328,7 +362,10 @@ impl EventKind {
     /// journal folding to aggregate bandwidth per event kind).
     pub fn bytes(&self) -> u64 {
         match self {
-            EventKind::ObjectPut { bytes, .. } | EventKind::ObjectGet { bytes, .. } => *bytes,
+            EventKind::ObjectPut { bytes, .. }
+            | EventKind::ObjectGet { bytes, .. }
+            | EventKind::PackFlush { bytes, .. } => *bytes,
+            EventKind::RangeGet { len, .. } => *len,
             _ => 0,
         }
     }

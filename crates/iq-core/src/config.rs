@@ -50,6 +50,15 @@ pub struct DatabaseConfig {
     /// [`iq_objectstore::FaultInjector`] reachable via
     /// [`crate::Database::fault_injector`].
     pub fault: Option<FaultPlan>,
+    /// Commit-flush packing factor: up to this many dirty pages coalesce
+    /// into one composite object per PUT (~16 pages ≈ 4 MiB at the default
+    /// page size). `1` disables packing and reproduces the per-page flush
+    /// path — and its request counts — exactly.
+    pub pack_pages: usize,
+    /// Serve composite members with ranged GETs (`true`, the default) or
+    /// by fetching the whole composite and slicing client-side (`false` —
+    /// the ablation that makes over-read bytes measurable).
+    pub pack_ranged_gets: bool,
 }
 
 impl Default for DatabaseConfig {
@@ -72,6 +81,8 @@ impl Default for DatabaseConfig {
             encryption_key: None,
             scan_workers: 1,
             fault: None,
+            pack_pages: 16,
+            pack_ranged_gets: true,
         }
     }
 }
@@ -85,6 +96,9 @@ impl DatabaseConfig {
             ocm_bytes: 2 * MIB,
             system_bytes: 4 * MIB,
             blockmap_fanout: 16,
+            // Tests assert exact per-page request counts; packing is
+            // opted into per test / per ablation.
+            pack_pages: 1,
             ..Self::default()
         }
     }

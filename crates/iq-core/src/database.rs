@@ -1,7 +1,7 @@
 //! The assembled database.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use iq_buffer::{BufferManager, BufferOptions};
@@ -56,6 +56,56 @@ pub struct Shared {
     log: Arc<TxnLog>,
     /// Unified metrics registry every subsystem registers a source into.
     metrics: Arc<MetricsRegistry>,
+    /// Page-packing counters (the `pack.*` metrics source).
+    pub pack_stats: PackStats,
+}
+
+/// Lifetime counters for the page-packing write/read path, exported as
+/// the `pack.*` metrics source together with the composite registry's
+/// refcount counters.
+#[derive(Debug, Default)]
+pub struct PackStats {
+    /// Composite objects written.
+    pub objects_written: AtomicU64,
+    /// Pages that left the cache inside a composite.
+    pub pages_packed: AtomicU64,
+    /// Pages-per-object histogram: ≤1, ≤4, ≤16, ≤64, >64.
+    pub pack_hist: [AtomicU64; 5],
+    /// Member reads served (ranged or slice-of-whole).
+    pub ranged_gets: AtomicU64,
+    /// Bytes fetched beyond the member window (0 for true ranged GETs;
+    /// the `pack_ranged_gets = false` ablation makes this nonzero).
+    pub bytes_over_read: AtomicU64,
+    /// Compaction rounds driven to a commit.
+    pub compactions: AtomicU64,
+    /// Live members rewritten into fresh composites by compaction.
+    pub compaction_rewritten: AtomicU64,
+    /// Candidate members skipped because the page had already moved on —
+    /// rewriting them would have double-freed the newer version.
+    pub compaction_stale_skips: AtomicU64,
+}
+
+impl PackStats {
+    pub(crate) fn note_pack(&self, pages: usize, _bytes: u64) {
+        self.objects_written.fetch_add(1, Ordering::Relaxed);
+        self.pages_packed.fetch_add(pages as u64, Ordering::Relaxed);
+        let bucket = match pages {
+            0..=1 => 0,
+            2..=4 => 1,
+            5..=16 => 2,
+            17..=64 => 3,
+            _ => 4,
+        };
+        self.pack_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_range_read(&self, read: &iq_objectstore::RangeRead) {
+        self.ranged_gets.fetch_add(1, Ordering::Relaxed);
+        self.bytes_over_read.fetch_add(
+            read.fetched.saturating_sub(read.data.len() as u64),
+            Ordering::Relaxed,
+        );
+    }
 }
 
 impl Shared {
@@ -240,6 +290,91 @@ fn register_core_metrics(shared: &Arc<Shared>) {
             ("batch_gt_1000".into(), MetricValue::U64(g.batch_hist[4])),
         ]
     });
+    let w = Arc::downgrade(shared);
+    shared.metrics.register("pack", move || {
+        let Some(s) = w.upgrade() else {
+            return Vec::new();
+        };
+        let p = &s.pack_stats;
+        let c = s.txns.composites().stats();
+        let mean_live_at_claim = if c.compaction_claims == 0 {
+            0.0
+        } else {
+            c.live_fraction_sum_at_claim / c.compaction_claims as f64
+        };
+        vec![
+            (
+                "objects_written".into(),
+                MetricValue::U64(p.objects_written.load(Ordering::Relaxed)),
+            ),
+            (
+                "pages_packed".into(),
+                MetricValue::U64(p.pages_packed.load(Ordering::Relaxed)),
+            ),
+            (
+                "pack_le_1".into(),
+                MetricValue::U64(p.pack_hist[0].load(Ordering::Relaxed)),
+            ),
+            (
+                "pack_le_4".into(),
+                MetricValue::U64(p.pack_hist[1].load(Ordering::Relaxed)),
+            ),
+            (
+                "pack_le_16".into(),
+                MetricValue::U64(p.pack_hist[2].load(Ordering::Relaxed)),
+            ),
+            (
+                "pack_le_64".into(),
+                MetricValue::U64(p.pack_hist[3].load(Ordering::Relaxed)),
+            ),
+            (
+                "pack_gt_64".into(),
+                MetricValue::U64(p.pack_hist[4].load(Ordering::Relaxed)),
+            ),
+            (
+                "ranged_gets".into(),
+                MetricValue::U64(p.ranged_gets.load(Ordering::Relaxed)),
+            ),
+            (
+                "bytes_over_read".into(),
+                MetricValue::U64(p.bytes_over_read.load(Ordering::Relaxed)),
+            ),
+            (
+                "compactions".into(),
+                MetricValue::U64(p.compactions.load(Ordering::Relaxed)),
+            ),
+            (
+                "compaction_rewritten".into(),
+                MetricValue::U64(p.compaction_rewritten.load(Ordering::Relaxed)),
+            ),
+            (
+                "compaction_stale_skips".into(),
+                MetricValue::U64(p.compaction_stale_skips.load(Ordering::Relaxed)),
+            ),
+            (
+                "composites_registered".into(),
+                MetricValue::U64(c.registered),
+            ),
+            ("member_deaths".into(), MetricValue::U64(c.member_deaths)),
+            ("composites_reclaimed".into(), MetricValue::U64(c.reclaimed)),
+            (
+                "unknown_member_frees".into(),
+                MetricValue::U64(c.unknown_member_frees),
+            ),
+            (
+                "compaction_claims".into(),
+                MetricValue::U64(c.compaction_claims),
+            ),
+            (
+                "mean_live_fraction_at_claim".into(),
+                MetricValue::F64(mean_live_at_claim),
+            ),
+            (
+                "composites_live".into(),
+                MetricValue::U64(s.txns.composites().len() as u64),
+            ),
+        ]
+    });
 }
 
 /// The flattened metric values for one device's request ledger (current
@@ -415,6 +550,7 @@ impl Database {
             log,
             config,
             metrics: Arc::new(MetricsRegistry::new()),
+            pack_stats: PackStats::default(),
         });
         register_core_metrics(&shared);
         Ok(Self {
@@ -681,11 +817,17 @@ impl Database {
                 let _ = self.rollback_inner(txn, true);
             })?;
         }
-        // Fan the per-page uploads across the worker pool; the buffer lock
-        // is no longer held across object-store writes.
+        // Fan the uploads across the worker pool — packed into composite
+        // objects of up to `pack_pages` pages (one PUT per group); the
+        // buffer lock is no longer held across object-store writes.
         self.shared
             .buffer
-            .flush_txn_parallel(txn, &pager, self.shared.config.scan_workers.max(1))
+            .flush_txn_packed(
+                txn,
+                &pager,
+                self.shared.config.scan_workers.max(1),
+                self.shared.config.pack_pages.max(1),
+            )
             .inspect_err(|_| {
                 let _ = self.rollback_inner(txn, true);
             })?;
@@ -792,6 +934,112 @@ impl Database {
     /// single unbounded pass reaches everything a loop would.
     pub fn gc_drain(&self) -> IqResult<usize> {
         self.gc_tick(usize::MAX)
+    }
+
+    /// Run one budgeted compaction round over sparse composites: claim up
+    /// to `max_composites` composites whose live fraction has dropped to
+    /// `live_threshold` or below, rewrite their surviving members through
+    /// the ordinary packed write path — fresh keys from the generator, so
+    /// never-write-twice holds by construction — and commit. The rewrite
+    /// supersedes each member's old ranged locator, so the donor
+    /// composites turn fully dead and the next [`Self::gc_tick`] reclaims
+    /// them as whole objects. Returns the number of members rewritten.
+    ///
+    /// Safety rule: a claimed member whose current committed locator is no
+    /// longer the exact donor range is skipped *without* being touched —
+    /// the page has moved on, and rewriting it would free the newer
+    /// version out from under concurrent readers.
+    pub fn compact_tick(&self, live_threshold: f64, max_composites: usize) -> IqResult<usize> {
+        let candidates = self
+            .shared
+            .txns
+            .composites()
+            .compaction_candidates(live_threshold, max_composites);
+        if candidates.is_empty() {
+            return Ok(0);
+        }
+        let claimed: Vec<ObjectKey> = candidates.iter().map(|(k, _)| *k).collect();
+        let txn = self.begin();
+        let run = || -> IqResult<usize> {
+            let pager = self.pager(txn)?;
+            let mut rewritten = 0usize;
+            for (key, live) in &candidates {
+                let mut this_rewritten = 0u64;
+                let mut this_stale = 0u64;
+                for m in live {
+                    let table = TableId(m.table);
+                    let expect = iq_common::PhysicalLocator::ObjectRange {
+                        key: *key,
+                        offset: m.offset,
+                        len: m.len,
+                    };
+                    let current = {
+                        let ts = self.shared.table_store(table)?;
+                        let space = self.shared.space(ts.space)?;
+                        let pio = iq_storage::PageIo {
+                            space: &space,
+                            keys: pager.keys.as_ref(),
+                        };
+                        ts.resolve(txn, iq_common::PageId(m.page), &pio)?
+                    };
+                    if current != Some(expect) {
+                        this_stale += 1;
+                        continue;
+                    }
+                    let page = iq_engine::PageStore::read_page(
+                        &pager,
+                        table,
+                        iq_common::PageId(m.page),
+                        true,
+                    )?;
+                    iq_engine::PageStore::write_page(
+                        &pager,
+                        table,
+                        iq_common::PageId(m.page),
+                        page.kind,
+                        page.body.clone(),
+                        txn,
+                    )?;
+                    this_rewritten += 1;
+                    rewritten += 1;
+                }
+                iq_common::trace::emit(iq_common::trace::EventKind::Compaction {
+                    key: key.offset(),
+                    rewritten: this_rewritten,
+                    dead: this_stale,
+                });
+                self.shared
+                    .pack_stats
+                    .compaction_rewritten
+                    .fetch_add(this_rewritten, Ordering::Relaxed);
+                self.shared
+                    .pack_stats
+                    .compaction_stale_skips
+                    .fetch_add(this_stale, Ordering::Relaxed);
+            }
+            Ok(rewritten)
+        };
+        let finished = match run() {
+            Ok(n) if n > 0 => self.commit(txn).map(|_| n),
+            Ok(_) => self.rollback(txn).map(|_| 0),
+            Err(e) => {
+                let _ = self.rollback_inner(txn, true);
+                Err(e)
+            }
+        };
+        // Whatever happened, the claims resolve here: on success the
+        // donors are now fully dead and must become GC-visible; on
+        // failure they go back into the candidate pool.
+        self.shared.txns.composites().release_claims(&claimed);
+        if let Ok(n) = &finished {
+            if *n > 0 {
+                self.shared
+                    .pack_stats
+                    .compactions
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        finished
     }
 
     /// Emit a checkpoint (key-generator state + freelists) to the log.
@@ -1137,6 +1385,7 @@ impl Database {
                 log: durable.log,
                 config,
                 metrics: Arc::new(MetricsRegistry::new()),
+                pack_stats: PackStats::default(),
             });
             register_core_metrics(&shared);
             Self {
@@ -1267,6 +1516,25 @@ impl Database {
             for (space_id, start, count) in rfrb.rf.iter_blocks() {
                 if let Ok(space) = db.shared.space(space_id) {
                     space.with_freelist(|f| f.free(start, count as u32));
+                }
+            }
+        }
+
+        // Rebuild the composite registry from the same suffix: member
+        // layouts first (registration precedes any member free in commit
+        // order), then the recorded member deaths. A composite the
+        // pre-crash GC already reclaimed re-registers, re-dies, and hits
+        // an idempotent delete — self-healing, never a double free.
+        let composites = db.shared.txns.composites();
+        for rfrb in &commit_bitmaps {
+            for (&off, members) in &rfrb.packs {
+                composites.register(ObjectKey::from_offset(off), members);
+            }
+        }
+        for rfrb in &commit_bitmaps {
+            for (&off, ranges) in &rfrb.rf.members {
+                for &(member_off, _len) in ranges {
+                    composites.mark_member_dead(off, member_off);
                 }
             }
         }

@@ -57,6 +57,20 @@ impl Pager {
                 };
                 Page::unseal(&image)
             }
+            // Composite members bypass the OCM (its cache is keyed by
+            // whole objects) and go straight to a ranged GET — or a whole
+            // GET sliced client-side under the `pack_ranged_gets = false`
+            // ablation, which is what makes over-read measurable.
+            PhysicalLocator::ObjectRange { key, offset, len } => {
+                let read =
+                    space.get_range(key, offset, len, self.shared.config.pack_ranged_gets)?;
+                self.shared.pack_stats.note_range_read(&read);
+                let image = match self.shared.config.encryption_key {
+                    Some(k) => encrypt::apply(k, &read.data),
+                    None => read.data,
+                };
+                Page::unseal(&image)
+            }
             PhysicalLocator::Blocks { .. } => space.read_page(loc),
         }
     }
@@ -149,6 +163,92 @@ impl FlushSink for Pager {
         self.shared.txns.record_alloc(txn, ts.space, loc)?;
         if let Some(old) = superseded {
             self.shared.txns.record_free(txn, ts.space, old)?;
+        }
+        Ok(())
+    }
+
+    /// Commit-flush packing: the group becomes ONE composite object — one
+    /// PUT under one fresh key — and each member page maps to a ranged
+    /// locator inside it. Groups of one, eviction flushes and
+    /// conventional dbspaces take the per-page [`FlushSink::flush`] path,
+    /// which keeps `pack_pages = 1` byte- and request-identical to the
+    /// pre-packing flush (including its OCM write-back/write-through
+    /// behaviour; composite writes bypass the OCM).
+    fn flush_group(
+        &self,
+        items: &[(FrameKey, Page)],
+        txn: TxnId,
+        cause: FlushCause,
+    ) -> IqResult<()> {
+        if items.len() <= 1 || cause == FlushCause::Eviction {
+            for (key, page) in items {
+                self.flush(*key, page, txn, cause)?;
+            }
+            return Ok(());
+        }
+        // A group may span tables on different dbspaces: pack per cloud
+        // dbspace; conventional members fall back per page.
+        let mut by_space: std::collections::BTreeMap<u32, Vec<&(FrameKey, Page)>> =
+            std::collections::BTreeMap::new();
+        for item in items {
+            let ts = self.shared.table_store(item.0.table)?;
+            by_space.entry(ts.space.0).or_default().push(item);
+        }
+        for (space_id, group) in by_space {
+            let space = self.shared.space(iq_common::DbSpaceId(space_id))?;
+            if !space.is_cloud() || group.len() == 1 {
+                for (key, page) in group {
+                    self.flush(*key, page, txn, cause)?;
+                }
+                continue;
+            }
+            // Seal (and encrypt) every member, recording its byte window.
+            let obj_key = iq_storage::KeySource::next_key(self.keys.as_ref())?;
+            let mut blob = Vec::new();
+            let mut members = Vec::with_capacity(group.len());
+            for (fkey, page) in &group {
+                let (image, _) = page.seal(&space.config)?;
+                let image = match self.shared.config.encryption_key {
+                    Some(k) => encrypt::apply(k, &image),
+                    None => image,
+                };
+                members.push(iq_txn::PackMember {
+                    table: fkey.table.0,
+                    page: fkey.page.0,
+                    offset: blob.len() as u32,
+                    len: image.len() as u32,
+                });
+                blob.extend_from_slice(&image);
+            }
+            let bytes = blob.len() as u64;
+            space.put_raw(obj_key, Bytes::from(blob))?;
+            iq_common::trace::emit(iq_common::trace::EventKind::PackFlush {
+                key: obj_key.offset(),
+                pages: members.len() as u64,
+                bytes,
+            });
+            self.shared.pack_stats.note_pack(members.len(), bytes);
+            // Map each member and do the RF/RB bookkeeping; the member
+            // layout goes to the composite registry at commit via the
+            // transaction's pack record.
+            for ((fkey, _), m) in group.iter().zip(&members) {
+                let ts = self.shared.table_store(fkey.table)?;
+                let io = PageIo {
+                    space: &space,
+                    keys: self.keys.as_ref(),
+                };
+                let loc = PhysicalLocator::ObjectRange {
+                    key: obj_key,
+                    offset: m.offset,
+                    len: m.len,
+                };
+                let superseded = ts.map(txn, fkey.page, loc, &io)?;
+                self.shared.txns.record_alloc(txn, ts.space, loc)?;
+                if let Some(old) = superseded {
+                    self.shared.txns.record_free(txn, ts.space, old)?;
+                }
+            }
+            self.shared.txns.record_pack(txn, obj_key, members)?;
         }
         Ok(())
     }

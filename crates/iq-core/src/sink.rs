@@ -46,6 +46,12 @@ impl DeletionSink for DatabaseSink {
                 }
                 Ok(())
             }
+            // Only whole objects are deletable: member frees route
+            // through the composite registry, and the GC fans out the
+            // composite's *whole* key once every member is dead.
+            PhysicalLocator::ObjectRange { .. } => Err(IqError::Invalid(
+                "cannot delete a composite member directly".into(),
+            )),
             PhysicalLocator::Blocks { .. } => {
                 let spaces = self.spaces.read();
                 let s = spaces
@@ -65,7 +71,7 @@ impl DeletionSink for DatabaseSink {
             .iter()
             .filter_map(|l| match l {
                 PhysicalLocator::Object(k) => Some(*k),
-                PhysicalLocator::Blocks { .. } => None,
+                PhysicalLocator::Blocks { .. } | PhysicalLocator::ObjectRange { .. } => None,
             })
             .collect();
         let mut key_err: HashMap<u64, IqError> = HashMap::new();
@@ -96,6 +102,8 @@ impl DeletionSink for DatabaseSink {
                     requests += 1;
                     self.delete_page(space, loc)
                 }
+                // Routes to the per-page arm above, which rejects it.
+                PhysicalLocator::ObjectRange { .. } => self.delete_page(space, loc),
             };
             results.push((loc, r));
         }

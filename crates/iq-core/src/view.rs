@@ -129,6 +129,19 @@ impl PageStore for SnapshotView {
                 };
                 Page::unseal(&image)
             }
+            // Views read composite members the same way the live pager
+            // does: ranged GET past the OCM (never-write-twice keys are
+            // timeline-agnostic, but the OCM caches whole objects only).
+            PhysicalLocator::ObjectRange { key, offset, len } => {
+                let read =
+                    space.get_range(key, offset, len, self.shared.config.pack_ranged_gets)?;
+                self.shared.pack_stats.note_range_read(&read);
+                let image = match self.shared.config.encryption_key {
+                    Some(k) => encrypt::apply(k, &read.data),
+                    None => read.data,
+                };
+                Page::unseal(&image)
+            }
             PhysicalLocator::Blocks { .. } => space.read_page(loc),
         }
     }

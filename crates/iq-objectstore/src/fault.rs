@@ -33,7 +33,7 @@ use iq_common::{IqError, IqResult, ObjectKey, SimDuration};
 use parking_lot::Mutex;
 
 use crate::metrics::StatsSnapshot;
-use crate::traits::{ObjectBackend, DELETE_BATCH_MAX};
+use crate::traits::{ObjectBackend, RangeRead, DELETE_BATCH_MAX};
 
 /// A scripted fault schedule. All rates are per-request probabilities in
 /// `[0, 1]`, evaluated deterministically (see module docs).
@@ -110,6 +110,7 @@ enum OpClass {
     Throttle = 3,
     Stretch = 4,
     Delete = 5,
+    RangeGet = 6,
 }
 
 /// Counters of faults the injector has actually fired.
@@ -303,6 +304,33 @@ impl ObjectBackend for FaultInjector {
         self.inner.get(key)
     }
 
+    fn get_range(&self, key: ObjectKey, offset: u32, len: u32) -> IqResult<RangeRead> {
+        self.tick()?;
+        self.maybe_throttle(key)?;
+        let plan = *self.plan.lock();
+        if plan.get_fail_rate > 0.0 {
+            // Ranged GETs draw from their own fault stream so a plan's GET
+            // schedule replays identically whether reads are packed or not.
+            let attempt = self.next_attempt(key, OpClass::RangeGet);
+            if self.draw(key, OpClass::RangeGet, attempt) < plan.get_fail_rate {
+                self.stats.lock().get_errors += 1;
+                return Err(IqError::Io("injected transient ranged-GET fault".into()));
+            }
+        }
+        if plan.stretch_fraction > 0.0 && plan.stretch_get_misses > 0 {
+            // The stretch stream is shared with whole-object GETs: a
+            // stretched key's first M reads miss regardless of read shape.
+            if self.draw(key, OpClass::Stretch, 0) < plan.stretch_fraction {
+                let seen = self.next_attempt(key, OpClass::Stretch);
+                if seen < u64::from(plan.stretch_get_misses) {
+                    self.stats.lock().stretched_misses += 1;
+                    return Err(IqError::ObjectNotFound(key));
+                }
+            }
+        }
+        self.inner.get_range(key, offset, len)
+    }
+
     fn delete(&self, key: ObjectKey) -> IqResult<()> {
         self.tick()?;
         if let Some(e) = self.maybe_fail_delete(key) {
@@ -458,6 +486,41 @@ mod tests {
         }
         assert_eq!(inj.get(key(9)).unwrap(), Bytes::from_static(b"v"));
         assert_eq!(inj.fault_stats().stretched_misses, 3);
+    }
+
+    #[test]
+    fn ranged_gets_fault_and_retry() {
+        let inj = FaultInjector::new(sim(), FaultPlan::flaky(13, 0.3));
+        let policy = RetryPolicy::attempts(24);
+        for off in 0..100 {
+            policy
+                .put(&inj, key(off), Bytes::from(vec![off as u8; 16]))
+                .unwrap();
+            let r = policy.get_range(&inj, key(off), 4, 8).unwrap();
+            assert_eq!(r.data, Bytes::from(vec![off as u8; 8]));
+        }
+        assert!(inj.fault_stats().get_errors > 0, "no ranged faults fired");
+    }
+
+    #[test]
+    fn stretched_keys_miss_ranged_reads_too() {
+        let plan = FaultPlan {
+            stretch_fraction: 1.0,
+            stretch_get_misses: 2,
+            ..FaultPlan::none()
+        };
+        let inj = FaultInjector::new(sim(), plan);
+        inj.put(key(4), Bytes::from_static(b"abcdef")).unwrap();
+        assert!(matches!(
+            inj.get_range(key(4), 0, 2),
+            Err(IqError::ObjectNotFound(_))
+        ));
+        assert!(matches!(inj.get(key(4)), Err(IqError::ObjectNotFound(_))));
+        // Two misses consumed the stretch budget across both read shapes.
+        assert_eq!(
+            inj.get_range(key(4), 2, 2).unwrap().data,
+            Bytes::from_static(b"cd")
+        );
     }
 
     #[test]

@@ -43,4 +43,4 @@ pub use object_store::{ConsistencyConfig, ObjectStoreSim};
 pub use profiles::{ComputeProfile, DeviceProfile, VolumeKind};
 pub use retry::{BatchDeleteOutcome, RetryPolicy};
 pub use timemodel::{PhaseLoad, TimeModel};
-pub use traits::{BlockBackend, ObjectBackend, DELETE_BATCH_MAX};
+pub use traits::{BlockBackend, ObjectBackend, RangeRead, DELETE_BATCH_MAX};

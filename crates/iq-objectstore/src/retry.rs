@@ -29,7 +29,7 @@ use iq_common::trace::{self, EventKind};
 use iq_common::{IqError, IqResult, ObjectKey, SimDuration};
 
 use crate::object_store::ConsistencyConfig;
-use crate::traits::{ObjectBackend, DELETE_BATCH_MAX};
+use crate::traits::{ObjectBackend, RangeRead, DELETE_BATCH_MAX};
 
 /// Result of a batch delete driven through [`RetryPolicy::delete_batch`].
 #[derive(Debug)]
@@ -208,6 +208,33 @@ impl RetryPolicy {
         }
     }
 
+    /// Ranged GET with the same retry-on-transient-error loop as
+    /// [`Self::get`]. A composite member inside the visibility window
+    /// misses exactly like a whole object; the backoff closes the window.
+    pub fn get_range(
+        &self,
+        store: &dyn ObjectBackend,
+        key: ObjectKey,
+        offset: u32,
+        len: u32,
+    ) -> IqResult<RangeRead> {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match store.get_range(key, offset, len) {
+                Ok(read) => return Ok(read),
+                Err(e) if e.is_transient() && attempts < self.max_attempts => {
+                    Self::trace_attempt(key, attempts, &e);
+                    self.back_off(store, key, attempts);
+                }
+                Err(e) if e.is_transient() => {
+                    return Err(IqError::RetriesExhausted { key, attempts })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// PUT with retry on transient failure (I/O errors, throttling).
     /// `DuplicateObjectKey` is *not* retried: it is a policy violation,
     /// not a transient fault. Exhausting the budget is the §4 per-page
@@ -325,6 +352,25 @@ mod tests {
             store.put(key(off), Bytes::from(vec![off as u8])).unwrap();
             let got = policy.get(&store, key(off)).unwrap();
             assert_eq!(got[0], off as u8);
+        }
+    }
+
+    #[test]
+    fn ranged_get_retries_mask_visibility_window() {
+        let cfg = ConsistencyConfig {
+            max_visibility_ops: 10,
+            delayed_fraction: 1.0,
+            ..ConsistencyConfig::default()
+        };
+        let store = ObjectStoreSim::new(cfg);
+        let policy = RetryPolicy::attempts(32);
+        for off in 0..50 {
+            store
+                .put(key(off), Bytes::from(vec![off as u8; 8]))
+                .unwrap();
+            let got = policy.get_range(&store, key(off), 2, 3).unwrap();
+            assert_eq!(got.data, Bytes::from(vec![off as u8; 3]));
+            assert_eq!(got.fetched, 3);
         }
     }
 

@@ -5,6 +5,19 @@ use iq_common::{BlockNum, IqResult, ObjectKey, SimDuration};
 
 use crate::metrics::StatsSnapshot;
 
+/// Result of a ranged GET: the requested slice plus the bytes the backend
+/// actually moved to serve it. Range-native backends fetch exactly the
+/// slice; the default fallback downloads the whole object, and the
+/// difference (`fetched - data.len()`) is the over-read the `pack.*`
+/// metrics surface.
+#[derive(Debug, Clone)]
+pub struct RangeRead {
+    /// The requested byte range.
+    pub data: Bytes,
+    /// Bytes transferred from the store to serve the request.
+    pub fetched: u64,
+}
+
 /// Maximum number of keys a single multi-object delete request may carry.
 /// Mirrors the S3 `DeleteObjects` limit of 1000 keys per request; callers
 /// may pass larger slices to [`ObjectBackend::delete_batch`] and the
@@ -27,6 +40,32 @@ pub trait ObjectBackend: Send + Sync {
     /// eventual-consistency visibility window even though the PUT
     /// succeeded; callers retry (see [`crate::retry::RetryPolicy`]).
     fn get(&self, key: ObjectKey) -> IqResult<Bytes>;
+
+    /// Fetch `len` bytes at `offset` of an object (an HTTP `Range` GET).
+    ///
+    /// The cloud simulation charges this as **one** GET request moving
+    /// `len` bytes — the point of composite objects. The default
+    /// implementation serves backends with no native range support by
+    /// slicing a whole-object [`Self::get`], which still works but
+    /// over-reads `object_len - len` bytes (visible in
+    /// [`RangeRead::fetched`]). A range that extends past the object's end
+    /// is an error, like S3's `InvalidRange`.
+    fn get_range(&self, key: ObjectKey, offset: u32, len: u32) -> IqResult<RangeRead> {
+        let full = self.get(key)?;
+        let fetched = full.len() as u64;
+        let start = offset as usize;
+        let end = start + len as usize;
+        if end > full.len() {
+            return Err(iq_common::IqError::Invalid(format!(
+                "range {start}..{end} exceeds object {key} of {} bytes",
+                full.len()
+            )));
+        }
+        Ok(RangeRead {
+            data: full.slice(start..end),
+            fetched,
+        })
+    }
 
     /// Delete an object. Deleting a key that does not exist is a no-op:
     /// the paper's garbage collector *polls* whole key ranges, many of

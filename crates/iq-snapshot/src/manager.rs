@@ -268,6 +268,12 @@ impl DeletionSink for RetainingSink {
                 self.manager.retain(key);
                 Ok(())
             }
+            // Member frees never reach a sink (they flip refcount bits in
+            // the composite registry); a fully dead composite arrives as
+            // its whole `Object` key and is retained above.
+            PhysicalLocator::ObjectRange { .. } => Err(iq_common::IqError::Invalid(
+                "cannot retain a composite member directly".into(),
+            )),
             PhysicalLocator::Blocks { .. } => self.inner.delete_page(space, loc),
         }
     }
@@ -296,6 +302,9 @@ impl DeletionSink for RetainingSink {
                 PhysicalLocator::Blocks { .. } => {
                     block_results.next().map(|(_, r)| r).unwrap_or(Ok(()))
                 }
+                PhysicalLocator::ObjectRange { .. } => Err(iq_common::IqError::Invalid(
+                    "cannot retain a composite member directly".into(),
+                )),
             };
             results.push((loc, r));
         }
@@ -326,6 +335,9 @@ mod tests {
                     self.cloud.lock().insert(k.offset());
                 }
                 PhysicalLocator::Blocks { .. } => *self.blocks.lock() += 1,
+                PhysicalLocator::ObjectRange { .. } => {
+                    panic!("composite members must never reach a deletion sink")
+                }
             }
             Ok(())
         }

@@ -394,11 +394,25 @@ impl Blockmap {
     }
 }
 
-/// Binary node format: `level u32 | fanout u32 | fanout × (tag u8, raw
-/// u64, count u8)` with tag 0 = empty, 1 = locator (child or data
-/// depending on level).
+/// Magic tag opening a v2 blockmap node. The v1 format's first `u32` is
+/// the node's `level`, which never comes close to this value, so the two
+/// formats are distinguishable by peeking at the first word.
+const BM_NODE_V2_MAGIC: u32 = 0xB10C_4DF2;
+
+/// Bytes of one v2 slot: `tag u8` + 17 payload bytes.
+const V2_SLOT_LEN: usize = 18;
+
+/// Binary node format, **v2**:
+/// `magic u32 | level u32 | fanout u32 | fanout × slot`, where a slot is
+/// 18 bytes: `tag u8` + payload. Tag 0 = empty (payload zero); tag 1 =
+/// legacy locator (`raw u64 | count u8 | 8 zero bytes` — a block run or
+/// whole object, exactly the v1 payload); tag 2 = ranged locator
+/// (`key u64 | offset u32 | len u32 | 1 zero byte` — one member of a
+/// composite object). The superseded **v1** format had no magic and
+/// 10-byte slots (tags 0/1 only); [`decode_node`] still reads it.
 fn encode_node(node: &Node, nodes: &HashMap<NodeId, Node>) -> Vec<u8> {
-    let mut out = Vec::with_capacity(8 + node.slots.len() * 10);
+    let mut out = Vec::with_capacity(12 + node.slots.len() * V2_SLOT_LEN);
+    out.extend_from_slice(&BM_NODE_V2_MAGIC.to_le_bytes());
     out.extend_from_slice(&node.level.to_le_bytes());
     out.extend_from_slice(&(node.slots.len() as u32).to_le_bytes());
     for slot in &node.slots {
@@ -410,13 +424,21 @@ fn encode_node(node: &Node, nodes: &HashMap<NodeId, Node>) -> Vec<u8> {
         match loc {
             None => {
                 out.push(0);
-                out.extend_from_slice(&[0u8; 9]);
+                out.extend_from_slice(&[0u8; 17]);
+            }
+            Some(PhysicalLocator::ObjectRange { key, offset, len }) => {
+                out.push(2);
+                out.extend_from_slice(&key.raw().to_le_bytes());
+                out.extend_from_slice(&offset.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+                out.push(0);
             }
             Some(l) => {
                 let (raw, count) = l.encode();
                 out.push(1);
                 out.extend_from_slice(&raw.to_le_bytes());
                 out.push(count);
+                out.extend_from_slice(&[0u8; 8]);
             }
         }
     }
@@ -427,6 +449,17 @@ fn decode_node(body: &[u8], expected_fanout: usize) -> IqResult<(u32, Vec<Slot>)
     if body.len() < 8 {
         return Err(IqError::Corruption("blockmap node too short".into()));
     }
+    let first = u32::from_le_bytes(body[0..4].try_into().unwrap());
+    if first == BM_NODE_V2_MAGIC {
+        decode_node_v2(body, expected_fanout)
+    } else {
+        decode_node_v1(body, expected_fanout)
+    }
+}
+
+/// Decode the pre-composite 10-byte-slot format (no magic; first word is
+/// the level). Kept so blockmaps persisted before the v2 cut still open.
+fn decode_node_v1(body: &[u8], expected_fanout: usize) -> IqResult<(u32, Vec<Slot>)> {
     let level = u32::from_le_bytes(body[0..4].try_into().unwrap());
     let fanout = u32::from_le_bytes(body[4..8].try_into().unwrap()) as usize;
     if fanout != expected_fanout {
@@ -449,6 +482,59 @@ fn decode_node(body: &[u8], expected_fanout: usize) -> IqResult<(u32, Vec<Slot>)
         let count = body[off + 9];
         let loc = PhysicalLocator::decode(raw, count)
             .ok_or_else(|| IqError::Corruption("bad locator in blockmap node".into()))?;
+        slots.push(if level == 0 {
+            Slot::Data(loc)
+        } else {
+            Slot::ChildOnDisk(loc)
+        });
+    }
+    Ok((level, slots))
+}
+
+fn decode_node_v2(body: &[u8], expected_fanout: usize) -> IqResult<(u32, Vec<Slot>)> {
+    if body.len() < 12 {
+        return Err(IqError::Corruption("blockmap v2 node too short".into()));
+    }
+    let level = u32::from_le_bytes(body[4..8].try_into().unwrap());
+    let fanout = u32::from_le_bytes(body[8..12].try_into().unwrap()) as usize;
+    if fanout != expected_fanout {
+        return Err(IqError::Corruption(format!(
+            "blockmap fanout mismatch: node {fanout}, expected {expected_fanout}"
+        )));
+    }
+    if body.len() < 12 + fanout * V2_SLOT_LEN {
+        return Err(IqError::Corruption("blockmap v2 node truncated".into()));
+    }
+    let mut slots = Vec::with_capacity(fanout);
+    for i in 0..fanout {
+        let off = 12 + i * V2_SLOT_LEN;
+        let tag = body[off];
+        let loc = match tag {
+            0 => {
+                slots.push(Slot::Empty);
+                continue;
+            }
+            1 => {
+                let raw = u64::from_le_bytes(body[off + 1..off + 9].try_into().unwrap());
+                let count = body[off + 9];
+                PhysicalLocator::decode(raw, count)
+                    .ok_or_else(|| IqError::Corruption("bad locator in blockmap node".into()))?
+            }
+            2 => {
+                let raw = u64::from_le_bytes(body[off + 1..off + 9].try_into().unwrap());
+                let key = iq_common::ObjectKey::from_raw(raw).ok_or_else(|| {
+                    IqError::Corruption("bad composite key in blockmap node".into())
+                })?;
+                let offset = u32::from_le_bytes(body[off + 9..off + 13].try_into().unwrap());
+                let len = u32::from_le_bytes(body[off + 13..off + 17].try_into().unwrap());
+                PhysicalLocator::ObjectRange { key, offset, len }
+            }
+            other => {
+                return Err(IqError::Corruption(format!(
+                    "unknown blockmap v2 slot tag {other}"
+                )))
+            }
+        };
         slots.push(if level == 0 {
             Slot::Data(loc)
         } else {
@@ -637,6 +723,91 @@ mod tests {
         let mut locs = reopened.live_data_locators(&io).unwrap();
         locs.sort_by_key(|l| l.encode().0);
         assert_eq!(locs, (0..20u64).map(data_loc).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ranged_locators_survive_flush_and_reopen() {
+        let f = fixture();
+        let io = PageIo {
+            space: &f.space,
+            keys: &f.keys,
+        };
+        let mut bm = Blockmap::new(4);
+        let ranged = |off: u64, byte_off: u32| PhysicalLocator::ObjectRange {
+            key: ObjectKey::from_offset(off),
+            offset: byte_off,
+            len: 4096,
+        };
+        // Mix of whole-object and composite-member locators across levels.
+        for p in 0..20u64 {
+            bm.set(PageId(p), ranged(500, p as u32 * 4096), &io)
+                .unwrap();
+        }
+        bm.set(PageId(20), data_loc(7), &io).unwrap();
+        let outcome = bm.flush(VersionId(1), &io).unwrap();
+        let mut reopened = Blockmap::open(4, outcome.root, &io).unwrap();
+        for p in 0..20u64 {
+            assert_eq!(
+                reopened.get(PageId(p), &io).unwrap(),
+                Some(ranged(500, p as u32 * 4096)),
+                "page {p}"
+            );
+        }
+        assert_eq!(reopened.get(PageId(20), &io).unwrap(), Some(data_loc(7)));
+    }
+
+    #[test]
+    fn v1_node_bytes_still_decode() {
+        // Hand-build a v1 leaf (no magic, 10-byte slots): fanout 4, slots
+        // [empty, object(+9), blocks(50×2), empty].
+        let mut body = Vec::new();
+        body.extend_from_slice(&0u32.to_le_bytes()); // level
+        body.extend_from_slice(&4u32.to_le_bytes()); // fanout
+        body.push(0);
+        body.extend_from_slice(&[0u8; 9]);
+        body.push(1);
+        body.extend_from_slice(&ObjectKey::from_offset(9).raw().to_le_bytes());
+        body.push(0);
+        body.push(1);
+        body.extend_from_slice(&50u64.to_le_bytes());
+        body.push(2);
+        body.push(0);
+        body.extend_from_slice(&[0u8; 9]);
+        let (level, slots) = decode_node(&body, 4).unwrap();
+        assert_eq!(level, 0);
+        assert_eq!(slots[0], Slot::Empty);
+        assert_eq!(slots[1], Slot::Data(data_loc(9)));
+        assert_eq!(
+            slots[2],
+            Slot::Data(PhysicalLocator::Blocks {
+                start: iq_common::BlockNum(50),
+                count: 2
+            })
+        );
+        assert_eq!(slots[3], Slot::Empty);
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_every_slot_kind() {
+        let mut node = Node::new(0, 4);
+        node.slots[0] = Slot::Data(data_loc(1));
+        node.slots[1] = Slot::Data(PhysicalLocator::ObjectRange {
+            key: ObjectKey::from_offset(2),
+            offset: 8192,
+            len: 777,
+        });
+        node.slots[2] = Slot::Data(PhysicalLocator::Blocks {
+            start: iq_common::BlockNum(5),
+            count: 1,
+        });
+        let body = encode_node(&node, &HashMap::new());
+        assert_eq!(
+            u32::from_le_bytes(body[0..4].try_into().unwrap()),
+            BM_NODE_V2_MAGIC
+        );
+        let (level, slots) = decode_node(&body, 4).unwrap();
+        assert_eq!(level, 0);
+        assert_eq!(slots, node.slots);
     }
 
     #[test]

@@ -179,6 +179,44 @@ impl DbSpace {
         }
     }
 
+    /// Fetch `len` bytes at `offset` of an object (cloud only) — one
+    /// ranged GET through the retry loop. When `ranged` is false the whole
+    /// object is downloaded and sliced client-side instead (the
+    /// `pack_ranged_gets = false` ablation, which makes the over-read
+    /// measurable in [`iq_objectstore::RangeRead::fetched`]).
+    pub fn get_range(
+        &self,
+        key: ObjectKey,
+        offset: u32,
+        len: u32,
+        ranged: bool,
+    ) -> IqResult<iq_objectstore::RangeRead> {
+        match &self.backing {
+            Backing::Cloud { store, retry } => {
+                if ranged {
+                    retry.get_range(store.as_ref(), key, offset, len)
+                } else {
+                    let full = retry.get(store.as_ref(), key)?;
+                    let fetched = full.len() as u64;
+                    let (start, end) = (offset as usize, offset as usize + len as usize);
+                    if end > full.len() {
+                        return Err(IqError::Invalid(format!(
+                            "range {start}..{end} exceeds object {key} of {} bytes",
+                            full.len()
+                        )));
+                    }
+                    Ok(iq_objectstore::RangeRead {
+                        data: full.slice(start..end),
+                        fetched,
+                    })
+                }
+            }
+            Backing::Conventional { .. } => Err(IqError::Invalid(
+                "get_range requires a cloud dbspace".into(),
+            )),
+        }
+    }
+
     /// The underlying object store (cloud only) — shared with the OCM.
     pub fn object_store(&self) -> Option<Arc<dyn ObjectBackend>> {
         match &self.backing {
@@ -413,6 +451,21 @@ mod tests {
         let loc = space.write_page(&p, &keys).unwrap();
         // The retry loop hides the eventual-consistency window.
         assert_eq!(space.read_page(loc).unwrap(), p);
+    }
+
+    #[test]
+    fn get_range_fetches_members_and_falls_back_whole() {
+        let (space, _store) = cloud();
+        let key = ObjectKey::from_offset(77);
+        space.put_raw(key, Bytes::from_static(b"abcdefgh")).unwrap();
+        let r = space.get_range(key, 2, 4, true).unwrap();
+        assert_eq!(r.data, Bytes::from_static(b"cdef"));
+        assert_eq!(r.fetched, 4, "ranged path must fetch exactly len");
+        let w = space.get_range(key, 2, 4, false).unwrap();
+        assert_eq!(w.data, Bytes::from_static(b"cdef"));
+        assert_eq!(w.fetched, 8, "whole-get fallback over-reads the rest");
+        assert!(space.get_range(key, 6, 4, true).is_err());
+        assert!(conventional().get_range(key, 0, 1, true).is_err());
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! The composite registry: per-object live-member refcounts for packed
+//! flushes.
+//!
+//! A composite object holds several sealed page images (see
+//! `DatabaseConfig::pack_pages`). Individual pages die at different times
+//! — superseded by later writers, dropped with their table — but the
+//! never-write-twice store only supports whole-object deletion, so the GC
+//! must not delete a composite until *every* member is dead. The registry
+//! is that bookkeeping: each composite's member layout is registered at
+//! commit (and re-registered from the transaction log at recovery), member
+//! frees arriving through the RF bitmaps flip per-member death bits, and
+//! the GC asks for [`CompositeRegistry::take_fully_dead`] each tick.
+//!
+//! Sparse composites — mostly dead but pinned by a few survivors — are
+//! what the LSM-style compaction pass targets:
+//! [`CompositeRegistry::compaction_candidates`] hands out composites whose
+//! live fraction dropped below a threshold, the driver repacks the
+//! survivors through the ordinary (never-write-twice) flush path, and the
+//! old object becomes fully dead and reclaimable.
+
+use std::collections::BTreeMap;
+
+use iq_common::ObjectKey;
+use parking_lot::Mutex;
+
+use crate::rfrb::PackMember;
+
+/// One registered composite.
+#[derive(Debug, Clone)]
+struct CompositeInfo {
+    members: Vec<PackMember>,
+    dead: Vec<bool>,
+    /// Claimed by an in-flight compaction; GC leaves it alone until the
+    /// driver either finishes (members die) or releases it (failure).
+    compacting: bool,
+}
+
+impl CompositeInfo {
+    fn dead_count(&self) -> usize {
+        self.dead.iter().filter(|d| **d).count()
+    }
+
+    fn live_fraction(&self) -> f64 {
+        if self.members.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.dead_count() as f64 / self.members.len() as f64
+    }
+}
+
+/// Aggregate counters the `pack.*` metrics source exports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompositeStats {
+    /// Composites ever registered.
+    pub registered: u64,
+    /// Member deaths recorded.
+    pub member_deaths: u64,
+    /// Composites handed to the GC as fully dead.
+    pub reclaimed: u64,
+    /// Member frees naming a key the registry does not know. Should stay
+    /// zero; a nonzero count means a composite leaked past recovery.
+    pub unknown_member_frees: u64,
+    /// Sum of live fractions observed when compaction claimed a composite
+    /// (divide by `compaction_claims` for the mean the metrics export).
+    pub live_fraction_sum_at_claim: f64,
+    /// Compaction claims handed out.
+    pub compaction_claims: u64,
+}
+
+/// Registry of live composite objects. Internally synchronized; shared by
+/// the commit path, the GC tick and the compaction driver.
+#[derive(Debug, Default)]
+pub struct CompositeRegistry {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Keyed by composite-key offset; `BTreeMap` so every scan
+    /// (candidates, fully-dead sweep) is deterministic.
+    composites: BTreeMap<u64, CompositeInfo>,
+    stats: CompositeStats,
+}
+
+impl CompositeRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a composite's member layout. Idempotent: recovery replays
+    /// commit records that may already be registered.
+    pub fn register(&self, key: ObjectKey, members: &[PackMember]) {
+        let mut g = self.inner.lock();
+        if g.composites.contains_key(&key.offset()) {
+            return;
+        }
+        g.composites.insert(
+            key.offset(),
+            CompositeInfo {
+                members: members.to_vec(),
+                dead: vec![false; members.len()],
+                compacting: false,
+            },
+        );
+        g.stats.registered += 1;
+    }
+
+    /// Record the death of the member at byte `offset` of composite
+    /// `key_offset`. Idempotent per member; a free naming an unknown key
+    /// is counted but otherwise ignored (the object, if it exists, leaks
+    /// until the next recovery sweep — never a correctness hazard).
+    pub fn mark_member_dead(&self, key_offset: u64, offset: u32) {
+        let mut g = self.inner.lock();
+        let Some(info) = g.composites.get_mut(&key_offset) else {
+            g.stats.unknown_member_frees += 1;
+            return;
+        };
+        let Some(i) = info.members.iter().position(|m| m.offset == offset) else {
+            g.stats.unknown_member_frees += 1;
+            return;
+        };
+        if !info.dead[i] {
+            info.dead[i] = true;
+            g.stats.member_deaths += 1;
+        }
+    }
+
+    /// Every composite whose members are all dead and which no compaction
+    /// currently holds. The composite stays registered until the caller
+    /// confirms the delete with [`Self::note_reclaimed`], so a failed
+    /// delete is simply retried on a later tick.
+    pub fn fully_dead_pending(&self) -> Vec<ObjectKey> {
+        self.inner
+            .lock()
+            .composites
+            .iter()
+            .filter(|(_, info)| !info.compacting && info.dead.iter().all(|d| *d))
+            .map(|(&off, _)| ObjectKey::from_offset(off))
+            .collect()
+    }
+
+    /// Confirm that the objects behind `keys` were deleted; drops them
+    /// from the registry.
+    pub fn note_reclaimed(&self, keys: &[ObjectKey]) {
+        let mut g = self.inner.lock();
+        for key in keys {
+            if g.composites.remove(&key.offset()).is_some() {
+                g.stats.reclaimed += 1;
+            }
+        }
+    }
+
+    /// Whether any fully-dead composite is waiting to be taken (lets the
+    /// GC tick proceed even when the transaction chain is drained).
+    pub fn has_fully_dead(&self) -> bool {
+        self.inner
+            .lock()
+            .composites
+            .values()
+            .any(|info| !info.compacting && info.dead.iter().all(|d| *d))
+    }
+
+    /// Claim up to `limit` compaction candidates: composites with at
+    /// least one dead member whose live fraction is ≤ `threshold` but
+    /// nonzero (fully dead ones belong to the GC). Claimed composites
+    /// are flagged so the GC and other compaction rounds skip them; the
+    /// driver must either finish (the members die) or
+    /// [`Self::release_claims`] on failure. Returns each candidate's
+    /// still-live members in deterministic key order.
+    pub fn compaction_candidates(
+        &self,
+        threshold: f64,
+        limit: usize,
+    ) -> Vec<(ObjectKey, Vec<PackMember>)> {
+        let mut g = self.inner.lock();
+        let mut out = Vec::new();
+        let mut claims = Vec::new();
+        for (&off, info) in g.composites.iter() {
+            if out.len() >= limit {
+                break;
+            }
+            let frac = info.live_fraction();
+            if info.compacting || frac <= 0.0 || frac > threshold {
+                continue;
+            }
+            let live: Vec<PackMember> = info
+                .members
+                .iter()
+                .zip(&info.dead)
+                .filter(|(_, dead)| !**dead)
+                .map(|(m, _)| *m)
+                .collect();
+            claims.push((off, frac));
+            out.push((ObjectKey::from_offset(off), live));
+        }
+        for (off, frac) in claims {
+            g.composites
+                .get_mut(&off)
+                .expect("claimed key present")
+                .compacting = true;
+            g.stats.live_fraction_sum_at_claim += frac;
+            g.stats.compaction_claims += 1;
+        }
+        out
+    }
+
+    /// Release compaction claims after a failed round so the composites
+    /// become visible to the GC and future rounds again.
+    pub fn release_claims(&self, keys: &[ObjectKey]) {
+        let mut g = self.inner.lock();
+        for key in keys {
+            if let Some(info) = g.composites.get_mut(&key.offset()) {
+                info.compacting = false;
+            }
+        }
+    }
+
+    /// Composites currently tracked.
+    pub fn len(&self) -> usize {
+        self.inner.lock().composites.len()
+    }
+
+    /// Whether the registry tracks nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Live fraction of one composite (tests/metrics); `None` if unknown.
+    pub fn live_fraction(&self, key: ObjectKey) -> Option<f64> {
+        self.inner
+            .lock()
+            .composites
+            .get(&key.offset())
+            .map(CompositeInfo::live_fraction)
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> CompositeStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(page: u64, offset: u32) -> PackMember {
+        PackMember {
+            table: 1,
+            page,
+            offset,
+            len: 512,
+        }
+    }
+
+    fn key(off: u64) -> ObjectKey {
+        ObjectKey::from_offset(off)
+    }
+
+    #[test]
+    fn composite_reclaimed_only_when_all_members_dead() {
+        let reg = CompositeRegistry::new();
+        reg.register(key(5), &[member(1, 0), member(2, 512), member(3, 1024)]);
+        assert_eq!(reg.len(), 1);
+        reg.mark_member_dead(5, 0);
+        reg.mark_member_dead(5, 512);
+        assert!(reg.fully_dead_pending().is_empty(), "one member still live");
+        assert!(!reg.has_fully_dead());
+        reg.mark_member_dead(5, 1024);
+        assert!(reg.has_fully_dead());
+        let dead = reg.fully_dead_pending();
+        assert_eq!(dead, vec![key(5)]);
+        // Unconfirmed deletes stay pending (failed delete ⇒ retry later).
+        assert_eq!(reg.fully_dead_pending(), vec![key(5)]);
+        reg.note_reclaimed(&dead);
+        assert!(reg.is_empty());
+        assert_eq!(reg.stats().reclaimed, 1);
+    }
+
+    #[test]
+    fn registration_and_death_are_idempotent() {
+        let reg = CompositeRegistry::new();
+        let members = [member(1, 0), member(2, 512)];
+        reg.register(key(9), &members);
+        reg.register(key(9), &members); // recovery replay
+        assert_eq!(reg.stats().registered, 1);
+        reg.mark_member_dead(9, 0);
+        reg.mark_member_dead(9, 0);
+        assert_eq!(reg.stats().member_deaths, 1);
+        // Unknown key / unknown offset: counted, never fatal.
+        reg.mark_member_dead(404, 0);
+        reg.mark_member_dead(9, 9999);
+        assert_eq!(reg.stats().unknown_member_frees, 2);
+    }
+
+    #[test]
+    fn compaction_claims_sparse_composites_and_hides_them_from_gc() {
+        let reg = CompositeRegistry::new();
+        // 4 members, 3 dead → live fraction 0.25.
+        reg.register(
+            key(1),
+            &[
+                member(1, 0),
+                member(2, 512),
+                member(3, 1024),
+                member(4, 1536),
+            ],
+        );
+        for off in [0u32, 512, 1024] {
+            reg.mark_member_dead(1, off);
+        }
+        // 2 members, none dead → fraction 1.0, not a candidate.
+        reg.register(key(2), &[member(5, 0), member(6, 512)]);
+        let cands = reg.compaction_candidates(0.5, 8);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].0, key(1));
+        assert_eq!(cands[0].1, vec![member(4, 1536)]);
+        // Claimed: a second round skips it, and even once fully dead the
+        // GC leaves it alone until the claim resolves.
+        assert!(reg.compaction_candidates(0.5, 8).is_empty());
+        reg.mark_member_dead(1, 1536);
+        assert!(reg.fully_dead_pending().is_empty());
+        reg.release_claims(&[key(1)]);
+        assert_eq!(reg.fully_dead_pending(), vec![key(1)]);
+        reg.note_reclaimed(&[key(1)]);
+        let stats = reg.stats();
+        assert_eq!(stats.compaction_claims, 1);
+        assert!((stats.live_fraction_sum_at_claim - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_dead_composites_are_not_compaction_candidates() {
+        let reg = CompositeRegistry::new();
+        reg.register(key(3), &[member(1, 0)]);
+        reg.mark_member_dead(3, 0);
+        assert!(reg.compaction_candidates(1.0, 8).is_empty());
+        assert_eq!(reg.fully_dead_pending(), vec![key(3)]);
+    }
+}

@@ -26,12 +26,14 @@
 //! * [`multiplex`] — coordinator and secondary nodes with simulated RPC,
 //!   crash, and restart; reproduces Table 1's recovery walkthrough.
 
+pub mod composites;
 pub mod keygen;
 pub mod log;
 pub mod manager;
 pub mod multiplex;
 pub mod rfrb;
 
+pub use composites::{CompositeRegistry, CompositeStats};
 pub use keygen::{KeyGenerator, KeyRange, NodeKeyCache, RangeProvider};
 pub use log::{LogRecord, TxnLog};
 pub use manager::{
@@ -39,4 +41,4 @@ pub use manager::{
     TransactionManager, TxnOutcome,
 };
 pub use multiplex::{Coordinator, Multiplex, NodeRole, SecondaryNode};
-pub use rfrb::{coalesce_block_runs, RfRb};
+pub use rfrb::{coalesce_block_runs, PackMember, RfRb};

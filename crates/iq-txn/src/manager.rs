@@ -25,9 +25,10 @@ use iq_common::{
 use iq_storage::DbSpace;
 use parking_lot::Mutex;
 
+use crate::composites::CompositeRegistry;
 use crate::keygen::KeyGenerator;
 use crate::log::{LogRecord, TxnLog};
-use crate::rfrb::{coalesce_block_runs, PageSet, RfRb};
+use crate::rfrb::{coalesce_block_runs, PackMember, PageSet, RfRb};
 
 /// Outcome of a [`DeletionSink::delete_pages`] bulk call.
 #[derive(Debug, Default)]
@@ -109,6 +110,12 @@ impl DeletionSink for ImmediateDeletion {
                 }
                 Ok(())
             }
+            // A composite member must never reach the delete pipeline:
+            // the object is shared, and only the composite registry may
+            // decide when the whole key dies.
+            PhysicalLocator::ObjectRange { .. } => Err(IqError::Invalid(
+                "cannot delete a composite member directly".into(),
+            )),
             PhysicalLocator::Blocks { .. } => {
                 let s = self
                     .spaces
@@ -129,7 +136,7 @@ impl DeletionSink for ImmediateDeletion {
             .iter()
             .filter_map(|l| match l {
                 PhysicalLocator::Object(k) => Some(*k),
-                PhysicalLocator::Blocks { .. } => None,
+                PhysicalLocator::ObjectRange { .. } | PhysicalLocator::Blocks { .. } => None,
             })
             .collect();
         let mut key_err: HashMap<u64, IqError> = HashMap::new();
@@ -156,7 +163,7 @@ impl DeletionSink for ImmediateDeletion {
                     Some(e) => Err(e),
                     None => Ok(()),
                 },
-                PhysicalLocator::Blocks { .. } => {
+                PhysicalLocator::ObjectRange { .. } | PhysicalLocator::Blocks { .. } => {
                     requests += 1;
                     self.delete_page(space, loc)
                 }
@@ -312,6 +319,8 @@ pub struct TransactionManager {
     gc_workers: AtomicUsize,
     /// Counters behind the `gc.*` metrics source.
     gc_stats: GcStats,
+    /// Live-member refcounts of composite (packed) objects.
+    composites: Arc<CompositeRegistry>,
 }
 
 impl TransactionManager {
@@ -326,12 +335,18 @@ impl TransactionManager {
             keygen,
             gc_workers: AtomicUsize::new(1),
             gc_stats: GcStats::default(),
+            composites: Arc::new(CompositeRegistry::new()),
         }
     }
 
     /// Set how many workers fan out the GC's delete batches.
     pub fn set_gc_workers(&self, workers: usize) {
         self.gc_workers.store(workers.max(1), Ordering::Relaxed);
+    }
+
+    /// The composite registry (the pack GC's refcount bookkeeping).
+    pub fn composites(&self) -> &Arc<CompositeRegistry> {
+        &self.composites
     }
 
     /// Cumulative GC pipeline counters.
@@ -399,6 +414,23 @@ impl TransactionManager {
         Ok(())
     }
 
+    /// Record that `txn` wrote the composite object `key` with the given
+    /// member layout. Registered with the composite registry at commit.
+    pub fn record_pack(
+        &self,
+        txn: TxnId,
+        key: ObjectKey,
+        members: Vec<PackMember>,
+    ) -> IqResult<()> {
+        let mut g = self.inner.lock();
+        let t = g.active.get_mut(&txn.0).ok_or_else(|| IqError::Txn {
+            txn,
+            reason: "not active".into(),
+        })?;
+        t.rfrb.record_pack(key, members);
+        Ok(())
+    }
+
     /// Commit: flush the RF/RB bitmaps (log record), notify the key
     /// generator, move the transaction onto the committed chain, then
     /// garbage collect whatever the chain allows. Returns the commit
@@ -433,6 +465,13 @@ impl TransactionManager {
         });
         if let Some(kg) = &self.keygen {
             kg.note_commit(entry.node, &entry.rfrb);
+        }
+        // Register the transaction's composites before its chain entry is
+        // visible to GC: member frees (this txn's or a later one's) must
+        // always find the layout already present.
+        for (&off, members) in &entry.rfrb.packs {
+            self.composites
+                .register(ObjectKey::from_offset(off), members);
         }
         self.inner.lock().chain.push_back(CommittedTxn {
             commit_seq,
@@ -580,7 +619,20 @@ impl TransactionManager {
             }
             (v, g.chain.len() as u64)
         };
-        if entries.is_empty() {
+        // Member frees flip death bits in the composite registry instead
+        // of entering the delete pipeline (idempotent, so a requeued
+        // entry re-applying them is harmless).
+        for e in &entries {
+            for (&off, ranges) in &e.rfrb.rf.members {
+                for &(member_off, _len) in ranges {
+                    self.composites.mark_member_dead(off, member_off);
+                }
+            }
+        }
+        // Whole composites whose last member just died (or whose delete
+        // failed on an earlier tick) join this pass's key fan-out.
+        let composite_dead = self.composites.fully_dead_pending();
+        if entries.is_empty() && composite_dead.is_empty() {
             if trace::is_enabled() {
                 trace::emit(EventKind::GcTick {
                     consumed: 0,
@@ -599,6 +651,9 @@ impl TransactionManager {
             let mut fresh = e.rfrb.rf.keys.clone();
             fresh.subtract(&e.done.keys);
             all_keys.union_with(&fresh);
+        }
+        for key in &composite_dead {
+            all_keys.insert(key.offset());
         }
         let mut runs_by_space: BTreeMap<u32, Vec<(u64, u8)>> = BTreeMap::new();
         for e in &entries {
@@ -653,6 +708,19 @@ impl TransactionManager {
             self.gc_stats.note_batch(b.len());
         }
 
+        // Composites whose delete succeeded leave the registry; failed
+        // ones stay fully-dead-pending and retry on a later tick.
+        let mut composites_reclaimed = 0u64;
+        if !composite_dead.is_empty() {
+            let reclaimed: Vec<ObjectKey> = composite_dead
+                .iter()
+                .copied()
+                .filter(|k| !failed_keys.contains(k.offset()))
+                .collect();
+            composites_reclaimed = reclaimed.len() as u64;
+            self.composites.note_reclaimed(&reclaimed);
+        }
+
         // Block runs, one bulk call per dbspace (the space is resolved
         // once per group — the old loop looked it up per key).
         let mut block_requests = 0u64;
@@ -681,7 +749,7 @@ impl TransactionManager {
         // Fold results back per entry: advance each entry's resume point
         // by its pages that succeeded, count them (first-time only), and
         // re-queue entries with surviving pages.
-        let mut keys_deleted = 0u64;
+        let mut keys_deleted = composites_reclaimed;
         let mut runs_deleted = 0u64;
         let mut consumed = 0u64;
         let mut requeue: Vec<CommittedTxn> = Vec::new();
@@ -805,6 +873,9 @@ mod tests {
                 PhysicalLocator::Blocks { start, count } => {
                     self.blocks.lock().push((space.0, start.0, count));
                 }
+                PhysicalLocator::ObjectRange { .. } => {
+                    panic!("composite members must never reach a deletion sink");
+                }
             }
             Ok(())
         }
@@ -872,6 +943,113 @@ mod tests {
         let _late_reader = tm.begin(NodeId(2));
         tm.gc_tick(&sink).unwrap();
         assert!(sink.cloud.lock().contains(1));
+    }
+
+    #[test]
+    fn composite_deleted_only_after_every_member_free() {
+        let (_, tm) = manager();
+        let sink = RecordingSink::default();
+        let key = ObjectKey::from_offset(900);
+        let members: Vec<PackMember> = (0..3)
+            .map(|i| PackMember {
+                table: 1,
+                page: 10 + i as u64,
+                offset: i * 512,
+                len: 512,
+            })
+            .collect();
+        let w = tm.begin(NodeId(1));
+        for m in &members {
+            tm.record_alloc(
+                w,
+                CLOUD_SPACE_SENTINEL,
+                PhysicalLocator::ObjectRange {
+                    key,
+                    offset: m.offset,
+                    len: m.len,
+                },
+            )
+            .unwrap();
+        }
+        tm.record_pack(w, key, members.clone()).unwrap();
+        tm.commit(w, &sink).unwrap();
+        assert_eq!(tm.composites().len(), 1);
+
+        // Two of three members die: the object must survive.
+        let t = tm.begin(NodeId(1));
+        for m in &members[..2] {
+            tm.record_free(
+                t,
+                CLOUD_SPACE_SENTINEL,
+                PhysicalLocator::ObjectRange {
+                    key,
+                    offset: m.offset,
+                    len: m.len,
+                },
+            )
+            .unwrap();
+        }
+        tm.commit(t, &sink).unwrap();
+        tm.gc_tick(&sink).unwrap();
+        assert!(
+            !sink.cloud.lock().contains(900),
+            "composite deleted while a member is still live"
+        );
+
+        // The last member dies: the whole object is reclaimed.
+        let t = tm.begin(NodeId(1));
+        tm.record_free(
+            t,
+            CLOUD_SPACE_SENTINEL,
+            PhysicalLocator::ObjectRange {
+                key,
+                offset: members[2].offset,
+                len: members[2].len,
+            },
+        )
+        .unwrap();
+        tm.commit(t, &sink).unwrap();
+        tm.gc_tick(&sink).unwrap();
+        assert!(sink.cloud.lock().contains(900));
+        assert!(tm.composites().is_empty());
+        assert_eq!(tm.composites().stats().reclaimed, 1);
+    }
+
+    #[test]
+    fn failed_composite_delete_retries_on_next_tick() {
+        let (_, tm) = manager();
+        let key = ObjectKey::from_offset(70);
+        let members = vec![PackMember {
+            table: 1,
+            page: 1,
+            offset: 0,
+            len: 512,
+        }];
+        let sink = FlakySink {
+            inner: RecordingSink::default(),
+            remaining_failures: Mutex::new(1),
+        };
+        let w = tm.begin(NodeId(1));
+        tm.record_pack(w, key, members.clone()).unwrap();
+        tm.commit(w, &sink).unwrap();
+        let t = tm.begin(NodeId(1));
+        tm.record_free(
+            t,
+            CLOUD_SPACE_SENTINEL,
+            PhysicalLocator::ObjectRange {
+                key,
+                offset: 0,
+                len: 512,
+            },
+        )
+        .unwrap();
+        // The commit's own gc_tick hits the fault; the composite must
+        // stay pending rather than leak.
+        tm.commit(t, &sink).unwrap_err();
+        assert_eq!(tm.composites().len(), 1);
+        tm.gc_tick(&sink).unwrap();
+        assert!(sink.inner.cloud.lock().contains(70));
+        assert!(tm.composites().is_empty());
     }
 
     #[test]

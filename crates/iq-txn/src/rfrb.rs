@@ -24,9 +24,25 @@ use serde::{Deserialize, Serialize};
 /// first block number for conventional runs.
 fn locator_bit(loc: PhysicalLocator) -> u64 {
     match loc {
-        PhysicalLocator::Object(key) => key.offset(),
+        PhysicalLocator::Object(key) | PhysicalLocator::ObjectRange { key, .. } => key.offset(),
         PhysicalLocator::Blocks { start, .. } => start.0,
     }
+}
+
+/// One page's placement inside a composite object: which logical page the
+/// member holds and where its sealed image sits. Recorded in the
+/// committing transaction's [`RfRb`] so recovery can rebuild the
+/// composite registry from the log.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq, Eq)]
+pub struct PackMember {
+    /// Owning table.
+    pub table: u32,
+    /// Logical page number.
+    pub page: u64,
+    /// Byte offset of the sealed image inside the composite.
+    pub offset: u32,
+    /// Byte length of the sealed image.
+    pub len: u32,
 }
 
 /// One side (RF or RB) of the bitmap pair.
@@ -37,6 +53,11 @@ pub struct PageSet {
     pub keys: KeySet,
     /// Conventional pages: block runs per dbspace.
     pub blocks: BTreeMap<u32, Vec<(u64, u8)>>,
+    /// Composite members: `(offset, len)` ranges per composite-key offset.
+    /// A member entry frees one page *inside* a shared object — the GC
+    /// must not delete the object until every member is dead, so these
+    /// route to the composite registry instead of the delete pipeline.
+    pub members: BTreeMap<u64, Vec<(u32, u32)>>,
 }
 
 impl PageSet {
@@ -45,6 +66,12 @@ impl PageSet {
         match loc {
             PhysicalLocator::Object(key) => {
                 self.keys.insert(key.offset());
+            }
+            PhysicalLocator::ObjectRange { key, offset, len } => {
+                self.members
+                    .entry(key.offset())
+                    .or_default()
+                    .push((offset, len));
             }
             PhysicalLocator::Blocks { start, count } => {
                 self.blocks
@@ -60,9 +87,12 @@ impl PageSet {
         self.keys.contains(key.offset())
     }
 
-    /// Total recorded entries (cloud keys + block runs).
+    /// Total recorded entries (cloud keys + block runs + composite
+    /// members).
     pub fn len(&self) -> u64 {
-        self.keys.len() + self.blocks.values().map(|v| v.len() as u64).sum::<u64>()
+        self.keys.len()
+            + self.blocks.values().map(|v| v.len() as u64).sum::<u64>()
+            + self.members.values().map(|v| v.len() as u64).sum::<u64>()
     }
 
     /// True if nothing is recorded.
@@ -121,6 +151,10 @@ pub struct RfRb {
     /// Roll-back: pages this transaction allocated — to be deleted
     /// *immediately* if the transaction rolls back.
     pub rb: PageSet,
+    /// Composite objects this transaction wrote: member layout per
+    /// composite-key offset. Registered with the composite registry at
+    /// commit (and re-registered from the log at recovery).
+    pub packs: BTreeMap<u64, Vec<PackMember>>,
 }
 
 impl RfRb {
@@ -129,12 +163,25 @@ impl RfRb {
         Self::default()
     }
 
-    /// Record a page allocation (RB).
+    /// Record a page allocation (RB). A composite member records the
+    /// *whole* object key: rollback deletes the uncommitted composite in
+    /// one request, and `KeySet` insertion is idempotent across members.
     pub fn record_alloc(&mut self, space: DbSpaceId, loc: PhysicalLocator) {
         trace::emit(EventKind::RbFlip {
             key: locator_bit(loc),
         });
-        self.rb.record(space, loc);
+        match loc {
+            PhysicalLocator::ObjectRange { key, .. } => {
+                self.rb.record(space, PhysicalLocator::Object(key));
+            }
+            other => self.rb.record(space, other),
+        }
+    }
+
+    /// Record the member layout of a composite object this transaction
+    /// wrote.
+    pub fn record_pack(&mut self, key: ObjectKey, members: Vec<PackMember>) {
+        self.packs.insert(key.offset(), members);
     }
 
     /// Record a page deletion/supersession (RF).
@@ -203,6 +250,52 @@ mod tests {
         }
         assert_eq!(rfrb.rb.keys.runs(), &[(101, 131)]);
         assert_eq!(rfrb.consumed_ranges(), vec![(101, 131)]);
+    }
+
+    #[test]
+    fn composite_members_route_to_member_map_not_delete_keys() {
+        let ranged = |off: u64, byte_off: u32| PhysicalLocator::ObjectRange {
+            key: ObjectKey::from_offset(off),
+            offset: byte_off,
+            len: 512,
+        };
+        let mut rfrb = RfRb::new();
+        // Allocating two members of composite 40 burns the key once.
+        rfrb.record_alloc(DbSpaceId(1), ranged(40, 0));
+        rfrb.record_alloc(DbSpaceId(1), ranged(40, 512));
+        assert_eq!(rfrb.rb.keys.runs(), &[(40, 41)]);
+        assert!(rfrb.rb.members.is_empty());
+        // Freeing a member must NOT enter the whole-key delete set.
+        rfrb.record_free(DbSpaceId(1), ranged(77, 1024));
+        assert!(rfrb.rf.keys.is_empty());
+        assert_eq!(rfrb.rf.members.get(&77), Some(&vec![(1024u32, 512u32)]));
+        assert_eq!(rfrb.rf.len(), 1);
+    }
+
+    #[test]
+    fn packs_survive_the_flush_image() {
+        let mut rfrb = RfRb::new();
+        rfrb.record_pack(
+            ObjectKey::from_offset(9),
+            vec![
+                PackMember {
+                    table: 1,
+                    page: 10,
+                    offset: 0,
+                    len: 600,
+                },
+                PackMember {
+                    table: 1,
+                    page: 11,
+                    offset: 600,
+                    len: 600,
+                },
+            ],
+        );
+        let image = rfrb.to_bytes();
+        let back = RfRb::from_bytes(&image).unwrap();
+        assert_eq!(back.packs[&9].len(), 2);
+        assert_eq!(back, rfrb);
     }
 
     #[test]

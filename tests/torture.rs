@@ -150,15 +150,142 @@ fn crash_cut_mid_commit_rolls_back_and_reopen_recovers() {
     assert_eq!(store.max_write_count(), 1);
 }
 
+/// A hard cut mid-*packed*-commit: the composite uploads of the doomed
+/// transaction roll back as whole objects, reopen recovers the baseline,
+/// and the composite registry rebuilds consistent from the durable log.
+#[test]
+fn crash_cut_mid_packed_commit_recovers() {
+    let mut cfg = faulted_cfg(FaultPlan::none());
+    cfg.pack_pages = 8;
+    let db = Database::create(cfg.clone()).unwrap();
+    let space = db.create_cloud_dbspace("clouddata").unwrap();
+    db.create_table(TableId(1), space).unwrap();
+    db.create_table(TableId(2), space).unwrap();
+
+    let mut meta1 = TableMeta::new(TableId(1), "t1", schema(), 64);
+    let txn = db.begin();
+    load(&db, &mut meta1, txn, 200);
+    db.commit(txn).unwrap();
+    db.save_table_meta(&meta1).unwrap();
+    db.checkpoint().unwrap();
+    assert!(
+        db.shared()
+            .pack_stats
+            .objects_written
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "the baseline commit must actually have packed"
+    );
+
+    // The doomed packed commit dies mid-flush.
+    let inj = db.fault_injector(space).unwrap();
+    let mut meta2 = TableMeta::new(TableId(2), "t2", schema(), 32);
+    let doomed = db.begin();
+    load(&db, &mut meta2, doomed, 800);
+    inj.arm_crash(10);
+    assert!(
+        db.commit(doomed).is_err(),
+        "commit across the cut must fail"
+    );
+    assert_eq!(db.shared().txns.active_count(), 0);
+
+    inj.heal();
+    let db = Database::reopen(db.into_durable(), cfg).unwrap();
+    let meta1 = db.load_table_meta(TableId(1)).unwrap().unwrap();
+    let rtxn = db.begin();
+    let pager = db.pager(rtxn).unwrap();
+    assert_eq!(
+        meta1.scan(&pager, &[0, 1], None, db.meter()).unwrap().len(),
+        200,
+        "committed packed baseline survives the cut"
+    );
+    db.rollback(rtxn).unwrap();
+    let store = db.cloud_store(space).unwrap();
+    assert_eq!(store.max_write_count(), 1, "no composite written twice");
+    // Replay rebuilt the registry; nothing reclaimable may linger.
+    db.gc_drain().unwrap();
+    assert!(!db.shared().txns.composites().has_fully_dead());
+}
+
+/// Compaction over a flaky store: retries and throttles on the
+/// rewrite-read and rewrite-flush paths must never violate
+/// never-write-twice, and the compacted data must read back intact.
+#[test]
+fn compaction_under_faults_never_writes_twice() {
+    use cloudiq::common::PageId;
+    use cloudiq::engine::PageStore;
+    use cloudiq::storage::PageKind;
+
+    let mut cfg = faulted_cfg(FaultPlan::flaky(17, 0.05));
+    cfg.pack_pages = 8;
+    cfg.retention = None;
+    let db = Database::create(cfg).unwrap();
+    let space = db.create_cloud_dbspace("clouddata").unwrap();
+    let table = TableId(1);
+    db.create_table(table, space).unwrap();
+    let body = |p: u64, v: u64| bytes::Bytes::from(vec![(p ^ v.wrapping_mul(31)) as u8; 256]);
+
+    let txn = db.begin();
+    {
+        let pager = db.pager(txn).unwrap();
+        for p in 0..64u64 {
+            pager
+                .write_page(table, PageId(p), PageKind::Data, body(p, 1), txn)
+                .unwrap();
+        }
+    }
+    db.commit(txn).unwrap();
+
+    // Half-kill every composite, then compact the survivors.
+    let txn = db.begin();
+    {
+        let pager = db.pager(txn).unwrap();
+        for p in (0..64u64).step_by(2) {
+            pager
+                .write_page(table, PageId(p), PageKind::Data, body(p, 2), txn)
+                .unwrap();
+        }
+    }
+    db.commit(txn).unwrap();
+    db.gc_drain().unwrap();
+    let compacted = db.compact_tick(0.6, 100).unwrap();
+    assert!(compacted > 0, "half-dead composites must be claimed");
+    db.gc_drain().unwrap();
+
+    let store = db.cloud_store(space).unwrap();
+    assert_eq!(
+        store.max_write_count(),
+        1,
+        "compaction under retries must never double-write"
+    );
+    let inj = db.fault_injector(space).unwrap();
+    let stats = inj.fault_stats();
+    assert!(
+        stats.put_errors + stats.get_errors + stats.throttles > 0,
+        "the plan must actually have fired: {stats:?}"
+    );
+    db.shared().buffer.clear();
+    let rtxn = db.begin();
+    let pager = db.pager(rtxn).unwrap();
+    for p in 0..64u64 {
+        let v = if p % 2 == 0 { 2 } else { 1 };
+        let page = pager.read_page(table, PageId(p), true).unwrap();
+        assert_eq!(page.body, body(p, v), "page {p} after faulted compaction");
+    }
+    db.rollback(rtxn).unwrap();
+}
+
 /// Heavy multi-seed sweep: flaky stores plus crash cuts at varying
-/// offsets, each followed by a reopen. Gated behind `--features torture`
-/// so tier-1 stays fast; CI's `torture` job runs it with fixed seeds.
+/// offsets, each followed by a reopen, alternating packed and per-page
+/// commit flushes across seeds. Gated behind `--features torture` so
+/// tier-1 stays fast; CI's `torture` job runs it with fixed seeds.
 #[test]
 #[cfg_attr(not(feature = "torture"), ignore)]
 fn multi_seed_crash_sweep() {
     for seed in 0..4u64 {
         for &cut in &[10u64, 40, 160] {
-            let cfg = faulted_cfg(FaultPlan::flaky(seed, 0.05));
+            let mut cfg = faulted_cfg(FaultPlan::flaky(seed, 0.05));
+            cfg.pack_pages = if seed % 2 == 0 { 8 } else { 1 };
             let db = Database::create(cfg.clone()).unwrap();
             let space = db.create_cloud_dbspace("clouddata").unwrap();
             db.create_table(TableId(1), space).unwrap();
