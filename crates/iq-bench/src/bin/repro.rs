@@ -35,6 +35,8 @@ fn main() {
                        --cache      sharded scan-resistant buffer-cache ablation\n\
                        --pack       commit-flush page-packing ablation (pack size\n\
                                     sweep 1/4/16/64 + whole-object-GET leg)\n\
+                       --group-commit  coalesced transaction-log appends vs one\n\
+                                    PUT per record, committer sweep 1/4/8\n\
                        --faults     fault sweep: retry/backoff under a flaky store\n\
                        --explain    time-model phase totals + folded event journal\n\n\
                      MACHINE-READABLE MODES (exit after running; stdout is the artifact):\n\
@@ -48,10 +50,11 @@ fn main() {
                                        and backoff counters)\n\n\
                      --sf sets the functional scale factor (default 0.01);\n\
                      results are projected to the paper's SF 1000.\n\n\
-                     The --gc, --cache and --pack sections also write their\n\
-                     measurement rows to BENCH_gc.json / BENCH_cache.json /\n\
-                     BENCH_pack.json in the working directory, so the perf\n\
-                     trajectory is tracked PR-over-PR."
+                     The --gc, --cache, --pack and --group-commit sections\n\
+                     also write their measurement rows to BENCH_gc.json /\n\
+                     BENCH_cache.json / BENCH_pack.json /\n\
+                     BENCH_group_commit.json in the working directory, so the\n\
+                     perf trajectory is tracked PR-over-PR."
                 );
                 return;
             }
@@ -156,6 +159,9 @@ fn main() {
         if !want("pack") {
             reports.push(experiments::ablation_pack(sf).expect("ablation_pack"));
         }
+        if !want("group-commit") {
+            reports.push(experiments::ablation_group_commit(sf).expect("ablation_group_commit"));
+        }
     }
     if want("gc") {
         let m = experiments::gc_batching_measurements(sf).expect("gc_batching_measurements");
@@ -171,6 +177,11 @@ fn main() {
         let m = experiments::pack_measurements(sf).expect("pack_measurements");
         write_bench("pack", sf, &m);
         reports.push(experiments::report_pack(&m));
+    }
+    if want("group-commit") {
+        let m = experiments::group_commit_measurements(sf).expect("group_commit_measurements");
+        write_bench("group_commit", sf, &m);
+        reports.push(experiments::report_group_commit(&m));
     }
     for r in &reports {
         println!("{}", r.to_text());

@@ -38,7 +38,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use iq_common::trace::{self, EventKind};
-use iq_common::{IqError, IqResult, PageId, TableId, TxnId, WorkerPool};
+use iq_common::{IoCore, IqError, IqResult, PageId, TableId, TxnId};
 use iq_storage::Page;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
@@ -696,11 +696,13 @@ impl BufferManager {
     ///
     /// [`flush_txn_parallel`]: BufferManager::flush_txn_parallel
     pub fn flush_txn(&self, txn: TxnId, sink: &dyn FlushSink) -> IqResult<()> {
-        self.flush_txn_parallel(txn, sink, 1)
+        self.flush_txn_parallel(txn, sink, &IoCore::new(1))
     }
 
-    /// Flush every dirty page of `txn`, fanning the sink writes across
-    /// `workers` threads.
+    /// Flush every dirty page of `txn`, submitting the sink writes to
+    /// `io` — the database's submission/completion core — which fans
+    /// them across its execution lanes and accounts the batch's
+    /// in-flight depth.
     ///
     /// Locks are held only to claim the dirty set — frames are marked
     /// clean and their pages snapshotted under short per-shard locks, then
@@ -721,9 +723,9 @@ impl BufferManager {
         &self,
         txn: TxnId,
         sink: &dyn FlushSink,
-        workers: usize,
+        io: &IoCore,
     ) -> IqResult<()> {
-        self.flush_txn_packed(txn, sink, workers, 1)
+        self.flush_txn_packed(txn, sink, io, 1)
     }
 
     /// [`flush_txn_parallel`] with page packing: the claimed dirty set is
@@ -744,7 +746,7 @@ impl BufferManager {
         &self,
         txn: TxnId,
         sink: &dyn FlushSink,
-        workers: usize,
+        io: &IoCore,
         pack_pages: usize,
     ) -> IqResult<()> {
         // Phase 1a: claim the dirty key set, first waiting out eviction
@@ -781,21 +783,21 @@ impl BufferManager {
             .collect();
 
         // Phase 2 (no lock): chunk the key-sorted batch into groups of up
-        // to `pack_pages` and fan the groups across the pool. The group —
-        // not the page — is the unit of success/failure.
+        // to `pack_pages` and submit the whole group batch to the I/O
+        // core. The group — not the page — is the unit of
+        // success/failure.
         let started = std::time::Instant::now();
         let groups: Vec<&[(FrameKey, Page)]> = batch.chunks(pack_pages.max(1)).collect();
         let done: Vec<AtomicU64> = (0..groups.len()).map(|_| AtomicU64::new(0)).collect();
-        let (result, run) =
-            WorkerPool::new(workers).run_ordered_with_stats(groups.len(), |i| -> IqResult<()> {
-                let group = groups[i];
-                sink.flush_group(group, txn, FlushCause::Commit)?;
-                done[i].store(1, Ordering::Release);
-                self.stats
-                    .commit_flushes
-                    .fetch_add(group.len() as u64, Ordering::Relaxed);
-                Ok(())
-            });
+        let (result, run) = io.run_ordered_with_stats(groups.len(), |i| -> IqResult<()> {
+            let group = groups[i];
+            sink.flush_group(group, txn, FlushCause::Commit)?;
+            done[i].store(1, Ordering::Release);
+            self.stats
+                .commit_flushes
+                .fetch_add(group.len() as u64, Ordering::Relaxed);
+            Ok(())
+        });
         self.stats
             .flush_in_flight_peak
             .fetch_max(run.in_flight_peak as u64, Ordering::Relaxed);
@@ -1092,7 +1094,7 @@ mod tests {
         for p in 0..10 {
             bm.put_dirty(key(1, p), page(p, 100), txn, &sink).unwrap();
         }
-        bm.flush_txn_packed(txn, &sink, 2, 4).unwrap();
+        bm.flush_txn_packed(txn, &sink, &IoCore::new(2), 4).unwrap();
         let mut groups = sink.groups.lock().clone();
         groups.sort();
         assert_eq!(
@@ -1121,14 +1123,16 @@ mod tests {
             groups: PMutex::new(Vec::new()),
             fail_group_containing: Some(key(1, 5)),
         };
-        bm.flush_txn_packed(txn, &sink, 1, 4).unwrap_err();
+        bm.flush_txn_packed(txn, &sink, &IoCore::new(1), 4)
+            .unwrap_err();
         let flushed: usize = sink.groups.lock().iter().map(Vec::len).sum();
         // Invariant: flushed + re-dirtied == claimed, at group granularity.
         assert_eq!(flushed, 4);
         assert_eq!(bm.dirty_count(txn), 4);
         // The healed sink flushes exactly the re-dirtied group.
         let healed = GroupSink::default();
-        bm.flush_txn_packed(txn, &healed, 1, 4).unwrap();
+        bm.flush_txn_packed(txn, &healed, &IoCore::new(1), 4)
+            .unwrap();
         assert_eq!(healed.groups.lock().iter().map(Vec::len).sum::<usize>(), 4);
         assert_eq!(bm.dirty_count(txn), 0);
     }
@@ -1223,7 +1227,7 @@ mod tests {
                     }
                 });
             }
-            scope.spawn(|| bm.flush_txn_parallel(txn, &sink, 4).unwrap());
+            scope.spawn(|| bm.flush_txn_parallel(txn, &sink, &IoCore::new(4)).unwrap());
         });
 
         // Same flushes as serial: same key set, all Commit, each exactly
@@ -1275,7 +1279,9 @@ mod tests {
             for p in 0..n_pages {
                 bm.put_dirty(key(1, p), page(p, 64), txn, &sink).unwrap();
             }
-            let err = bm.flush_txn_parallel(txn, &sink, workers).unwrap_err();
+            let err = bm
+                .flush_txn_parallel(txn, &sink, &IoCore::new(workers))
+                .unwrap_err();
             assert!(matches!(err, iq_common::IqError::Io(_)));
             // Accounting closes: every page either reached the sink or is
             // still tracked dirty under the transaction — none leaked into
@@ -1466,7 +1472,8 @@ mod tests {
             });
             sink.evict_entered.wait();
             // Commit in parallel with the parked eviction flush.
-            let committer = scope.spawn(move || bm.flush_txn_parallel(txn, sink_ref, 2));
+            let committer =
+                scope.spawn(move || bm.flush_txn_parallel(txn, sink_ref, &IoCore::new(2)));
             // Give the committer a moment to reach the wait, then release.
             std::thread::sleep(std::time::Duration::from_millis(20));
             assert!(
@@ -1560,7 +1567,8 @@ mod tests {
             let bm = &bm;
             let sink_ref = &sink;
             let stall = bm.shards[s_a].inner.lock();
-            let committer = scope.spawn(move || bm.flush_txn_parallel(txn, sink_ref, 2));
+            let committer =
+                scope.spawn(move || bm.flush_txn_parallel(txn, sink_ref, &IoCore::new(2)));
             // Phase 1a has claimed the dirty set once the index is empty;
             // phase 1b is now blocked on `stall`.
             while bm.dirty_count(txn) != 0 {

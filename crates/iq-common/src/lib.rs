@@ -19,8 +19,11 @@
 //!   bitmaps).
 //! * [`rng`] — small deterministic RNG helpers so every simulation is
 //!   reproducible from a seed.
-//! * [`pool`] — the shared scoped [`WorkerPool`] behind morsel-parallel
-//!   scans and the parallel commit-flush fan-out.
+//! * [`io`] — the submission/completion I/O core ([`IoCore`] plus the
+//!   shared [`IoStats`]) behind morsel-parallel scans, the parallel
+//!   commit-flush fan-out and the GC's batched deletes: operations are
+//!   *submitted* and their completions awaited, so in-flight depth is
+//!   bounded by submitted work rather than by blocked threads.
 //! * [`trace`] — the unified observability layer: a deterministic
 //!   structured-event journal timed by the virtual op-clock, plus the
 //!   [`MetricsRegistry`] subsystems expose counters through.
@@ -29,7 +32,7 @@ pub mod bitmap;
 pub mod clock;
 pub mod error;
 pub mod ids;
-pub mod pool;
+pub mod io;
 pub mod rng;
 pub mod trace;
 
@@ -39,7 +42,7 @@ pub use error::{IqError, IqResult};
 pub use ids::{
     BlockNum, DbSpaceId, NodeId, ObjectKey, PageId, PhysicalLocator, TableId, TxnId, VersionId,
 };
-pub use pool::{PoolRunStats, WorkerPool};
+pub use io::{IoCore, IoRunStats, IoStats, IoStatsSnapshot};
 pub use rng::DetRng;
 pub use trace::{EventKind, MetricValue, MetricsRegistry, TraceEvent};
 

@@ -260,7 +260,7 @@ pub enum EventKind {
     },
     /// GC: one batched deletion pass — eligible chain entries were drained
     /// together, their keys deduped and fanned out as multi-object
-    /// deletes over the worker pool.
+    /// deletes through the submission/completion I/O core.
     GcBatch {
         /// Cloud keys submitted for deletion in this pass.
         keys: u64,

@@ -4,6 +4,26 @@ use iq_common::{SimDuration, GIB, MIB};
 use iq_objectstore::{ConsistencyConfig, FaultPlan, RetryPolicy};
 use iq_storage::StorageConfig;
 
+/// How transaction-log appends reach durable storage.
+///
+/// The in-memory [`iq_txn::TxnLog`] is always the source of truth for
+/// recovery semantics; these modes add an *uploader* that mirrors
+/// appended records onto a strongly consistent log store, which is what
+/// makes commit-PUT traffic measurable. `Off` (the default) adds no
+/// uploader and leaves every existing trace and request count untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GroupCommitMode {
+    /// No durable log uploads (the pre-PR-7 behaviour).
+    #[default]
+    Off,
+    /// One PUT per commit record — the naive baseline the group-commit
+    /// ablation measures against.
+    PerAppend,
+    /// Group commit: a gather leader coalesces the commit records of
+    /// every concurrently committing transaction into one PUT.
+    Coalesced,
+}
+
 /// Configuration of a [`crate::Database`].
 #[derive(Debug, Clone)]
 pub struct DatabaseConfig {
@@ -59,6 +79,9 @@ pub struct DatabaseConfig {
     /// by fetching the whole composite and slicing client-side (`false` —
     /// the ablation that makes over-read bytes measurable).
     pub pack_ranged_gets: bool,
+    /// Durable transaction-log upload mode (the `--group-commit`
+    /// ablation). `Off` by default: no extra traffic, no trace changes.
+    pub group_commit: GroupCommitMode,
 }
 
 impl Default for DatabaseConfig {
@@ -83,6 +106,7 @@ impl Default for DatabaseConfig {
             fault: None,
             pack_pages: 16,
             pack_ranged_gets: true,
+            group_commit: GroupCommitMode::Off,
         }
     }
 }

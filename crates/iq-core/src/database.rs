@@ -7,10 +7,13 @@ use std::sync::Arc;
 use iq_buffer::{BufferManager, BufferOptions};
 use iq_common::trace::{MetricValue, MetricsRegistry};
 use iq_common::{
-    BlockNum, DbSpaceId, IqError, IqResult, NodeId, ObjectKey, SimDuration, TableId, TxnId,
+    BlockNum, DbSpaceId, IoCore, IoStats, IoStatsSnapshot, IqError, IqResult, NodeId, ObjectKey,
+    SimDuration, TableId, TxnId,
 };
 use iq_engine::{TableMeta, WorkMeter};
-use iq_objectstore::{BlockDeviceSim, FaultInjector, ObjectBackend, ObjectStoreSim};
+use iq_objectstore::{
+    BlockDeviceSim, FaultInjector, IoReactor, ObjectBackend, ObjectStoreSim, ReactorStore,
+};
 use iq_ocm::{Ocm, OcmConfig};
 use iq_snapshot::{RetainingSink, SnapshotManager};
 use iq_storage::{Catalog, DbSpace};
@@ -19,7 +22,8 @@ use iq_txn::{
 };
 use parking_lot::{Mutex, RwLock};
 
-use crate::config::DatabaseConfig;
+use crate::config::{DatabaseConfig, GroupCommitMode};
+use crate::group_commit::DurableLog;
 use crate::pager::Pager;
 use crate::sink::DatabaseSink;
 use crate::tablestore::TableStore;
@@ -58,6 +62,15 @@ pub struct Shared {
     metrics: Arc<MetricsRegistry>,
     /// Page-packing counters (the `pack.*` metrics source).
     pub pack_stats: PackStats,
+    /// Descriptor-level I/O accounting shared by the reactor, the scan
+    /// and flush fan-outs, and GC (the `io.*` metrics source).
+    pub io_stats: Arc<IoStats>,
+    /// The submission/completion reactor every cloud backend is routed
+    /// through (see `iq_objectstore::reactor`).
+    pub reactor: Arc<IoReactor>,
+    /// Durable transaction-log uploader, when `config.group_commit`
+    /// is not `Off`.
+    durable_log: Option<Arc<DurableLog>>,
 }
 
 /// Lifetime counters for the page-packing write/read path, exported as
@@ -375,6 +388,27 @@ fn register_core_metrics(shared: &Arc<Shared>) {
             ),
         ]
     });
+    let w = Arc::downgrade(shared);
+    shared.metrics.register("io", move || {
+        let Some(s) = w.upgrade() else {
+            return Vec::new();
+        };
+        let io = s.io_stats.snapshot();
+        vec![
+            ("submitted".into(), MetricValue::U64(io.submitted)),
+            ("completed".into(), MetricValue::U64(io.completed)),
+            ("failed".into(), MetricValue::U64(io.failed)),
+            (
+                "queue_depth_peak".into(),
+                MetricValue::U64(io.queue_depth_peak),
+            ),
+            ("in_flight_peak".into(), MetricValue::U64(io.in_flight_peak)),
+            (
+                "coalesced_appends".into(),
+                MetricValue::U64(io.coalesced_appends),
+            ),
+        ]
+    });
 }
 
 /// The flattened metric values for one device's request ledger (current
@@ -444,6 +478,22 @@ fn register_ocm_metrics(registry: &MetricsRegistry, ocm: &Arc<Ocm>, ssd: &Arc<Bl
     registry.register("ocm_ssd", move || {
         device_metric_values(&d.stats.snapshot(), d.stats.epoch())
     });
+}
+
+/// RAII release of compaction claims (see [`Database::compact_tick`]):
+/// dropping the guard returns every claimed composite to the
+/// GC/compaction candidate pool, on success, error, and panic paths
+/// alike. `release_claims` is idempotent per round, and the guard is
+/// the only releaser, so claims resolve exactly once.
+struct ClaimGuard {
+    registry: Arc<iq_txn::CompositeRegistry>,
+    keys: Vec<ObjectKey>,
+}
+
+impl Drop for ClaimGuard {
+    fn drop(&mut self) {
+        self.registry.release_claims(&self.keys);
+    }
 }
 
 /// Range provider for reader nodes: always refuses.
@@ -529,6 +579,21 @@ impl Database {
         let keygen = mx.coordinator.keygen()?;
         let txns = TransactionManager::new(Arc::clone(&log), Some(keygen));
         txns.set_gc_workers(config.scan_workers.max(1));
+        let io_stats = Arc::new(IoStats::new());
+        txns.set_io_stats(Arc::clone(&io_stats));
+        let reactor = Arc::new(IoReactor::with_stats(Arc::clone(&io_stats)));
+        let durable_log = match config.group_commit {
+            GroupCommitMode::Off => None,
+            mode => {
+                let dl = Arc::new(DurableLog::new(
+                    mode,
+                    Arc::clone(&reactor),
+                    Some(Arc::clone(&io_stats)),
+                ));
+                log.set_sink(Arc::clone(&dl) as Arc<dyn iq_txn::LogSink>);
+                Some(dl)
+            }
+        };
         let shared = Arc::new(Shared {
             buffer: BufferManager::with_options(config.buffer_bytes, buffer_options(&config)),
             txns,
@@ -551,6 +616,9 @@ impl Database {
             config,
             metrics: Arc::new(MetricsRegistry::new()),
             pack_stats: PackStats::default(),
+            io_stats,
+            reactor,
+            durable_log,
         });
         register_core_metrics(&shared);
         Ok(Self {
@@ -611,6 +679,13 @@ impl Database {
             }
             None => store.clone(),
         };
+        // Route every path to this store — dbspace reads/writes, OCM
+        // uploads, GC deletes — through the shared submission/completion
+        // reactor. Retry attempts submit individual descriptors, so
+        // per-descriptor fault injection falls out of the stacking
+        // order: retry → reactor → injector → sim.
+        let backend: Arc<dyn ObjectBackend> =
+            Arc::new(ReactorStore::new(Arc::clone(&self.shared.reactor), backend));
         let space = Arc::new(DbSpace::cloud(
             id,
             name,
@@ -808,6 +883,10 @@ impl Database {
     /// queue, log the RF/RB bitmaps, and garbage collect what the chain
     /// allows. Returns the commit sequence.
     pub fn commit(&self, txn: TxnId) -> IqResult<u64> {
+        // Group commit: register as an expected committer *before* any
+        // flushing, so a gather leader holds its batch open for us. The
+        // guard deregisters on every early-error path (rollback).
+        let _commit_window = self.shared.durable_log.as_ref().map(|dl| dl.enter_commit());
         let pager = self.pager(txn)?;
         // FlushForCommit semantics: the OCM prioritizes this transaction
         // and upgrades its writes to write-through from here on.
@@ -817,17 +896,14 @@ impl Database {
                 let _ = self.rollback_inner(txn, true);
             })?;
         }
-        // Fan the uploads across the worker pool — packed into composite
+        // Fan the uploads across the I/O core — packed into composite
         // objects of up to `pack_pages` pages (one PUT per group); the
         // buffer lock is no longer held across object-store writes.
+        let flush_io = IoCore::new(self.shared.config.scan_workers.max(1))
+            .with_stats(Arc::clone(&self.shared.io_stats));
         self.shared
             .buffer
-            .flush_txn_packed(
-                txn,
-                &pager,
-                self.shared.config.scan_workers.max(1),
-                self.shared.config.pack_pages.max(1),
-            )
+            .flush_txn_packed(txn, &pager, &flush_io, self.shared.config.pack_pages.max(1))
             .inspect_err(|_| {
                 let _ = self.rollback_inner(txn, true);
             })?;
@@ -959,6 +1035,14 @@ impl Database {
             return Ok(0);
         }
         let claimed: Vec<ObjectKey> = candidates.iter().map(|(k, _)| *k).collect();
+        // RAII: whatever happens inside this round — commit, rollback,
+        // an error return, or a panic unwinding out of the rewrite
+        // closure — the claims resolve exactly once. A leaked claim
+        // would hide the composite from GC and compaction forever.
+        let _claims = ClaimGuard {
+            registry: Arc::clone(self.shared.txns.composites()),
+            keys: claimed,
+        };
         let txn = self.begin();
         let run = || -> IqResult<usize> {
             let pager = self.pager(txn)?;
@@ -1027,10 +1111,9 @@ impl Database {
                 Err(e)
             }
         };
-        // Whatever happened, the claims resolve here: on success the
-        // donors are now fully dead and must become GC-visible; on
-        // failure they go back into the candidate pool.
-        self.shared.txns.composites().release_claims(&claimed);
+        // `_claims` drops here: on success the donors are now fully
+        // dead and become GC-visible; on failure they go back into the
+        // candidate pool.
         if let Ok(n) = &finished {
             if *n > 0 {
                 self.shared
@@ -1212,6 +1295,18 @@ impl Database {
         &self.shared.buffer.stats
     }
 
+    /// Snapshot of the submission/completion I/O core's counters (the
+    /// `io.*` metrics source).
+    pub fn io_stats(&self) -> IoStatsSnapshot {
+        self.shared.io_stats.snapshot()
+    }
+
+    /// The durable transaction-log uploader, when `config.group_commit`
+    /// is not `Off` (the group-commit ablation reads its counters).
+    pub fn durable_log(&self) -> Option<&Arc<DurableLog>> {
+        self.shared.durable_log.as_ref()
+    }
+
     /// The unified metrics registry. Subsystems register named sources at
     /// creation/reopen; external integrations may add their own.
     pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
@@ -1364,6 +1459,28 @@ impl Database {
             let keygen = mx.coordinator.keygen()?;
             let txns = TransactionManager::new(Arc::clone(&durable.log), Some(keygen));
             txns.set_gc_workers(config.scan_workers.max(1));
+            let io_stats = Arc::new(IoStats::new());
+            txns.set_io_stats(Arc::clone(&io_stats));
+            let reactor = Arc::new(IoReactor::with_stats(Arc::clone(&io_stats)));
+            // The log object survived the restart; rebind (or drop) its
+            // durability sink to match this instance's configuration.
+            let durable_log = match config.group_commit {
+                GroupCommitMode::Off => {
+                    durable.log.clear_sink();
+                    None
+                }
+                mode => {
+                    let dl = Arc::new(DurableLog::new(
+                        mode,
+                        Arc::clone(&reactor),
+                        Some(Arc::clone(&io_stats)),
+                    ));
+                    durable
+                        .log
+                        .set_sink(Arc::clone(&dl) as Arc<dyn iq_txn::LogSink>);
+                    Some(dl)
+                }
+            };
             let shared = Arc::new(Shared {
                 buffer: BufferManager::with_options(config.buffer_bytes, buffer_options(&config)),
                 txns,
@@ -1386,6 +1503,9 @@ impl Database {
                 config,
                 metrics: Arc::new(MetricsRegistry::new()),
                 pack_stats: PackStats::default(),
+                io_stats,
+                reactor,
+                durable_log,
             });
             register_core_metrics(&shared);
             Self {
@@ -1433,6 +1553,10 @@ impl Database {
                         }
                         None => store,
                     };
+                    // Same stacking as at create: retry → reactor →
+                    // injector → sim.
+                    let backend: Arc<dyn ObjectBackend> =
+                        Arc::new(ReactorStore::new(Arc::clone(&db.shared.reactor), backend));
                     Arc::new(DbSpace::cloud(
                         DbSpaceId(def.id),
                         &def.name,
@@ -1470,6 +1594,8 @@ impl Database {
                             Some(inj) => Arc::clone(inj) as Arc<dyn ObjectBackend>,
                             None => db.shared.cloud_stores.read()[&def.id].clone(),
                         };
+                    let backend: Arc<dyn ObjectBackend> =
+                        Arc::new(ReactorStore::new(Arc::clone(&db.shared.reactor), backend));
                     let bound = Arc::new(Ocm::new(
                         Arc::clone(&db.shared.ssd),
                         backend,

@@ -27,12 +27,14 @@
 pub mod config;
 pub mod database;
 pub mod encrypt;
+pub mod group_commit;
 pub mod pager;
 pub mod sink;
 pub mod tablestore;
 pub mod view;
 
-pub use config::DatabaseConfig;
+pub use config::{DatabaseConfig, GroupCommitMode};
 pub use database::Database;
+pub use group_commit::{DurableLog, DurableLogStats};
 pub use pager::Pager;
 pub use view::SnapshotView;

@@ -121,6 +121,10 @@ impl PageStore for Pager {
     fn scan_parallelism(&self) -> usize {
         self.shared.config.scan_workers.max(1)
     }
+
+    fn io_stats(&self) -> Option<std::sync::Arc<iq_common::IoStats>> {
+        Some(std::sync::Arc::clone(&self.shared.io_stats))
+    }
 }
 
 impl FlushSink for Pager {

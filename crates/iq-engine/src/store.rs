@@ -42,6 +42,14 @@ pub trait PageStore: Send + Sync {
     fn scan_parallelism(&self) -> usize {
         1
     }
+
+    /// The shared submission/completion counters scans should account
+    /// their morsel batches into (the `io.*` metrics source). Stores
+    /// backed by the full cloud stack return the database's [`IoStats`];
+    /// the default (test stores) accounts nothing.
+    fn io_stats(&self) -> Option<std::sync::Arc<iq_common::IoStats>> {
+        None
+    }
 }
 
 /// In-memory page store for engine unit tests.

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use bytes::Bytes;
 use iq_common::trace::{self, EventKind};
-use iq_common::{IqError, IqResult, PageId, TableId, TxnId, WorkerPool};
+use iq_common::{IoCore, IqError, IqResult, PageId, TableId, TxnId};
 use iq_storage::PageKind;
 use serde::{Deserialize, Serialize};
 
@@ -258,57 +258,64 @@ impl TableMeta {
         // pages to demand loads) instead of queueing behind SlowDowns.
         let admission = PrefetchAdmission::new(workers);
 
-        let chunks =
-            WorkerPool::new(workers).run_ordered(survivors.len(), |i| -> IqResult<Chunk> {
-                let window_end = (i + 1 + PREFETCH_DEPTH).min(survivors.len());
-                let issued = prefetch_cursor.fetch_max(window_end, Ordering::Relaxed);
-                if issued < window_end {
-                    if let Some(_ticket) = admission.admit(window_end - issued) {
-                        let upcoming: Vec<PageId> = survivors[issued..window_end]
-                            .iter()
-                            .flat_map(|&ng| needed.iter().map(move |&c| self.page_id(ng, c)))
-                            .collect();
-                        // Speculative read-ahead never fails the scan: a
-                        // throttle-class error shrinks the admission budget
-                        // and the pages arrive as demand loads instead; a
-                        // real fault resurfaces at the demand read below.
-                        match store.prefetch(self.id, &upcoming) {
-                            Ok(()) => admission.record_success(),
-                            Err(e) => admission.record_error(&e),
-                        }
-                    }
-                }
-                if i > 0 {
-                    // The worker that claimed this group's prefetch may not
-                    // have loaded it yet; loading it here (as a prefetch,
-                    // no-op when already cached) keeps the metered
-                    // demand/prefetch split identical to the serial scan
-                    // instead of depending on which worker wins the race.
-                    // Never gated — only speculative windows are shed.
-                    let own: Vec<PageId> = needed
+        // Every surviving morsel is submitted to the I/O core up front:
+        // in-flight depth is the submitted batch, not the lane count, so
+        // the `io.*` in-flight peak reports survivors — the io_uring-style
+        // depth — while execution is carried by `workers` lanes.
+        let mut io = IoCore::new(workers);
+        if let Some(stats) = store.io_stats() {
+            io = io.with_stats(stats);
+        }
+        let chunks = io.run_ordered(survivors.len(), |i| -> IqResult<Chunk> {
+            let window_end = (i + 1 + PREFETCH_DEPTH).min(survivors.len());
+            let issued = prefetch_cursor.fetch_max(window_end, Ordering::Relaxed);
+            if issued < window_end {
+                if let Some(_ticket) = admission.admit(window_end - issued) {
+                    let upcoming: Vec<PageId> = survivors[issued..window_end]
                         .iter()
-                        .map(|&c| self.page_id(survivors[i], c))
+                        .flat_map(|&ng| needed.iter().map(move |&c| self.page_id(ng, c)))
                         .collect();
-                    if let Err(e) = store.prefetch(self.id, &own) {
-                        admission.record_error(&e);
+                    // Speculative read-ahead never fails the scan: a
+                    // throttle-class error shrinks the admission budget
+                    // and the pages arrive as demand loads instead; a
+                    // real fault resurfaces at the demand read below.
+                    match store.prefetch(self.id, &upcoming) {
+                        Ok(()) => admission.record_success(),
+                        Err(e) => admission.record_error(&e),
                     }
                 }
-                let chunk = self.read_group(store, survivors[i], &needed, meter)?;
-                meter.add(cost::FILTER * chunk.len() as u64);
-                let filtered = match pred {
-                    Some(p) => {
-                        let mask = p.eval_mask(&chunk, &remap)?;
-                        chunk.filter(&mask)
-                    }
-                    None => chunk,
-                };
-                trace::emit(EventKind::ScanMorsel {
-                    table: self.id.0 as u64,
-                    group: survivors[i] as u64,
-                    rows: filtered.len() as u64,
-                });
-                Ok(filtered.project(&proj_idx))
-            })?;
+            }
+            if i > 0 {
+                // The worker that claimed this group's prefetch may not
+                // have loaded it yet; loading it here (as a prefetch,
+                // no-op when already cached) keeps the metered
+                // demand/prefetch split identical to the serial scan
+                // instead of depending on which worker wins the race.
+                // Never gated — only speculative windows are shed.
+                let own: Vec<PageId> = needed
+                    .iter()
+                    .map(|&c| self.page_id(survivors[i], c))
+                    .collect();
+                if let Err(e) = store.prefetch(self.id, &own) {
+                    admission.record_error(&e);
+                }
+            }
+            let chunk = self.read_group(store, survivors[i], &needed, meter)?;
+            meter.add(cost::FILTER * chunk.len() as u64);
+            let filtered = match pred {
+                Some(p) => {
+                    let mask = p.eval_mask(&chunk, &remap)?;
+                    chunk.filter(&mask)
+                }
+                None => chunk,
+            };
+            trace::emit(EventKind::ScanMorsel {
+                table: self.id.0 as u64,
+                group: survivors[i] as u64,
+                rows: filtered.len() as u64,
+            });
+            Ok(filtered.project(&proj_idx))
+        })?;
 
         let mut out = Chunk::default();
         for chunk in &chunks {

@@ -301,14 +301,19 @@ impl ObjectBackend for ObjectStoreSim {
             trace::emit(EventKind::ObjectGetMiss { key: key.offset() });
             return Err(IqError::ObjectNotFound(key));
         };
-        let start = offset as usize;
-        let end = start + len as usize;
-        if end > data.len() {
+        // Widen before adding: `offset + len` can exceed u32::MAX (and
+        // usize on 32-bit targets); a request past EOF is a *permanent*
+        // `Invalid` — retrying it can never succeed, and the retry layer
+        // must return it immediately rather than loop.
+        let start = offset as u64;
+        let end = start + len as u64;
+        if end > data.len() as u64 {
             return Err(IqError::Invalid(format!(
                 "range {start}..{end} exceeds object {key} of {} bytes",
                 data.len()
             )));
         }
+        let (start, end) = (start as usize, end as usize);
         // One GET request moving exactly `len` bytes: the point of packing.
         self.stats
             .record_prefixed(IoOp::Get, len as u64, Some(key.hashed_prefix()));

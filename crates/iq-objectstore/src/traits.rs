@@ -53,16 +53,18 @@ pub trait ObjectBackend: Send + Sync {
     fn get_range(&self, key: ObjectKey, offset: u32, len: u32) -> IqResult<RangeRead> {
         let full = self.get(key)?;
         let fetched = full.len() as u64;
-        let start = offset as usize;
-        let end = start + len as usize;
-        if end > full.len() {
+        // Widen before adding: `offset + len` can exceed u32::MAX (and
+        // usize on 32-bit targets).
+        let start = offset as u64;
+        let end = start + len as u64;
+        if end > full.len() as u64 {
             return Err(iq_common::IqError::Invalid(format!(
                 "range {start}..{end} exceeds object {key} of {} bytes",
                 full.len()
             )));
         }
         Ok(RangeRead {
-            data: full.slice(start..end),
+            data: full.slice(start as usize..end as usize),
             fetched,
         })
     }

@@ -60,6 +60,10 @@ pub struct CompositeStats {
     /// Member frees naming a key the registry does not know. Should stay
     /// zero; a nonzero count means a composite leaked past recovery.
     pub unknown_member_frees: u64,
+    /// Registrations rejected for having an empty member slice. Should
+    /// stay zero; a nonzero count means a writer tried to register a
+    /// composite with no members (see [`CompositeRegistry::register`]).
+    pub rejected_empty: u64,
     /// Sum of live fractions observed when compaction claimed a composite
     /// (divide by `compaction_claims` for the mean the metrics export).
     pub live_fraction_sum_at_claim: f64,
@@ -90,11 +94,42 @@ impl CompositeRegistry {
 
     /// Register a composite's member layout. Idempotent: recovery replays
     /// commit records that may already be registered.
+    ///
+    /// An empty member slice is rejected (counted in
+    /// [`CompositeStats::rejected_empty`]): a member-less composite would
+    /// be *vacuously* fully dead — every death bit in an empty vector is
+    /// trivially set — so the very next GC tick would delete a
+    /// just-written object out from under its writer.
+    ///
+    /// # Keying
+    ///
+    /// The registry is database-global and keyed by the composite's
+    /// object-key *offset* alone — no dbspace id. That is sound because
+    /// every cloud dbspace draws keys from the single Object Key
+    /// Generator, whose offsets are allocated monotonically and never
+    /// reused (§3.2's never-write-twice invariant): two dbspaces can
+    /// never hold composites with the same offset. Member byte offsets
+    /// within one composite are likewise unique — each member occupies a
+    /// disjoint range — which [`Self::mark_member_dead`]'s
+    /// position-by-offset lookup relies on; a debug assertion pins both
+    /// properties here.
     pub fn register(&self, key: ObjectKey, members: &[PackMember]) {
         let mut g = self.inner.lock();
+        if members.is_empty() {
+            g.stats.rejected_empty += 1;
+            return;
+        }
         if g.composites.contains_key(&key.offset()) {
             return;
         }
+        debug_assert!(
+            {
+                let mut offs: Vec<u32> = members.iter().map(|m| m.offset).collect();
+                offs.sort_unstable();
+                offs.windows(2).all(|w| w[0] != w[1])
+            },
+            "composite {key:?} registered with duplicate member byte offsets"
+        );
         g.composites.insert(
             key.offset(),
             CompositeInfo {
@@ -110,6 +145,11 @@ impl CompositeRegistry {
     /// `key_offset`. Idempotent per member; a free naming an unknown key
     /// is counted but otherwise ignored (the object, if it exists, leaks
     /// until the next recovery sweep — never a correctness hazard).
+    ///
+    /// `key_offset` alone identifies the composite across every dbspace,
+    /// and `offset` alone identifies the member within it — see the
+    /// keying note on [`Self::register`] for why both lookups are
+    /// collision-free.
     pub fn mark_member_dead(&self, key_offset: u64, offset: u32) {
         let mut g = self.inner.lock();
         let Some(info) = g.composites.get_mut(&key_offset) else {
@@ -327,6 +367,46 @@ mod tests {
         let stats = reg.stats();
         assert_eq!(stats.compaction_claims, 1);
         assert!((stats.live_fraction_sum_at_claim - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_member_slice_is_rejected_not_vacuously_dead() {
+        let reg = CompositeRegistry::new();
+        // Regression: an empty composite used to register with an empty
+        // death vector, making it "fully dead" by vacuity — the next GC
+        // tick would then delete the just-written object.
+        reg.register(key(7), &[]);
+        assert!(reg.is_empty(), "empty layout must not register");
+        assert!(reg.fully_dead_pending().is_empty());
+        assert!(!reg.has_fully_dead());
+        assert_eq!(reg.stats().rejected_empty, 1);
+        assert_eq!(reg.stats().registered, 0);
+        // A later, well-formed registration under the same key works.
+        reg.register(key(7), &[member(1, 0)]);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.stats().registered, 1);
+    }
+
+    #[test]
+    fn key_offsets_distinguish_composites_across_spaces() {
+        // The registry carries no dbspace id: the single Object Key
+        // Generator hands out monotone, never-reused offsets, so
+        // composites born on different dbspaces always have distinct
+        // key offsets. Deaths routed by (key_offset, member offset)
+        // therefore never cross-talk even when member layouts collide.
+        let reg = CompositeRegistry::new();
+        let layout = [member(1, 0), member(2, 512)];
+        reg.register(key(100), &layout); // "dbspace 1"
+        reg.register(key(200), &layout); // "dbspace 2", same byte layout
+        reg.mark_member_dead(100, 0);
+        reg.mark_member_dead(100, 512);
+        assert_eq!(reg.fully_dead_pending(), vec![key(100)]);
+        assert_eq!(
+            reg.live_fraction(key(200)),
+            Some(1.0),
+            "deaths on one composite must not leak onto the other"
+        );
+        assert_eq!(reg.stats().unknown_member_frees, 0);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod rfrb;
 
 pub use composites::{CompositeRegistry, CompositeStats};
 pub use keygen::{KeyGenerator, KeyRange, NodeKeyCache, RangeProvider};
-pub use log::{LogRecord, TxnLog};
+pub use log::{LogRecord, LogSink, TxnLog};
 pub use manager::{
     BulkDeleteOutcome, DeletionSink, GcStats, GcStatsSnapshot, ImmediateDeletion,
     TransactionManager, TxnOutcome,

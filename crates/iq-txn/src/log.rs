@@ -60,10 +60,35 @@ pub enum LogRecord {
     },
 }
 
+/// A durability hook invoked for every appended record, *after* the
+/// in-memory append completed and the log's internal lock was released.
+///
+/// The group-commit uploader implements this: a sink may block (a gather
+/// leader waits for concurrent committers to arrive), so it must never
+/// run under the log lock — otherwise a waiting leader would stop every
+/// other thread from reaching its own append and deadlock the gather.
+/// Consequently the `LogAppend` trace event (emitted under the lock, in
+/// append order) and the sink's uploads may interleave differently under
+/// concurrency; single-threaded callers see identical order.
+pub trait LogSink: Send + Sync {
+    /// `record` was appended as `lsn`.
+    fn append(&self, record: &LogRecord, lsn: u64);
+}
+
 /// Append-only shared transaction log.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct TxnLog {
     inner: Mutex<LogInner>,
+    sink: Mutex<Option<std::sync::Arc<dyn LogSink>>>,
+}
+
+impl std::fmt::Debug for TxnLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnLog")
+            .field("records", &self.len())
+            .field("sink", &self.sink.lock().is_some())
+            .finish()
+    }
 }
 
 #[derive(Debug, Default)]
@@ -79,23 +104,48 @@ impl TxnLog {
         Self::default()
     }
 
+    /// Install the durability sink mirroring appends to storage. Appends
+    /// racing the installation may miss the sink; install before serving
+    /// traffic.
+    pub fn set_sink(&self, sink: std::sync::Arc<dyn LogSink>) {
+        *self.sink.lock() = Some(sink);
+    }
+
+    /// Remove the durability sink. The log object survives simulated
+    /// restarts; a reopen that disables durable uploads must not keep
+    /// feeding the previous instance's sink.
+    pub fn clear_sink(&self) {
+        *self.sink.lock() = None;
+    }
+
     /// Append a record; returns its log sequence number.
     pub fn append(&self, record: LogRecord) -> u64 {
-        let mut g = self.inner.lock();
-        if matches!(record, LogRecord::Checkpoint { .. }) {
-            g.last_checkpoint = Some(g.records.len());
-        }
-        let kind = match record {
-            LogRecord::Checkpoint { .. } => "Checkpoint",
-            LogRecord::AllocateRange { .. } => "AllocateRange",
-            LogRecord::Commit { .. } => "Commit",
+        let sink = self.sink.lock().clone();
+        // Clone for the sink only when one is installed — the default
+        // (no durable log) pays nothing.
+        let mirrored = sink.as_ref().map(|_| record.clone());
+        let lsn = {
+            let mut g = self.inner.lock();
+            if matches!(record, LogRecord::Checkpoint { .. }) {
+                g.last_checkpoint = Some(g.records.len());
+            }
+            let kind = match record {
+                LogRecord::Checkpoint { .. } => "Checkpoint",
+                LogRecord::AllocateRange { .. } => "AllocateRange",
+                LogRecord::Commit { .. } => "Commit",
+            };
+            g.records.push(record);
+            let lsn = (g.records.len() - 1) as u64;
+            trace::emit(EventKind::LogAppend {
+                record: kind.into(),
+                lsn,
+            });
+            lsn
         };
-        g.records.push(record);
-        let lsn = (g.records.len() - 1) as u64;
-        trace::emit(EventKind::LogAppend {
-            record: kind.into(),
-            lsn,
-        });
+        // The sink runs outside the log lock; see [`LogSink`].
+        if let Some(sink) = sink {
+            sink.append(&mirrored.expect("mirrored with sink"), lsn);
+        }
         lsn
     }
 

@@ -19,8 +19,8 @@ use std::sync::Arc;
 
 use iq_common::trace::{self, EventKind};
 use iq_common::{
-    BlockNum, DbSpaceId, IqError, IqResult, KeySet, NodeId, ObjectKey, PhysicalLocator, TxnId,
-    WorkerPool,
+    BlockNum, DbSpaceId, IoCore, IoStats, IqError, IqResult, KeySet, NodeId, ObjectKey,
+    PhysicalLocator, TxnId,
 };
 use iq_storage::DbSpace;
 use parking_lot::Mutex;
@@ -315,8 +315,11 @@ pub struct TransactionManager {
     log: Arc<TxnLog>,
     /// Commit notifications trim the coordinator's active sets.
     keygen: Option<Arc<KeyGenerator>>,
-    /// Worker-pool width for the GC's delete fan-out.
+    /// Execution-lane width for the GC's delete fan-out.
     gc_workers: AtomicUsize,
+    /// Shared submission/completion counters (the database's `io.*`
+    /// source) the GC's delete batches account into, when attached.
+    io_stats: Mutex<Option<Arc<IoStats>>>,
     /// Counters behind the `gc.*` metrics source.
     gc_stats: GcStats,
     /// Live-member refcounts of composite (packed) objects.
@@ -334,14 +337,21 @@ impl TransactionManager {
             log,
             keygen,
             gc_workers: AtomicUsize::new(1),
+            io_stats: Mutex::new(None),
             gc_stats: GcStats::default(),
             composites: Arc::new(CompositeRegistry::new()),
         }
     }
 
-    /// Set how many workers fan out the GC's delete batches.
+    /// Set how many execution lanes fan out the GC's delete batches.
     pub fn set_gc_workers(&self, workers: usize) {
         self.gc_workers.store(workers.max(1), Ordering::Relaxed);
+    }
+
+    /// Attach the database's shared `io.*` counters so GC delete batches
+    /// account their submission depth alongside scans and flushes.
+    pub fn set_io_stats(&self, stats: Arc<IoStats>) {
+        *self.io_stats.lock() = Some(stats);
     }
 
     /// The composite registry (the pack GC's refcount bookkeeping).
@@ -682,8 +692,11 @@ impl TransactionManager {
             .map(<[PhysicalLocator]>::to_vec)
             .collect();
         let workers = self.gc_workers.load(Ordering::Relaxed).max(1);
-        let pool = WorkerPool::new(workers.min(key_batches.len().max(1)));
-        let (res, pstats) = pool.run_ordered_with_stats(key_batches.len(), |i| {
+        let mut io = IoCore::new(workers.min(key_batches.len().max(1)));
+        if let Some(stats) = self.io_stats.lock().clone() {
+            io = io.with_stats(stats);
+        }
+        let (res, pstats) = io.run_ordered_with_stats(key_batches.len(), |i| {
             Ok::<_, IqError>(sink.delete_pages(CLOUD_SPACE_SENTINEL, &key_batches[i]))
         });
         let outcomes = res.expect("gc batch tasks are infallible");

@@ -21,7 +21,8 @@ use std::sync::Arc;
 use bytes::Bytes;
 use iq_buffer::{BufferManager, FlushCause, FlushSink, FrameKey};
 use iq_common::{
-    DbSpaceId, IqResult, NodeId, ObjectKey, PageId, PhysicalLocator, TableId, TxnId, VersionId,
+    DbSpaceId, IoCore, IqResult, NodeId, ObjectKey, PageId, PhysicalLocator, TableId, TxnId,
+    VersionId,
 };
 use iq_objectstore::{
     ConsistencyConfig, FaultInjector, FaultPlan, ObjectBackend, ObjectStoreSim, RetryPolicy,
@@ -197,7 +198,7 @@ fn crash_mid_parallel_flush() {
         bm.put_dirty(fk, page(i, 0x22), txn, &sink).unwrap();
     }
     inj.arm_crash(8);
-    let err = bm.flush_txn_parallel(txn, &sink, 4);
+    let err = bm.flush_txn_parallel(txn, &sink, &IoCore::new(4));
     assert!(err.is_err(), "mid-flush crash must surface to the caller");
     let landed: Vec<ObjectKey> = sink.written.lock().clone();
     assert!(landed.len() < 20, "the cut stopped part of the fan-out");
