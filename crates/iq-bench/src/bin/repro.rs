@@ -37,6 +37,9 @@ fn main() {
                                     sweep 1/4/16/64 + whole-object-GET leg)\n\
                        --group-commit  coalesced transaction-log appends vs one\n\
                                     PUT per record, committer sweep 1/4/8\n\
+                       --recovery   durable-log replay recovery drill: commits\n\
+                                    under a cut log store error and reconcile\n\
+                                    away at reopen\n\
                        --faults     fault sweep: retry/backoff under a flaky store\n\
                        --explain    time-model phase totals + folded event journal\n\n\
                      MACHINE-READABLE MODES (exit after running; stdout is the artifact):\n\
@@ -50,11 +53,12 @@ fn main() {
                                        and backoff counters)\n\n\
                      --sf sets the functional scale factor (default 0.01);\n\
                      results are projected to the paper's SF 1000.\n\n\
-                     The --gc, --cache, --pack and --group-commit sections\n\
-                     also write their measurement rows to BENCH_gc.json /\n\
-                     BENCH_cache.json / BENCH_pack.json /\n\
-                     BENCH_group_commit.json in the working directory, so the\n\
-                     perf trajectory is tracked PR-over-PR."
+                     The --gc, --cache, --pack, --group-commit and --recovery\n\
+                     sections also write their measurement rows to\n\
+                     BENCH_gc.json / BENCH_cache.json / BENCH_pack.json /\n\
+                     BENCH_group_commit.json / BENCH_recovery.json in the\n\
+                     working directory, so the perf trajectory is tracked\n\
+                     PR-over-PR."
                 );
                 return;
             }
@@ -162,6 +166,9 @@ fn main() {
         if !want("group-commit") {
             reports.push(experiments::ablation_group_commit(sf).expect("ablation_group_commit"));
         }
+        if !want("recovery") {
+            reports.push(experiments::ablation_recovery(sf).expect("ablation_recovery"));
+        }
     }
     if want("gc") {
         let m = experiments::gc_batching_measurements(sf).expect("gc_batching_measurements");
@@ -182,6 +189,11 @@ fn main() {
         let m = experiments::group_commit_measurements(sf).expect("group_commit_measurements");
         write_bench("group_commit", sf, &m);
         reports.push(experiments::report_group_commit(&m));
+    }
+    if want("recovery") {
+        let m = experiments::recovery_measurements(sf).expect("recovery_measurements");
+        write_bench("recovery", sf, &m);
+        reports.push(experiments::report_recovery(&m));
     }
     for r in &reports {
         println!("{}", r.to_text());

@@ -82,6 +82,12 @@ pub struct DatabaseConfig {
     /// Durable transaction-log upload mode (the `--group-commit`
     /// ablation). `Off` by default: no extra traffic, no trace changes.
     pub group_commit: GroupCommitMode,
+    /// Scripted fault schedule for the *durable-log* store, independent
+    /// of [`Self::fault`] so log PUTs can be failed without perturbing
+    /// data-store fault streams (and vice versa). `None` runs the log
+    /// store faultless. Only meaningful when `group_commit` is not
+    /// `Off`.
+    pub log_fault: Option<FaultPlan>,
 }
 
 impl Default for DatabaseConfig {
@@ -107,6 +113,7 @@ impl Default for DatabaseConfig {
             pack_pages: 16,
             pack_ranged_gets: true,
             group_commit: GroupCommitMode::Off,
+            log_fault: None,
         }
     }
 }

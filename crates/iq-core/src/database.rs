@@ -71,6 +71,34 @@ pub struct Shared {
     /// Durable transaction-log uploader, when `config.group_commit`
     /// is not `Off`.
     durable_log: Option<Arc<DurableLog>>,
+    /// Durable-log recovery counters from the most recent `reopen`
+    /// (part of the `log.*` metrics source; zeros on a fresh create).
+    pub log_recovery: LogRecoveryStats,
+}
+
+/// Counters describing what durable-log recovery did at `reopen` time
+/// (see [`crate::log_recovery`]). Exported under `log.*`.
+#[derive(Debug, Default)]
+pub struct LogRecoveryStats {
+    /// GETs issued against the log store while reconstructing the
+    /// durable record stream.
+    pub recovery_gets: AtomicU64,
+    /// Records reconstructed from the durable stream.
+    pub replayed_records: AtomicU64,
+    /// In-memory commit records dropped because their transaction was
+    /// not durably committed.
+    pub reconciled_drops: AtomicU64,
+}
+
+impl LogRecoveryStats {
+    fn record(&self, report: &crate::log_recovery::RecoveryReport) {
+        self.recovery_gets
+            .store(report.recovery_gets, Ordering::Relaxed);
+        self.replayed_records
+            .store(report.replayed_records, Ordering::Relaxed);
+        self.reconciled_drops
+            .store(report.reconciled_drops, Ordering::Relaxed);
+    }
 }
 
 /// Lifetime counters for the page-packing write/read path, exported as
@@ -409,6 +437,48 @@ fn register_core_metrics(shared: &Arc<Shared>) {
             ),
         ]
     });
+    let w = Arc::downgrade(shared);
+    // Always registered — with the durable log off the upload counters
+    // read zero — so observability schema checks see a stable key set.
+    shared.metrics.register("log", move || {
+        let Some(s) = w.upgrade() else {
+            return Vec::new();
+        };
+        let dl = s
+            .durable_log
+            .as_ref()
+            .map(|d| d.stats())
+            .unwrap_or_default();
+        let r = &s.log_recovery;
+        vec![
+            ("records".into(), MetricValue::U64(s.log.len() as u64)),
+            ("appends".into(), MetricValue::U64(dl.appends)),
+            ("puts".into(), MetricValue::U64(dl.puts)),
+            ("put_failures".into(), MetricValue::U64(dl.put_failures)),
+            (
+                "coalesced_records".into(),
+                MetricValue::U64(dl.coalesced_records),
+            ),
+            (
+                "gathered_batches".into(),
+                MetricValue::U64(dl.gathered_batches),
+            ),
+            ("max_batch".into(), MetricValue::U64(dl.max_batch)),
+            ("deregistered".into(), MetricValue::U64(dl.deregistered)),
+            (
+                "recovery_gets".into(),
+                MetricValue::U64(r.recovery_gets.load(Ordering::Relaxed)),
+            ),
+            (
+                "replayed_records".into(),
+                MetricValue::U64(r.replayed_records.load(Ordering::Relaxed)),
+            ),
+            (
+                "reconciled_drops".into(),
+                MetricValue::U64(r.reconciled_drops.load(Ordering::Relaxed)),
+            ),
+        ]
+    });
 }
 
 /// The flattened metric values for one device's request ledger (current
@@ -589,6 +659,8 @@ impl Database {
                     mode,
                     Arc::clone(&reactor),
                     Some(Arc::clone(&io_stats)),
+                    config.retry,
+                    config.log_fault,
                 ));
                 log.set_sink(Arc::clone(&dl) as Arc<dyn iq_txn::LogSink>);
                 Some(dl)
@@ -619,6 +691,7 @@ impl Database {
             io_stats,
             reactor,
             durable_log,
+            log_recovery: LogRecoveryStats::default(),
         });
         register_core_metrics(&shared);
         Ok(Self {
@@ -952,7 +1025,13 @@ impl Database {
         // committed chain. Reclamation runs through the budgeted driver
         // ([`Self::gc_tick`] / [`Self::gc_drain`]), so commit latency no
         // longer includes the deletion fan-out.
-        let seq = self.shared.txns.commit_deferred(txn)?;
+        //
+        // `commit_deferred` appends the commit record durably: if the
+        // durable-log PUT fails past its retry budget, the commit fails
+        // here and rolls back exactly like a blockmap-cascade failure.
+        let seq = self.shared.txns.commit_deferred(txn).inspect_err(|_| {
+            let _ = self.rollback_inner(txn, true);
+        })?;
         self.shared
             .catalog
             .lock()
@@ -1307,6 +1386,12 @@ impl Database {
         self.shared.durable_log.as_ref()
     }
 
+    /// The shared in-memory transaction log (tests and the recovery
+    /// bench compare it against the durable stream).
+    pub fn txn_log(&self) -> &Arc<TxnLog> {
+        &self.shared.log
+    }
+
     /// The unified metrics registry. Subsystems register named sources at
     /// creation/reopen; external integrations may add their own.
     pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
@@ -1425,6 +1510,13 @@ impl Database {
             log: Arc::clone(&self.shared.log),
             cloud_stores: self.shared.cloud_stores.read().clone(),
             block_devices: self.shared.block_devices.read().clone(),
+            // The durable-log *store* survives like any other backend;
+            // the uploader wrapped around it is volatile.
+            log_store: self
+                .shared
+                .durable_log
+                .as_ref()
+                .map(|dl| Arc::clone(dl.sim())),
         }
     }
 
@@ -1437,6 +1529,15 @@ impl Database {
     /// can never commit.
     pub fn reopen(durable: DurableState, config: DatabaseConfig) -> IqResult<Self> {
         let catalog = Catalog::load(durable.system.as_ref(), BlockNum(0))?;
+        // When the previous life mirrored the log durably, the durable
+        // stream is authoritative for commits: reconcile the in-memory
+        // log against it BEFORE any replay consumer runs (OKG recovery,
+        // freelist restore, composite rebuild) — an un-durable commit
+        // must not resurrect.
+        let recovery = match &durable.log_store {
+            Some(store) => crate::log_recovery::reconcile(&durable.log, store)?,
+            None => crate::log_recovery::RecoveryReport::default(),
+        };
         let db = {
             // Build the volatile shell around the durable parts.
             let block = config.storage.block_size();
@@ -1445,7 +1546,8 @@ impl Database {
                 (config.ocm_bytes / block as u64).max(1),
             ));
             let mx = Multiplex::new(Arc::clone(&durable.log), config.writers, config.readers);
-            // Recover the key generator from the log before serving.
+            // Recover the key generator from the (reconciled) log
+            // before serving.
             mx.coordinator.recover();
             let immediate_sink = Arc::new(DatabaseSink::new());
             let snapshots = config.retention.map(|r| Arc::new(SnapshotManager::new(r)));
@@ -1470,11 +1572,40 @@ impl Database {
                     None
                 }
                 mode => {
-                    let dl = Arc::new(DurableLog::new(
-                        mode,
-                        Arc::clone(&reactor),
-                        Some(Arc::clone(&io_stats)),
-                    ));
+                    let dl = match &durable.log_store {
+                        Some(sim) => {
+                            // The log store survived: open a fresh stats
+                            // epoch (like the other surviving backends,
+                            // so post-recovery metrics exclude pre-crash
+                            // log traffic) and resume key allocation
+                            // above its live keys.
+                            sim.stats.begin_epoch();
+                            Arc::new(DurableLog::over_store(
+                                mode,
+                                Arc::clone(&reactor),
+                                Some(Arc::clone(&io_stats)),
+                                config.retry,
+                                config.log_fault,
+                                Arc::clone(sim),
+                            ))
+                        }
+                        None => {
+                            let dl = Arc::new(DurableLog::new(
+                                mode,
+                                Arc::clone(&reactor),
+                                Some(Arc::clone(&io_stats)),
+                                config.retry,
+                                config.log_fault,
+                            ));
+                            // Uploads newly enabled over a log with
+                            // history: mirror it so the durable stream
+                            // stays a superset of memory (otherwise the
+                            // next reconciliation would drop every
+                            // pre-existing commit).
+                            dl.bootstrap(&durable.log.all_records())?;
+                            dl
+                        }
+                    };
                     durable
                         .log
                         .set_sink(Arc::clone(&dl) as Arc<dyn iq_txn::LogSink>);
@@ -1506,7 +1637,9 @@ impl Database {
                 io_stats,
                 reactor,
                 durable_log,
+                log_recovery: LogRecoveryStats::default(),
             });
+            shared.log_recovery.record(&recovery);
             register_core_metrics(&shared);
             Self {
                 shared,
@@ -1768,4 +1901,8 @@ pub struct DurableState {
     log: Arc<TxnLog>,
     cloud_stores: HashMap<u32, Arc<ObjectStoreSim>>,
     block_devices: HashMap<u32, Arc<BlockDeviceSim>>,
+    /// The durable-log store, when the previous life ran an uploader.
+    /// Recovery reads the record stream back from here and a reopening
+    /// uploader resumes key allocation above its live keys.
+    log_store: Option<Arc<ObjectStoreSim>>,
 }

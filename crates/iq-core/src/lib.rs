@@ -28,6 +28,7 @@ pub mod config;
 pub mod database;
 pub mod encrypt;
 pub mod group_commit;
+pub mod log_recovery;
 pub mod pager;
 pub mod sink;
 pub mod tablestore;
@@ -35,6 +36,7 @@ pub mod view;
 
 pub use config::{DatabaseConfig, GroupCommitMode};
 pub use database::Database;
-pub use group_commit::{DurableLog, DurableLogStats};
+pub use group_commit::{CommitOutcome, DurableLog, DurableLogStats};
+pub use log_recovery::RecoveryReport;
 pub use pager::Pager;
 pub use view::SnapshotView;

@@ -48,7 +48,17 @@ pub struct PrefetchAdmission {
 impl PrefetchAdmission {
     /// Controller for a scan running on `workers` morsel workers.
     pub fn new(workers: usize) -> Self {
-        let max = workers.max(1) * PREFETCH_DEPTH;
+        Self::for_depth(workers)
+    }
+
+    /// Controller sized from the scan's I/O submission depth — how many
+    /// morsels the reactor-era scan site actually submits up front —
+    /// rather than from worker count. With the submission/completion
+    /// core a scan keeps every survivor morsel in flight at once, so
+    /// the ceiling must scale with that depth or deep scans on few
+    /// workers would shed speculative windows even fault-free.
+    pub fn for_depth(depth: usize) -> Self {
+        let max = depth.max(1) * PREFETCH_DEPTH;
         Self {
             max,
             limit: AtomicUsize::new(max),

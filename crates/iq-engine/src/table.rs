@@ -256,7 +256,10 @@ impl TableMeta {
         // Speculative windows pass through admission: bounded in flight,
         // AIMD-shrunk when the store throttles, shed (degrading those
         // pages to demand loads) instead of queueing behind SlowDowns.
-        let admission = PrefetchAdmission::new(workers);
+        // Sized from the IoCore submission depth (all survivors are
+        // submitted up front, below), floored at the worker count so a
+        // fault-free scan never sheds whatever the morsel count.
+        let admission = PrefetchAdmission::for_depth(survivors.len().max(workers));
 
         // Every surviving morsel is submitted to the I/O core up front:
         // in-flight depth is the submitted batch, not the lane count, so

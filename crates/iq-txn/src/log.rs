@@ -70,9 +70,15 @@ pub enum LogRecord {
 /// Consequently the `LogAppend` trace event (emitted under the lock, in
 /// append order) and the sink's uploads may interleave differently under
 /// concurrency; single-threaded callers see identical order.
+///
+/// An `Err` means the record did **not** reach durable storage (the
+/// upload failed past its retry budget). Callers on the commit path use
+/// [`TxnLog::append_durable`] to observe it; metadata appends via
+/// [`TxnLog::append`] keep the in-memory record regardless and rely on
+/// reopen-time reconciliation against the durable stream.
 pub trait LogSink: Send + Sync {
-    /// `record` was appended as `lsn`.
-    fn append(&self, record: &LogRecord, lsn: u64);
+    /// `record` was appended as `lsn`; returns whether it became durable.
+    fn append(&self, record: &LogRecord, lsn: u64) -> IqResult<()>;
 }
 
 /// Append-only shared transaction log.
@@ -118,8 +124,26 @@ impl TxnLog {
         *self.sink.lock() = None;
     }
 
-    /// Append a record; returns its log sequence number.
+    /// Append a record; returns its log sequence number. A sink failure
+    /// is swallowed here (the in-memory record stands and reopen-time
+    /// reconciliation squares it with the durable stream) — commit
+    /// records go through [`Self::append_durable`] instead.
     pub fn append(&self, record: LogRecord) -> u64 {
+        self.append_inner(record).0
+    }
+
+    /// Append a record and require the sink (when installed) to make it
+    /// durable: the in-memory append always happens first — so a crash
+    /// between apply and upload is observable — but a sink failure is
+    /// returned to the caller, whose commit must then fail and roll
+    /// back. With no sink installed the append is trivially "durable".
+    pub fn append_durable(&self, record: LogRecord) -> IqResult<u64> {
+        let (lsn, sunk) = self.append_inner(record);
+        sunk?;
+        Ok(lsn)
+    }
+
+    fn append_inner(&self, record: LogRecord) -> (u64, IqResult<()>) {
         let sink = self.sink.lock().clone();
         // Clone for the sink only when one is installed — the default
         // (no durable log) pays nothing.
@@ -143,10 +167,42 @@ impl TxnLog {
             lsn
         };
         // The sink runs outside the log lock; see [`LogSink`].
-        if let Some(sink) = sink {
-            sink.append(&mirrored.expect("mirrored with sink"), lsn);
-        }
-        lsn
+        let sunk = match sink {
+            Some(sink) => sink.append(&mirrored.expect("mirrored with sink"), lsn),
+            None => Ok(()),
+        };
+        (lsn, sunk)
+    }
+
+    /// Every record in the log, oldest first (durable-log bootstrap: a
+    /// freshly installed uploader mirrors the pre-existing history so
+    /// the durable stream stays a superset of memory).
+    pub fn all_records(&self) -> Vec<LogRecord> {
+        self.inner.lock().records.clone()
+    }
+
+    /// Reconcile the in-memory log against the durable stream: keep
+    /// every non-commit record, drop `Commit` records whose transaction
+    /// `is_durable` rejects. A commit present in memory but absent from
+    /// durable storage is an un-durable commit (its PUT failed, or the
+    /// node died between the in-memory apply and the upload) — replaying
+    /// it would resurrect freelist and composite effects of a
+    /// transaction whose commit never happened. Returns how many commit
+    /// records were dropped.
+    pub fn retain_commits(&self, is_durable: impl Fn(TxnId) -> bool) -> usize {
+        let mut g = self.inner.lock();
+        let before = g.records.len();
+        g.records.retain(|r| match r {
+            LogRecord::Commit { txn, .. } => is_durable(*txn),
+            _ => true,
+        });
+        // Dropping records shifts indices; re-derive the checkpoint
+        // anchor (checkpoints themselves are never dropped).
+        g.last_checkpoint = g
+            .records
+            .iter()
+            .rposition(|r| matches!(r, LogRecord::Checkpoint { .. }));
+        before - g.records.len()
     }
 
     /// Records from the most recent checkpoint (inclusive) to the tail.

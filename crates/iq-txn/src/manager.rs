@@ -468,11 +468,21 @@ impl TransactionManager {
         // storage, the identities of the bitmaps are recorded in the
         // transaction log, and the responsibility of garbage collection is
         // passed onto the transaction manager."
-        self.log.append(LogRecord::Commit {
+        //
+        // The commit record must reach durable storage: a sink failure
+        // (log PUT past its retry budget) fails the commit. The
+        // transaction goes back into the active map so the caller can
+        // roll it back like any other commit-path failure; the in-memory
+        // record it left behind is squared away by reopen-time
+        // reconciliation (durable log is authoritative for commits).
+        if let Err(e) = self.log.append_durable(LogRecord::Commit {
             txn,
             node: entry.node,
             rfrb: entry.rfrb.clone(),
-        });
+        }) {
+            self.inner.lock().active.insert(txn.0, entry);
+            return Err(e);
+        }
         if let Some(kg) = &self.keygen {
             kg.note_commit(entry.node, &entry.rfrb);
         }

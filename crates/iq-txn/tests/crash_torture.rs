@@ -453,3 +453,93 @@ fn _recover_is_public(log: Arc<TxnLog>) -> Coordinator {
     c.recover();
     c
 }
+
+/// A `LogSink` that fails commit-record appends on demand — the
+/// manager-level stand-in for a durable-log PUT exhausting its retry
+/// budget.
+struct FailingCommitSink {
+    fail_commits: std::sync::atomic::AtomicBool,
+    appends: std::sync::atomic::AtomicU64,
+}
+
+impl iq_txn::LogSink for FailingCommitSink {
+    fn append(&self, record: &LogRecord, _lsn: u64) -> IqResult<()> {
+        self.appends
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if matches!(record, LogRecord::Commit { .. })
+            && self.fail_commits.load(std::sync::atomic::Ordering::Relaxed)
+        {
+            Err(iq_common::IqError::Io("durable log PUT failed".into()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Scenario E — the durable-log sink rejects the commit record (PUT past
+/// its retry budget). `commit_deferred` must fail, the transaction must
+/// stay active so a normal rollback reclaims its RB pages, and the
+/// phantom in-memory commit record (appended before the sink ran —
+/// memory-first ordering) must be dropped by reopen-time reconciliation.
+#[test]
+fn failed_commit_sink_rolls_back_and_reconciles() {
+    let log = Arc::new(TxnLog::new());
+    let sink = Arc::new(FailingCommitSink {
+        fail_commits: std::sync::atomic::AtomicBool::new(true),
+        appends: std::sync::atomic::AtomicU64::new(0),
+    });
+    log.set_sink(sink.clone());
+    let mx = Multiplex::new(Arc::clone(&log), 1, 0);
+    let w1 = mx.secondary(W1).unwrap();
+    let (space, _inj, sim) = faulted_cloud(FaultPlan::none());
+    let cache = w1.key_cache().unwrap();
+
+    let tm = TransactionManager::new(Arc::clone(&log), Some(mx.coordinator.keygen().unwrap()));
+    let del = ImmediateDeletion::new();
+    del.register(space.clone());
+
+    // T1 uploads three pages, then its commit record fails to become
+    // durable: the commit must error and leave the txn active.
+    let t1 = tm.begin(W1);
+    let keys = flush_pages(&space, &cache, 3, 0xEE).unwrap();
+    for &k in &keys {
+        tm.record_alloc(t1, SPACE, PhysicalLocator::Object(k))
+            .unwrap();
+    }
+    assert!(tm.commit_deferred(t1).is_err(), "un-durable commit fails");
+    assert_eq!(tm.active_count(), 1, "failed commit stays active");
+    assert_eq!(tm.chain_len(), 0, "nothing reached the committed chain");
+
+    // The in-memory log holds the phantom commit record (memory-first
+    // ordering); reconciliation against an empty durable commit set
+    // must drop exactly that record.
+    let phantom_drops = log.retain_commits(|_| false);
+    assert_eq!(phantom_drops, 1, "exactly the phantom record dropped");
+
+    // Rollback works like any other commit-path failure: RB pages are
+    // deleted immediately, never-write-twice holds throughout.
+    tm.rollback(t1, &del).unwrap();
+    assert_eq!(tm.active_count(), 0);
+    for &k in &keys {
+        assert!(!sim.exists(k), "rolled-back upload reclaimed");
+    }
+    assert_eq!(sim.max_write_count(), 1, "never-write-twice");
+
+    // A healed sink commits cleanly and the record is NOT dropped by a
+    // reconciliation that sees it durably.
+    sink.fail_commits
+        .store(false, std::sync::atomic::Ordering::Relaxed);
+    let t2 = tm.begin(W1);
+    let keys2 = flush_pages(&space, &cache, 2, 0xDD).unwrap();
+    for &k in &keys2 {
+        tm.record_alloc(t2, SPACE, PhysicalLocator::Object(k))
+            .unwrap();
+    }
+    tm.commit_deferred(t2).unwrap();
+    assert_eq!(
+        log.retain_commits(|txn| txn == t2),
+        0,
+        "durable commit kept"
+    );
+    assert_eq!(tm.chain_len(), 1);
+}

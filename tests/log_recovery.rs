@@ -1,0 +1,277 @@
+//! Durable-log replay recovery, end to end: commits whose log PUT failed
+//! past the retry budget must error, roll back, and never resurrect at
+//! reopen; commits that reached the log store must replay exactly once;
+//! and when no faults fired, reconciliation is the identity.
+
+use std::sync::Barrier;
+
+use cloudiq::common::{TableId, TxnId};
+use cloudiq::core::log_recovery::read_durable_records;
+use cloudiq::core::{Database, DatabaseConfig, GroupCommitMode};
+use cloudiq::engine::table::{Schema, TableMeta, TableWriter};
+use cloudiq::engine::value::{DataType, Value};
+use cloudiq::objectstore::FaultPlan;
+use cloudiq::objectstore::RetryPolicy;
+use cloudiq::txn::LogRecord;
+
+fn schema() -> Schema {
+    Schema::new(&[("k", DataType::I64), ("v", DataType::Str)])
+}
+
+fn load(db: &Database, meta: &mut TableMeta, txn: TxnId, base: i64, n: i64) {
+    let pager = db.pager(txn).unwrap();
+    let meter = db.meter().clone();
+    let mut w = TableWriter::new(meta, &pager, txn, &meter);
+    for i in base..base + n {
+        w.append_row(&[Value::I64(i), Value::Str(format!("r{i}").into())])
+            .unwrap();
+    }
+    w.finish().unwrap();
+}
+
+fn recovery_cfg() -> DatabaseConfig {
+    let mut cfg = DatabaseConfig::test_small();
+    cfg.group_commit = GroupCommitMode::PerAppend;
+    // An injector on the log store (transparent until a plan is set);
+    // small retry budget so exhaustion is cheap to script.
+    cfg.log_fault = Some(FaultPlan::none());
+    cfg.retry = RetryPolicy::attempts(2);
+    cfg
+}
+
+/// Fail every log-store PUT from here on (the retry budget will exhaust).
+fn cut_log_puts(db: &Database) {
+    db.durable_log()
+        .expect("durable log on")
+        .fault_injector()
+        .expect("log_fault wires an injector")
+        .set_plan(FaultPlan {
+            put_fail_rate: 1.0,
+            ..FaultPlan::none()
+        });
+}
+
+fn heal_log_puts(db: &Database) {
+    db.durable_log()
+        .unwrap()
+        .fault_injector()
+        .unwrap()
+        .set_plan(FaultPlan::none());
+}
+
+/// Leg (i) — the durable PUT is cut after the in-memory log apply: the
+/// commit errors and rolls back in its own life, the phantom in-memory
+/// commit record is reconciled away at reopen, and the transaction's
+/// writes are invisible afterwards — while an earlier durable commit
+/// replays exactly once.
+#[test]
+fn undurable_commit_does_not_resurrect_after_reopen() {
+    let cfg = recovery_cfg();
+    let db = Database::create(cfg.clone()).unwrap();
+    let space = db.create_cloud_dbspace("clouddata").unwrap();
+    db.create_table(TableId(1), space).unwrap();
+
+    // A durably committed baseline.
+    let mut meta = TableMeta::new(TableId(1), "t", schema(), 64);
+    let txn = db.begin();
+    load(&db, &mut meta, txn, 0, 100);
+    db.commit(txn).unwrap();
+    db.save_table_meta(&meta).unwrap();
+
+    // The doomed transaction: its commit record PUT fails past the
+    // retry budget, so commit must error (tentpole acceptance).
+    let doomed = db.begin();
+    load(&db, &mut meta, doomed, 100, 50);
+    cut_log_puts(&db);
+    let err = db.commit(doomed);
+    assert!(err.is_err(), "un-durable commit must fail: {err:?}");
+    assert_eq!(
+        db.durable_log().unwrap().stats().put_failures,
+        1,
+        "one exhausted upload, counted once across its retry attempts"
+    );
+
+    // Heal, power off, reopen: the phantom in-memory commit record is
+    // dropped by reconciliation, the durable commit replays.
+    heal_log_puts(&db);
+    let db = Database::reopen(db.into_durable(), cfg).unwrap();
+    let m = db
+        .metrics()
+        .into_iter()
+        .collect::<std::collections::BTreeMap<_, _>>();
+    assert_eq!(
+        format!("{:?}", m["log.reconciled_drops"]),
+        "U64(1)",
+        "exactly the phantom commit dropped"
+    );
+
+    let meta = db.load_table_meta(TableId(1)).unwrap().unwrap();
+    let rtxn = db.begin();
+    let pager = db.pager(rtxn).unwrap();
+    let out = meta.scan(&pager, &[0, 1], None, db.meter()).unwrap();
+    assert_eq!(out.len(), 100, "failed txn's writes must not resurrect");
+    assert_eq!(out.col(1).strs()[99].as_ref(), "r99");
+    db.rollback(rtxn).unwrap();
+
+    // Invariants: never-write-twice on the data store and the log store.
+    let store = db.cloud_store(space).unwrap();
+    assert_eq!(store.max_write_count(), 1);
+    assert_eq!(db.durable_log().unwrap().sim().max_write_count(), 1);
+
+    // The reopened instance commits cleanly on the resumed log store.
+    let mut meta2 = TableMeta::new(TableId(1), "t", schema(), 64);
+    let txn = db.begin();
+    load(&db, &mut meta2, txn, 200, 10);
+    db.commit(txn).unwrap();
+}
+
+/// Leg (ii) — a gathered batch's leader PUT is cut mid-batch: every
+/// rider fails alongside the leader, none of their writes survive the
+/// reopen, and the durable pre-batch commit replays exactly once.
+#[test]
+fn failed_gathered_batch_fails_every_rider_and_none_resurrect() {
+    let mut cfg = recovery_cfg();
+    cfg.group_commit = GroupCommitMode::Coalesced;
+    let db = Database::create(cfg.clone()).unwrap();
+    let space = db.create_cloud_dbspace("clouddata").unwrap();
+    const THREADS: usize = 4;
+    for t in 0..=THREADS {
+        db.create_table(TableId(t as u32 + 1), space).unwrap();
+    }
+
+    // Table THREADS+1 commits durably before the cut.
+    let mut meta0 = TableMeta::new(TableId(THREADS as u32 + 1), "base", schema(), 64);
+    let txn = db.begin();
+    load(&db, &mut meta0, txn, 0, 40);
+    db.commit(txn).unwrap();
+    db.save_table_meta(&meta0).unwrap();
+
+    // Cut the log store, then gather a batch of concurrent committers:
+    // the leader's one PUT fails and every window must fail with it.
+    cut_log_puts(&db);
+    let gate = Barrier::new(THREADS);
+    let mut metas: Vec<TableMeta> = (0..THREADS)
+        .map(|t| TableMeta::new(TableId(t as u32 + 1), "t", schema(), 64))
+        .collect();
+    let errors: Vec<bool> = std::thread::scope(|s| {
+        let handles: Vec<_> = metas
+            .iter_mut()
+            .enumerate()
+            .map(|(t, meta)| {
+                let db = &db;
+                let gate = &gate;
+                s.spawn(move || {
+                    let txn = db.begin();
+                    load(db, meta, txn, (t as i64 + 1) * 1000, 20);
+                    // Pre-register so the whole group lands in one batch.
+                    let window = db.durable_log().map(|dl| dl.enter_commit());
+                    gate.wait();
+                    let res = db.commit(txn);
+                    drop(window);
+                    res.is_err()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(
+        errors.iter().all(|&e| e),
+        "every rider fails with the leader: {errors:?}"
+    );
+    let stats = db.durable_log().unwrap().stats();
+    assert_eq!(stats.put_failures, 1, "one failed batch PUT, counted once");
+
+    // Reopen (healed) and verify: the pre-cut commit is intact, no
+    // batch member resurrected, and replay happened exactly once (the
+    // durable commit count equals the in-memory commit count).
+    heal_log_puts(&db);
+    let durable_log_sim = std::sync::Arc::clone(db.durable_log().unwrap().sim());
+    let db = Database::reopen(db.into_durable(), cfg).unwrap();
+
+    let meta0 = db
+        .load_table_meta(TableId(THREADS as u32 + 1))
+        .unwrap()
+        .unwrap();
+    let rtxn = db.begin();
+    let pager = db.pager(rtxn).unwrap();
+    assert_eq!(
+        meta0.scan(&pager, &[0], None, db.meter()).unwrap().len(),
+        40
+    );
+    for (t, meta) in metas.iter().enumerate() {
+        // Rider metas were never saved, so the failed writes are
+        // invisible through the facade...
+        assert!(
+            db.load_table_meta(TableId(t as u32 + 1)).unwrap().is_none(),
+            "table {t}: failed batch member resurfaced a saved meta"
+        );
+        // ...and even a client that kept the doomed meta finds the
+        // rolled-back pages gone, not readable.
+        assert!(
+            meta.scan(&pager, &[0], None, db.meter()).is_err(),
+            "table {t}: failed batch member's pages survived the reopen"
+        );
+    }
+    db.rollback(rtxn).unwrap();
+
+    let (durable_records, _gets) = read_durable_records(&durable_log_sim).unwrap();
+    let durable_commits = durable_records
+        .iter()
+        .filter(|r| matches!(r, LogRecord::Commit { .. }))
+        .count();
+    let memory_commits = db
+        .txn_log()
+        .replay_suffix()
+        .iter()
+        .filter(|r| matches!(r, LogRecord::Commit { .. }))
+        .count();
+    assert_eq!(
+        memory_commits, durable_commits,
+        "after reconciliation, memory holds exactly the durable commits"
+    );
+    assert_eq!(db.cloud_store(space).unwrap().max_write_count(), 1);
+}
+
+/// Property: with no faults, reconciliation is the identity — the
+/// reconciled replay stream equals the pre-reopen in-memory
+/// `replay_suffix`, across several deterministic workload shapes.
+#[test]
+fn reconciled_replay_equals_in_memory_suffix_without_faults() {
+    for (txns, rows) in [(1usize, 10i64), (3, 33), (5, 7)] {
+        let mut cfg = DatabaseConfig::test_small();
+        cfg.group_commit = GroupCommitMode::PerAppend;
+        let db = Database::create(cfg.clone()).unwrap();
+        let space = db.create_cloud_dbspace("clouddata").unwrap();
+        db.create_table(TableId(1), space).unwrap();
+        let mut meta = TableMeta::new(TableId(1), "t", schema(), 64);
+        for t in 0..txns {
+            let txn = db.begin();
+            load(&db, &mut meta, txn, (t as i64) * rows, rows);
+            db.commit(txn).unwrap();
+        }
+        db.save_table_meta(&meta).unwrap();
+
+        let before = db.txn_log().replay_suffix();
+        let db = Database::reopen(db.into_durable(), cfg).unwrap();
+        assert_eq!(
+            db.txn_log().replay_suffix(),
+            before,
+            "workload ({txns} txns × {rows} rows): reconcile must be identity"
+        );
+        let m = db.metrics();
+        assert_eq!(format!("{:?}", m["log.reconciled_drops"]), "U64(0)");
+        assert!(matches!(
+            m["log.recovery_gets"],
+            cloudiq::common::trace::MetricValue::U64(g) if g > 0
+        ));
+
+        let meta = db.load_table_meta(TableId(1)).unwrap().unwrap();
+        let rtxn = db.begin();
+        let pager = db.pager(rtxn).unwrap();
+        assert_eq!(
+            meta.scan(&pager, &[0], None, db.meter()).unwrap().len() as i64,
+            txns as i64 * rows
+        );
+        db.rollback(rtxn).unwrap();
+    }
+}
