@@ -22,6 +22,7 @@ fn bench_queries(c: &mut Criterion) {
                     db: &db,
                     store: &store,
                     meter: &meter,
+                    exec: iq_engine::OpExec::for_store(&store),
                 };
                 run_query(n, &ctx).unwrap()
             })

@@ -40,6 +40,9 @@ fn main() {
                        --recovery   durable-log replay recovery drill: commits\n\
                                     under a cut log store error and reconcile\n\
                                     away at reopen\n\
+                       --throughput fair-queued TPC-H throughput drill: 24 query\n\
+                                    + 4 refresh streams over 16 slots, weighted\n\
+                                    fair vs FIFO, per-class p50/p99/$-cost\n\
                        --faults     fault sweep: retry/backoff under a flaky store\n\
                        --explain    time-model phase totals + folded event journal\n\n\
                      MACHINE-READABLE MODES (exit after running; stdout is the artifact):\n\
@@ -53,10 +56,11 @@ fn main() {
                                        and backoff counters)\n\n\
                      --sf sets the functional scale factor (default 0.01);\n\
                      results are projected to the paper's SF 1000.\n\n\
-                     The --gc, --cache, --pack, --group-commit and --recovery\n\
-                     sections also write their measurement rows to\n\
-                     BENCH_gc.json / BENCH_cache.json / BENCH_pack.json /\n\
-                     BENCH_group_commit.json / BENCH_recovery.json in the\n\
+                     The --gc, --cache, --pack, --group-commit, --recovery\n\
+                     and --throughput sections also write their measurement\n\
+                     rows to BENCH_gc.json / BENCH_cache.json /\n\
+                     BENCH_pack.json / BENCH_group_commit.json /\n\
+                     BENCH_recovery.json / BENCH_throughput.json in the\n\
                      working directory, so the perf trajectory is tracked\n\
                      PR-over-PR."
                 );
@@ -194,6 +198,11 @@ fn main() {
         let m = experiments::recovery_measurements(sf).expect("recovery_measurements");
         write_bench("recovery", sf, &m);
         reports.push(experiments::report_recovery(&m));
+    }
+    if want("throughput") {
+        let m = iq_bench::throughput::throughput_measurements(sf).expect("throughput_measurements");
+        write_bench("throughput", sf, &m);
+        reports.push(iq_bench::throughput::report_throughput(&m));
     }
     for r in &reports {
         println!("{}", r.to_text());

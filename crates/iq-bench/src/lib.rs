@@ -19,5 +19,6 @@
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod throughput;
 
 pub use runner::{PowerRun, RunConfig};

@@ -236,6 +236,9 @@ impl PowerRun {
                 db: &tpch,
                 store: &qpager,
                 meter: db.meter(),
+                // Operators fan out as wide as the scans feeding them and
+                // account into the same submission-depth stats.
+                exec: iq_engine::OpExec::for_store(&qpager),
             };
             let out = run_query(n, &ctx)?;
             if let Some(ocm) = db.ocm() {
@@ -350,7 +353,7 @@ impl PowerRun {
 
 /// Build a [`PhaseLoad`] from raw snapshots.
 #[allow(clippy::too_many_arguments)]
-fn assemble_phase(
+pub(crate) fn assemble_phase(
     config: &RunConfig,
     user: StatsSnapshot,
     ssd: StatsSnapshot,

@@ -50,6 +50,7 @@ pub use hg::HgIndex;
 pub use load::load_parallel;
 pub use meter::WorkMeter;
 pub use niche::{CmpIndex, DateIndex, TextIndex};
+pub use ops::OpExec;
 pub use prefetch::{PrefetchAdmission, PrefetchTicket, PREFETCH_DEPTH};
 pub use store::{MemPageStore, PageStore};
 pub use table::{ColumnDef, RangePartitioning, Schema, TableMeta, TableWriter};

@@ -7,14 +7,45 @@
 //! expressed the classical way: aggregate-then-join (Q2, Q17, Q20),
 //! semi/anti joins for EXISTS/NOT EXISTS (Q4, Q21, Q22) and IN/NOT IN
 //! (Q16, Q18).
+//!
+//! # Morsel-parallel execution (`*_exec` entry points)
+//!
+//! [`hash_aggregate_exec`] and [`hash_join_exec`] run partitioned
+//! two-phase plans under an [`OpExec`] policy, fanned out through the
+//! submission/completion [`IoCore`] so operator parallelism shows up in
+//! the same depth accounting as scan and flush fan-out:
+//!
+//! * **Phase 1 (partition)** — the input is split into contiguous
+//!   morsels; each worker walks its morsel and buckets *row indices* by
+//!   `stable_hash(key) % P`. Within a morsel rows stay ascending, and
+//!   morsel outputs are concatenated in morsel order, so every
+//!   partition's row list is ascending in global row order.
+//! * **Phase 2 (fold/build)** — P partition tasks run independently,
+//!   each folding its partition's rows *in that global row order* with
+//!   the exact state-transition code the serial operator uses.
+//! * **Stitch** — aggregation orders merged groups by first-occurrence
+//!   row (the serial path discovers groups in exactly that order); join
+//!   probes run over contiguous left morsels stitched in morsel order
+//!   (the serial left-to-right probe order).
+//!
+//! Determinism argument: a group (or join key) lives entirely in one
+//! partition, each partition folds its rows in ascending global row
+//! order, and floating-point accumulation is therefore performed in
+//! *exactly* the serial order — no partial-state merge ever re-associates
+//! a float sum. Output is byte-identical to the serial path for every
+//! worker count, which is what lets `workers == 1` remain the
+//! property-test oracle. The partition hash is a fixed FNV-1a over the
+//! key bytes, not `std`'s per-process-seeded hasher, so partition
+//! assignment (and with it scheduling shape) is stable run-over-run.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use iq_common::{IqError, IqResult};
+use iq_common::{IoCore, IoStats, IqError, IqResult};
 
 use crate::chunk::{Chunk, Col};
 use crate::meter::{cost, WorkMeter};
+use crate::store::PageStore;
 use crate::value::KeyVal;
 
 /// Join flavours.
@@ -31,11 +62,137 @@ pub enum JoinType {
     Anti,
 }
 
+/// Execution policy for the partitioned operators: how many workers the
+/// fan-out may use and which [`IoStats`] the submission depth is
+/// accounted into. `workers == 1` selects the serial reference path.
+#[derive(Debug, Clone, Default)]
+pub struct OpExec {
+    workers: usize,
+    stats: Option<Arc<IoStats>>,
+}
+
+impl OpExec {
+    /// The serial reference policy (the property-test oracle).
+    pub fn serial() -> Self {
+        Self {
+            workers: 1,
+            stats: None,
+        }
+    }
+
+    /// A policy running on `workers` morsel workers (0 clamps to 1).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            stats: None,
+        }
+    }
+
+    /// Account operator fan-out submission depth into `stats` (the
+    /// database's shared `io.*` source).
+    pub fn with_stats(mut self, stats: Arc<IoStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Policy matching a store's scan parallelism and depth accounting —
+    /// operators run as wide as the scans feeding them.
+    pub fn for_store(store: &dyn PageStore) -> Self {
+        let mut exec = Self::new(store.scan_parallelism());
+        exec.stats = store.io_stats();
+        exec
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Partition count for the two-phase operators: a little wider than
+    /// the worker set so a slow partition doesn't serialize phase 2.
+    fn partitions(&self) -> usize {
+        self.workers * 2
+    }
+
+    fn io_core(&self) -> IoCore {
+        let core = IoCore::new(self.workers);
+        match &self.stats {
+            Some(s) => core.with_stats(Arc::clone(s)),
+            None => core,
+        }
+    }
+}
+
+/// Fixed-seed FNV-1a over the key's type-tagged bytes. Partition
+/// assignment must be identical run-over-run (std's `RandomState` is
+/// seeded per process), or scheduling shape and traces would wander.
+fn stable_hash_key(key: &[KeyVal]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+    let mut h = OFFSET;
+    for k in key {
+        h = match k {
+            KeyVal::I(v) => eat(eat(h, &[1]), &v.to_le_bytes()),
+            KeyVal::S(s) => eat(eat(eat(h, &[2]), s.as_bytes()), &[0xff]),
+            KeyVal::D(v) => eat(eat(h, &[3]), &v.to_le_bytes()),
+            KeyVal::F(bits) => eat(eat(h, &[4]), &bits.to_le_bytes()),
+        };
+    }
+    h
+}
+
 fn key_of(chunk: &Chunk, cols: &[usize], row: usize) -> IqResult<Vec<KeyVal>> {
     cols.iter().map(|&c| chunk.col(c).key(row)).collect()
 }
 
-/// Hash join `left ⋈ right` on equal key columns.
+/// `[lo, hi)` row range of morsel `i` of `m` over `n` rows (first `n % m`
+/// morsels take the extra row).
+fn morsel_bounds(n: usize, m: usize, i: usize) -> (usize, usize) {
+    let base = n / m;
+    let extra = n % m;
+    let lo = i * base + i.min(extra);
+    (lo, lo + base + usize::from(i < extra))
+}
+
+/// Phase 1 of both partitioned operators: bucket row indices of `chunk`
+/// by `stable_hash(key(key_cols)) % parts`. Morsel-parallel; each
+/// partition's returned row list is ascending in global row order.
+fn partition_rows(
+    chunk: &Chunk,
+    key_cols: &[usize],
+    parts: usize,
+    io: &IoCore,
+    workers: usize,
+) -> IqResult<Vec<Vec<usize>>> {
+    let n = chunk.len();
+    let morsels = (workers * 4).min(n).max(1);
+    let locals = io.run_ordered(morsels, |i| {
+        let (lo, hi) = morsel_bounds(n, morsels, i);
+        let mut mine: Vec<Vec<usize>> = vec![Vec::new(); parts];
+        for row in lo..hi {
+            let key = key_of(chunk, key_cols, row)?;
+            mine[(stable_hash_key(&key) % parts as u64) as usize].push(row);
+        }
+        Ok::<_, IqError>(mine)
+    })?;
+    let mut by_part: Vec<Vec<usize>> = vec![Vec::new(); parts];
+    for local in locals {
+        for (p, rows) in local.into_iter().enumerate() {
+            by_part[p].extend(rows);
+        }
+    }
+    Ok(by_part)
+}
+
+/// Hash join `left ⋈ right` on equal key columns (serial reference path;
+/// see [`hash_join_exec`] for the partitioned-parallel form).
 ///
 /// Output layout: `Inner`/`Left` → all left columns then all right
 /// columns (`Left` additionally appends an `I64` matched-marker column);
@@ -48,25 +205,128 @@ pub fn hash_join(
     jt: JoinType,
     meter: &WorkMeter,
 ) -> IqResult<Chunk> {
+    hash_join_exec(
+        left,
+        right,
+        left_keys,
+        right_keys,
+        jt,
+        meter,
+        &OpExec::serial(),
+    )
+}
+
+/// [`hash_join`] under an [`OpExec`] policy: the build side is
+/// partitioned by key hash and built per-partition in parallel, the
+/// probe side runs over contiguous left morsels stitched in morsel
+/// order. Byte-identical to the serial path for every worker count.
+pub fn hash_join_exec(
+    left: &Chunk,
+    right: &Chunk,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    jt: JoinType,
+    meter: &WorkMeter,
+    exec: &OpExec,
+) -> IqResult<Chunk> {
     if left_keys.len() != right_keys.len() || left_keys.is_empty() {
         return Err(IqError::Invalid("join key arity mismatch".into()));
     }
-    // Build on the right side.
-    let mut table: HashMap<Vec<KeyVal>, Vec<usize>> = HashMap::new();
-    for r in 0..right.len() {
-        table
-            .entry(key_of(right, right_keys, r)?)
-            .or_default()
-            .push(r);
-    }
-    meter.add(cost::JOIN * right.len() as u64);
 
+    let (left_idx, right_idx, matched_marker) = if exec.workers() <= 1 {
+        // Serial oracle: one build table, one left-to-right probe.
+        let mut table: HashMap<Vec<KeyVal>, Vec<usize>> = HashMap::new();
+        for r in 0..right.len() {
+            table
+                .entry(key_of(right, right_keys, r)?)
+                .or_default()
+                .push(r);
+        }
+        meter.add(cost::JOIN * right.len() as u64);
+        let out = probe_rows(left, left_keys, jt, 0, left.len(), |key| table.get(key))?;
+        meter.add(cost::JOIN * left.len() as u64);
+        out
+    } else {
+        let io = exec.io_core();
+        let parts = exec.partitions();
+        // Build: partition right rows by key, then build each partition's
+        // table independently. Row lists are ascending per partition, so
+        // every key's match list is ascending — exactly the serial table.
+        let by_part = partition_rows(right, right_keys, parts, &io, exec.workers())?;
+        let tables: Vec<HashMap<Vec<KeyVal>, Vec<usize>>> = io.run_ordered(parts, |p| {
+            let mut table: HashMap<Vec<KeyVal>, Vec<usize>> = HashMap::new();
+            for &r in &by_part[p] {
+                table
+                    .entry(key_of(right, right_keys, r)?)
+                    .or_default()
+                    .push(r);
+            }
+            Ok::<_, IqError>(table)
+        })?;
+        meter.add(cost::JOIN * right.len() as u64);
+
+        // Probe: contiguous left morsels, stitched in morsel order — the
+        // serial left-to-right emission order.
+        let n = left.len();
+        let morsels = (exec.workers() * 4).min(n).max(1);
+        let pieces = io.run_ordered(morsels, |i| {
+            let (lo, hi) = morsel_bounds(n, morsels, i);
+            probe_rows(left, left_keys, jt, lo, hi, |key| {
+                tables[(stable_hash_key(key) % parts as u64) as usize].get(key)
+            })
+        })?;
+        meter.add(cost::JOIN * left.len() as u64);
+        let mut left_idx = Vec::new();
+        let mut right_idx = Vec::new();
+        let mut marker = Vec::new();
+        for (l, r, m) in pieces {
+            left_idx.extend(l);
+            right_idx.extend(r);
+            marker.extend(m);
+        }
+        (left_idx, right_idx, marker)
+    };
+
+    let mut cols: Vec<Col> = left.cols.iter().map(|c| c.take(&left_idx)).collect();
+    match jt {
+        JoinType::Inner => {
+            for c in &right.cols {
+                cols.push(c.take(&right_idx));
+            }
+        }
+        JoinType::Left => {
+            for c in &right.cols {
+                cols.push(take_with_default(c, &right_idx));
+            }
+            cols.push(Col::I64(matched_marker));
+        }
+        JoinType::Semi | JoinType::Anti => {}
+    }
+    Ok(Chunk::new(cols))
+}
+
+/// Probe left rows `[lo, hi)` against the build side via `lookup`. The
+/// emission logic is shared verbatim between the serial path (one table)
+/// and the partitioned path (per-partition tables), so the two can only
+/// differ if `lookup` itself disagrees — and it can't: a key's partition
+/// is a pure function of the key.
+fn probe_rows<'t, F>(
+    left: &Chunk,
+    left_keys: &[usize],
+    jt: JoinType,
+    lo: usize,
+    hi: usize,
+    lookup: F,
+) -> IqResult<(Vec<usize>, Vec<usize>, Vec<i64>)>
+where
+    F: Fn(&[KeyVal]) -> Option<&'t Vec<usize>>,
+{
     let mut left_idx: Vec<usize> = Vec::new();
     let mut right_idx: Vec<usize> = Vec::new();
     let mut matched_marker: Vec<i64> = Vec::new();
-    for l in 0..left.len() {
+    for l in lo..hi {
         let key = key_of(left, left_keys, l)?;
-        let matches = table.get(&key);
+        let matches = lookup(&key);
         match jt {
             JoinType::Inner => {
                 if let Some(rs) = matches {
@@ -102,24 +362,7 @@ pub fn hash_join(
             }
         }
     }
-    meter.add(cost::JOIN * left.len() as u64);
-
-    let mut cols: Vec<Col> = left.cols.iter().map(|c| c.take(&left_idx)).collect();
-    match jt {
-        JoinType::Inner => {
-            for c in &right.cols {
-                cols.push(c.take(&right_idx));
-            }
-        }
-        JoinType::Left => {
-            for c in &right.cols {
-                cols.push(take_with_default(c, &right_idx));
-            }
-            cols.push(Col::I64(matched_marker));
-        }
-        JoinType::Semi | JoinType::Anti => {}
-    }
-    Ok(Chunk::new(cols))
+    Ok((left_idx, right_idx, matched_marker))
 }
 
 fn take_with_default(col: &Col, idx: &[usize]) -> Col {
@@ -243,6 +486,34 @@ enum AggState {
     Distinct(HashSet<i64>),
 }
 
+/// Output column shape of one aggregate, derived *statically* from the
+/// spec and the input column type — never from a runtime state value, so
+/// a partitioned plan whose first partition is empty cannot disagree
+/// with the serial path about column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AggOut {
+    F,
+    I,
+    S,
+}
+
+fn agg_out_kind(kind: AggKind, col: &Col) -> IqResult<AggOut> {
+    Ok(match (kind, col) {
+        (AggKind::Sum | AggKind::Avg, _) => AggOut::F,
+        (AggKind::Count, _) => AggOut::I,
+        (AggKind::Min | AggKind::Max, Col::F64(_)) => AggOut::F,
+        (AggKind::Min | AggKind::Max, Col::I64(_) | Col::Date(_)) => AggOut::I,
+        (AggKind::Min | AggKind::Max, Col::Str(_)) => AggOut::S,
+        (AggKind::CountDistinct, Col::I64(_)) => AggOut::I,
+        (k, c) => {
+            return Err(IqError::Invalid(format!(
+                "aggregate {k:?} unsupported over {:?}",
+                c.data_type()
+            )))
+        }
+    })
+}
+
 fn new_state(kind: AggKind, col: &Col) -> IqResult<AggState> {
     Ok(match (kind, col) {
         (AggKind::Sum, _) => AggState::Sum(0.0),
@@ -344,40 +615,36 @@ enum AggResult {
     S(Arc<str>),
 }
 
-/// Hash aggregation. Output: group columns followed by one column per
-/// aggregate. With no group columns, produces exactly one row (scalar
-/// aggregates over an empty input yield 0/empty).
-pub fn hash_aggregate(
+/// Fold `rows` (ascending global row indices) into per-group states.
+/// Returns `(reps, states)` in first-seen order; `reps[i]` is the
+/// first-occurrence row of group `i`, so `reps` is strictly ascending.
+///
+/// This is *the* state-transition loop — the serial operator runs it over
+/// `0..n` and every phase-2 partition task runs it over its partition's
+/// row list. Because a group's rows arrive in the same ascending order
+/// either way, accumulation (including float sums) is performed in the
+/// identical sequence and the results are bitwise equal.
+fn aggregate_rows(
     input: &Chunk,
     group_cols: &[usize],
     aggs: &[AggSpec],
-    meter: &WorkMeter,
-) -> IqResult<Chunk> {
+    rows: impl Iterator<Item = usize>,
+) -> IqResult<(Vec<usize>, Vec<Vec<AggState>>)> {
     let mut groups: HashMap<Vec<KeyVal>, usize> = HashMap::new();
     let mut states: Vec<Vec<AggState>> = Vec::new();
-    let mut reps: Vec<usize> = Vec::new(); // representative row per group
-
-    let make_states = |row_exists: bool| -> IqResult<Vec<AggState>> {
-        aggs.iter()
-            .map(|a| {
-                let col = if row_exists || !input.cols.is_empty() {
-                    input.col(a.col)
-                } else {
-                    unreachable!()
-                };
-                new_state(a.kind, col)
-            })
-            .collect()
-    };
-
-    for row in 0..input.len() {
+    let mut reps: Vec<usize> = Vec::new();
+    for row in rows {
         let key = key_of(input, group_cols, row)?;
         let gi = match groups.get(&key) {
             Some(&gi) => gi,
             None => {
                 let gi = states.len();
                 groups.insert(key, gi);
-                states.push(make_states(true)?);
+                states.push(
+                    aggs.iter()
+                        .map(|a| new_state(a.kind, input.col(a.col)))
+                        .collect::<IqResult<_>>()?,
+                );
                 reps.push(row);
                 gi
             }
@@ -386,22 +653,67 @@ pub fn hash_aggregate(
             update(s, input.col(a.col), row);
         }
     }
+    Ok((reps, states))
+}
+
+/// Hash aggregation (serial reference path; see [`hash_aggregate_exec`]
+/// for the partitioned-parallel form). Output: group columns followed by
+/// one column per aggregate. With no group columns, produces exactly one
+/// row (scalar aggregates over an empty input yield 0/empty).
+pub fn hash_aggregate(
+    input: &Chunk,
+    group_cols: &[usize],
+    aggs: &[AggSpec],
+    meter: &WorkMeter,
+) -> IqResult<Chunk> {
+    hash_aggregate_exec(input, group_cols, aggs, meter, &OpExec::serial())
+}
+
+/// [`hash_aggregate`] under an [`OpExec`] policy: a partitioned
+/// two-phase plan (partition rows by group-key hash, fold partitions
+/// independently, stitch groups back in first-occurrence order).
+/// Byte-identical to the serial path for every worker count; charges the
+/// meter the same total units as the serial path so metered cost
+/// classification is worker-count-independent.
+pub fn hash_aggregate_exec(
+    input: &Chunk,
+    group_cols: &[usize],
+    aggs: &[AggSpec],
+    meter: &WorkMeter,
+    exec: &OpExec,
+) -> IqResult<Chunk> {
+    let (mut reps, mut states) = if exec.workers() <= 1 || input.len() < 2 {
+        aggregate_rows(input, group_cols, aggs, 0..input.len())?
+    } else {
+        let io = exec.io_core();
+        let parts = exec.partitions();
+        let by_part = partition_rows(input, group_cols, parts, &io, exec.workers())?;
+        let folded = io.run_ordered(parts, |p| {
+            aggregate_rows(input, group_cols, aggs, by_part[p].iter().copied())
+        })?;
+        // Stitch: the serial path discovers groups in first-occurrence
+        // row order, so sorting merged groups by their (unique)
+        // first-occurrence row reproduces it exactly.
+        let mut all: Vec<(usize, Vec<AggState>)> = folded
+            .into_iter()
+            .flat_map(|(reps, states)| reps.into_iter().zip(states))
+            .collect();
+        all.sort_by_key(|&(rep, _)| rep);
+        all.into_iter().unzip()
+    };
     meter.add(cost::AGG * input.len() as u64 * aggs.len().max(1) as u64);
 
-    // Scalar aggregate over empty input: one row of zero states. Grouped
-    // aggregate over empty input: zero rows, but columns must still carry
-    // the right types, so derive them from a throwaway state row.
-    if states.is_empty() {
+    // Scalar aggregate over empty input: one row of zero states (grouped
+    // aggregates over empty input emit zero rows; output types are
+    // derived statically either way).
+    if states.is_empty() && group_cols.is_empty() {
         states.push(
             aggs.iter()
                 .map(|a| new_state(a.kind, input.col(a.col)))
                 .collect::<IqResult<_>>()?,
         );
-        if group_cols.is_empty() {
-            reps.push(usize::MAX);
-        }
+        reps.push(usize::MAX);
     }
-    let emit_rows = reps.len();
 
     // Assemble output columns.
     let mut out: Vec<Col> = Vec::with_capacity(group_cols.len() + aggs.len());
@@ -413,32 +725,37 @@ pub fn hash_aggregate(
         }
         out.push(col);
     }
-    for (ai, _) in aggs.iter().enumerate() {
-        let emit = &states[..emit_rows.min(states.len())];
-        match finalize(&states[0][ai]) {
-            AggResult::F(_) => {
-                let mut v = Vec::with_capacity(emit.len());
-                for s in emit {
+    for (ai, a) in aggs.iter().enumerate() {
+        match agg_out_kind(a.kind, input.col(a.col))? {
+            AggOut::F => {
+                let mut v = Vec::with_capacity(states.len());
+                for s in &states {
                     if let AggResult::F(x) = finalize(&s[ai]) {
                         v.push(x);
+                    } else {
+                        unreachable!("state shape always matches the static output kind");
                     }
                 }
                 out.push(Col::F64(v));
             }
-            AggResult::I(_) => {
-                let mut v = Vec::with_capacity(emit.len());
-                for s in emit {
+            AggOut::I => {
+                let mut v = Vec::with_capacity(states.len());
+                for s in &states {
                     if let AggResult::I(x) = finalize(&s[ai]) {
                         v.push(x);
+                    } else {
+                        unreachable!("state shape always matches the static output kind");
                     }
                 }
                 out.push(Col::I64(v));
             }
-            AggResult::S(_) => {
-                let mut v = Vec::with_capacity(emit.len());
-                for s in emit {
+            AggOut::S => {
+                let mut v = Vec::with_capacity(states.len());
+                for s in &states {
                     if let AggResult::S(x) = finalize(&s[ai]) {
                         v.push(x);
+                    } else {
+                        unreachable!("state shape always matches the static output kind");
                     }
                 }
                 out.push(Col::Str(v));
@@ -510,6 +827,26 @@ mod tests {
             Col::I64(vec![2, 2, 4, 5]),
             Col::F64(vec![20.0, 21.0, 40.0, 50.0]),
         ])
+    }
+
+    /// Bitwise column-by-column equality (f64 compared by bit pattern:
+    /// the partitioned operators promise *byte* identity, not ε-closeness).
+    fn assert_chunks_bitwise_eq(a: &Chunk, b: &Chunk) {
+        assert_eq!(a.cols.len(), b.cols.len(), "arity differs");
+        for (i, (ca, cb)) in a.cols.iter().zip(&b.cols).enumerate() {
+            match (ca, cb) {
+                (Col::I64(x), Col::I64(y)) => assert_eq!(x, y, "col {i}"),
+                (Col::Date(x), Col::Date(y)) => assert_eq!(x, y, "col {i}"),
+                (Col::Bool(x), Col::Bool(y)) => assert_eq!(x, y, "col {i}"),
+                (Col::Str(x), Col::Str(y)) => assert_eq!(x, y, "col {i}"),
+                (Col::F64(x), Col::F64(y)) => {
+                    let xb: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+                    let yb: Vec<u64> = y.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(xb, yb, "col {i} float bits differ");
+                }
+                (a, b) => panic!("col {i} type differs: {a:?} vs {b:?}"),
+            }
+        }
     }
 
     #[test]
@@ -650,5 +987,149 @@ mod tests {
         let m = WorkMeter::new();
         let input = Chunk::new(vec![Col::Str(vec!["x".into()])]);
         assert!(hash_aggregate(&input, &[], &[AggSpec::count_distinct(0)], &m).is_err());
+    }
+
+    /// A float workload whose sums are sensitive to accumulation order:
+    /// reassociating any group's adds shifts the low mantissa bits.
+    fn reassociation_canary(rows: usize) -> Chunk {
+        let mut keys = Vec::with_capacity(rows);
+        let mut vals = Vec::with_capacity(rows);
+        let mut ids = Vec::with_capacity(rows);
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for i in 0..rows {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            keys.push((x % 7) as i64);
+            vals.push(0.1 + (x % 1000) as f64 * 1e-7 + i as f64 * 1e-3);
+            ids.push((x % 13) as i64);
+        }
+        Chunk::new(vec![Col::I64(keys), Col::F64(vals), Col::I64(ids)])
+    }
+
+    #[test]
+    fn partitioned_aggregate_is_bitwise_identical_to_serial() {
+        let input = reassociation_canary(997);
+        let aggs = [
+            AggSpec::sum(1),
+            AggSpec::avg(1),
+            AggSpec::count(0),
+            AggSpec::min(1),
+            AggSpec::max(1),
+            AggSpec::count_distinct(2),
+        ];
+        let m = WorkMeter::new();
+        let oracle = hash_aggregate(&input, &[0], &aggs, &m).unwrap();
+        let serial_units = m.total();
+        for workers in [2, 3, 8] {
+            let m = WorkMeter::new();
+            let out = hash_aggregate_exec(&input, &[0], &aggs, &m, &OpExec::new(workers)).unwrap();
+            assert_chunks_bitwise_eq(&oracle, &out);
+            assert_eq!(
+                m.total(),
+                serial_units,
+                "metered cost must not depend on workers"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_join_matches_serial_for_every_flavour() {
+        let canary = reassociation_canary(503);
+        let l = Chunk::new(vec![canary.col(0).clone(), canary.col(1).clone()]);
+        let r = Chunk::new(vec![
+            Col::I64((0..40).map(|i| i % 9).collect()),
+            Col::F64((0..40).map(|i| i as f64 * 0.25).collect()),
+        ]);
+        for jt in [
+            JoinType::Inner,
+            JoinType::Left,
+            JoinType::Semi,
+            JoinType::Anti,
+        ] {
+            let m = WorkMeter::new();
+            let oracle = hash_join(&l, &r, &[0], &[0], jt, &m).unwrap();
+            let serial_units = m.total();
+            for workers in [2, 8] {
+                let m = WorkMeter::new();
+                let out =
+                    hash_join_exec(&l, &r, &[0], &[0], jt, &m, &OpExec::new(workers)).unwrap();
+                assert_chunks_bitwise_eq(&oracle, &out);
+                assert_eq!(m.total(), serial_units);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_partitions_keep_static_output_types() {
+        // One group, eight workers: most partitions fold zero rows. The
+        // output types must come from the specs, not from whichever
+        // partition happened to be populated.
+        let input = Chunk::new(vec![
+            Col::I64(vec![42; 16]),
+            Col::Str(
+                (0..16)
+                    .map(|i| Arc::from(format!("s{i}")) as Arc<str>)
+                    .collect(),
+            ),
+        ]);
+        let m = WorkMeter::new();
+        let out = hash_aggregate_exec(
+            &input,
+            &[0],
+            &[AggSpec::count(0), AggSpec::min(1)],
+            &m,
+            &OpExec::new(8),
+        )
+        .unwrap();
+        assert!(matches!(out.col(1), Col::I64(_)));
+        assert!(matches!(out.col(2), Col::Str(_)));
+
+        // Grouped aggregate over an empty input: zero rows, but the
+        // columns still carry statically-derived types.
+        let empty = Chunk::new(vec![Col::I64(vec![]), Col::F64(vec![])]);
+        let out = hash_aggregate(&empty, &[0], &[AggSpec::sum(1), AggSpec::count(0)], &m).unwrap();
+        assert_eq!(out.len(), 0);
+        assert!(matches!(out.col(1), Col::F64(_)));
+        assert!(matches!(out.col(2), Col::I64(_)));
+    }
+
+    #[test]
+    fn partitioned_ops_account_submission_depth() {
+        let stats = Arc::new(IoStats::new());
+        let exec = OpExec::new(4).with_stats(Arc::clone(&stats));
+        let input = reassociation_canary(256);
+        let m = WorkMeter::new();
+        hash_aggregate_exec(&input, &[0], &[AggSpec::sum(1)], &m, &exec).unwrap();
+        let snap = stats.snapshot();
+        assert!(
+            snap.in_flight_peak >= 8,
+            "partition fan-out must account submission depth (peak {})",
+            snap.in_flight_peak
+        );
+        assert_eq!(
+            stats
+                .ops_in_flight
+                .load(std::sync::atomic::Ordering::Relaxed),
+            0
+        );
+    }
+
+    #[test]
+    fn stable_hash_is_run_independent_constants() {
+        // Pinned values: the partition function is part of the
+        // deterministic-execution contract (std's RandomState is not).
+        let h1 = stable_hash_key(&[KeyVal::I(42)]);
+        let h2 = stable_hash_key(&[KeyVal::I(42)]);
+        assert_eq!(h1, h2);
+        assert_ne!(
+            stable_hash_key(&[KeyVal::I(1)]),
+            stable_hash_key(&[KeyVal::I(2)])
+        );
+        // Tagging keeps same-bytes values of different kinds apart.
+        assert_ne!(
+            stable_hash_key(&[KeyVal::I(0)]),
+            stable_hash_key(&[KeyVal::F(0)])
+        );
     }
 }

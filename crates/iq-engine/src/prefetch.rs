@@ -19,9 +19,10 @@
 //! only speculative read-ahead is shed.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use iq_common::trace::{self, EventKind};
-use iq_common::IqError;
+use iq_common::{IoStats, IqError};
 
 /// How many upcoming row groups one morsel wants in flight while it
 /// processes the current one.
@@ -43,6 +44,14 @@ pub struct PrefetchAdmission {
     in_flight: AtomicUsize,
     /// Windows shed (diagnostic, drained by the scan ablation).
     shed: AtomicUsize,
+    /// Shared submission-layer counters of the reactor feeding this scan.
+    /// When present, AIMD *growth* targets the observed queue-depth
+    /// headroom (`depth_target − ops_in_flight`) instead of the fixed
+    /// `depth × PREFETCH_DEPTH` ceiling: after a throttle, the window
+    /// regrows only as fast as the reactor is actually draining.
+    reactor: Option<Arc<IoStats>>,
+    /// Submission depth the scan targets (its up-front morsel batch).
+    depth_target: usize,
 }
 
 impl PrefetchAdmission {
@@ -64,6 +73,33 @@ impl PrefetchAdmission {
             limit: AtomicUsize::new(max),
             in_flight: AtomicUsize::new(0),
             shed: AtomicUsize::new(0),
+            reactor: None,
+            depth_target: depth.max(1),
+        }
+    }
+
+    /// Drive AIMD *growth* toward the reactor's observed queue-depth
+    /// headroom: `record_success` grows the window only up to
+    /// `PREFETCH_DEPTH × (1 + depth_target − ops_in_flight)` (clamped to
+    /// the hard ceiling). A saturated reactor pauses regrowth at one
+    /// window; headroom opening back up lets it resume. The fault-free
+    /// path is untouched — the budget starts at the hard ceiling and
+    /// only throttling ever pulls it below.
+    pub fn with_io(mut self, reactor: Arc<IoStats>, depth_target: usize) -> Self {
+        self.reactor = Some(reactor);
+        self.depth_target = depth_target.max(1);
+        self
+    }
+
+    /// The value `record_success` may currently grow the budget toward.
+    fn growth_ceiling(&self) -> usize {
+        match &self.reactor {
+            None => self.max,
+            Some(stats) => {
+                let in_flight = stats.ops_in_flight.load(Ordering::Relaxed) as usize;
+                let headroom = self.depth_target.saturating_sub(in_flight);
+                (PREFETCH_DEPTH * (1 + headroom)).min(self.max)
+            }
         }
     }
 
@@ -94,12 +130,15 @@ impl PrefetchAdmission {
     }
 
     /// A prefetch completed cleanly: grow the budget by one group, up to
-    /// the ceiling (the additive half of AIMD).
+    /// the current growth ceiling (the additive half of AIMD). With a
+    /// reactor attached the ceiling tracks observed submission-depth
+    /// headroom; without one it is the fixed hard ceiling.
     pub fn record_success(&self) {
+        let ceiling = self.growth_ceiling();
         let _ = self
             .limit
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |l| {
-                (l < self.max).then_some(l + 1)
+                (l < ceiling).then_some(l + 1)
             });
     }
 
@@ -195,5 +234,56 @@ mod tests {
         let ctrl = PrefetchAdmission::new(2);
         ctrl.record_error(&IqError::Io("disk on fire".into()));
         assert_eq!(ctrl.limit(), 8);
+    }
+
+    #[test]
+    fn regrowth_tracks_reactor_headroom() {
+        let stats = Arc::new(IoStats::new());
+        // Depth target 4 → hard ceiling 16 groups.
+        let ctrl = PrefetchAdmission::for_depth(4).with_io(Arc::clone(&stats), 4);
+        assert_eq!(ctrl.limit(), 16, "fault-free start is the hard ceiling");
+        let slow = IqError::Throttled("SlowDown".into());
+        ctrl.record_error(&slow);
+        ctrl.record_error(&slow);
+        assert_eq!(ctrl.limit(), 4);
+
+        // Reactor saturated: 4 logical ops in flight, zero headroom —
+        // regrowth pauses at one window (PREFETCH_DEPTH groups).
+        stats.note_submit_batch(4);
+        for _ in 0..50 {
+            ctrl.record_success();
+        }
+        assert_eq!(ctrl.limit(), PREFETCH_DEPTH, "no headroom, no growth");
+
+        // Two ops retire → headroom 2 → ceiling 4 × (1 + 2) = 12.
+        stats.note_op_complete();
+        stats.note_op_complete();
+        for _ in 0..50 {
+            ctrl.record_success();
+        }
+        assert_eq!(ctrl.limit(), 12, "growth resumes with observed headroom");
+
+        // Fully drained → regrow to the hard ceiling, never past it.
+        stats.note_op_complete();
+        stats.note_op_complete();
+        for _ in 0..50 {
+            ctrl.record_success();
+        }
+        assert_eq!(ctrl.limit(), 16);
+    }
+
+    #[test]
+    fn fault_free_scans_ignore_the_dynamic_ceiling() {
+        // Saturated reactor, but no throttle ever fired: the budget stays
+        // at the hard ceiling (growth gating must not become a new way to
+        // shed on a healthy store).
+        let stats = Arc::new(IoStats::new());
+        stats.note_submit_batch(64);
+        let ctrl = PrefetchAdmission::for_depth(8).with_io(stats, 8);
+        assert_eq!(ctrl.limit(), 32);
+        ctrl.record_success();
+        assert_eq!(ctrl.limit(), 32);
+        assert!(ctrl.admit(PREFETCH_DEPTH).is_some());
+        assert_eq!(ctrl.shed_windows(), 0);
     }
 }

@@ -258,8 +258,14 @@ impl TableMeta {
         // pages to demand loads) instead of queueing behind SlowDowns.
         // Sized from the IoCore submission depth (all survivors are
         // submitted up front, below), floored at the worker count so a
-        // fault-free scan never sheds whatever the morsel count.
-        let admission = PrefetchAdmission::for_depth(survivors.len().max(workers));
+        // fault-free scan never sheds whatever the morsel count. With
+        // shared reactor stats available, post-throttle regrowth tracks
+        // the observed queue-depth headroom instead of the fixed ceiling.
+        let depth_target = survivors.len().max(workers);
+        let mut admission = PrefetchAdmission::for_depth(depth_target);
+        if let Some(stats) = store.io_stats() {
+            admission = admission.with_io(stats, depth_target);
+        }
 
         // Every surviving morsel is submitted to the I/O core up front:
         // in-flight depth is the submitted batch, not the lane count, so

@@ -17,7 +17,7 @@ use iq_engine::chunk::{Chunk, Col};
 use iq_engine::expr::Expr;
 use iq_engine::table::TableMeta;
 use iq_engine::value::parse_date;
-use iq_engine::{PageStore, WorkMeter};
+use iq_engine::{OpExec, PageStore, WorkMeter};
 
 use crate::db::TpchDb;
 
@@ -29,6 +29,10 @@ pub struct Ctx<'a> {
     pub store: &'a dyn PageStore,
     /// Work meter operators charge.
     pub meter: &'a WorkMeter,
+    /// Execution policy for the partitioned join/aggregate operators
+    /// (worker fan-out + submission-depth accounting). Results are
+    /// byte-identical at every worker count, so plans never need to care.
+    pub exec: OpExec,
 }
 
 impl Ctx<'_> {

@@ -3,7 +3,9 @@
 use iq_common::IqResult;
 use iq_engine::chunk::Chunk;
 use iq_engine::expr::Expr;
-use iq_engine::ops::{hash_aggregate, hash_join, limit, sort, AggSpec, JoinType, SortDir};
+use iq_engine::ops::{
+    hash_aggregate_exec, hash_join_exec, limit, sort, AggSpec, JoinType, SortDir,
+};
 
 use super::{cx, d, eval_on, filter_on, with_col, Ctx};
 
@@ -35,7 +37,7 @@ pub fn q1(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         &Expr::mul(Expr::col(6), Expr::add(Expr::lit_f64(1.0), Expr::col(5))),
     )?;
     let c = with_col(c, charge);
-    let agg = hash_aggregate(
+    let agg = hash_aggregate_exec(
         &c,
         &[0, 1],
         &[
@@ -49,6 +51,7 @@ pub fn q1(ctx: &Ctx<'_>) -> IqResult<Chunk> {
             AggSpec::count(0),
         ],
         ctx.meter,
+        &ctx.exec,
     )?;
     Ok(sort(
         &agg,
@@ -66,7 +69,15 @@ pub fn q2(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         Some(Expr::eq(cx(&db.region, "r_name"), Expr::lit_str("EUROPE"))),
     )?;
     let nations = ctx.scan(&db.nation, &["n_nationkey", "n_name", "n_regionkey"], None)?;
-    let nations = hash_join(&nations, &europe, &[2], &[0], JoinType::Semi, ctx.meter)?;
+    let nations = hash_join_exec(
+        &nations,
+        &europe,
+        &[2],
+        &[0],
+        JoinType::Semi,
+        ctx.meter,
+        &ctx.exec,
+    )?;
     let supp = ctx.scan(
         &db.supplier,
         &[
@@ -81,7 +92,15 @@ pub fn q2(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         None,
     )?;
     // supp ⋈ nation: +[n_nationkey 7, n_name 8, n_regionkey 9]
-    let supp = hash_join(&supp, &nations, &[3], &[0], JoinType::Inner, ctx.meter)?;
+    let supp = hash_join_exec(
+        &supp,
+        &nations,
+        &[3],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?;
     let parts = ctx.scan(
         &db.part,
         &["p_partkey", "p_mfgr"],
@@ -96,12 +115,20 @@ pub fn q2(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         None,
     )?;
     // ps ⋈ part: [ps_partkey 0, ps_suppkey 1, cost 2, p_partkey 3, p_mfgr 4]
-    let j = hash_join(&ps, &parts, &[0], &[0], JoinType::Inner, ctx.meter)?;
+    let j = hash_join_exec(
+        &ps,
+        &parts,
+        &[0],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?;
     // ⋈ supplier(+nation): cols 5..=14
-    let j = hash_join(&j, &supp, &[1], &[0], JoinType::Inner, ctx.meter)?;
+    let j = hash_join_exec(&j, &supp, &[1], &[0], JoinType::Inner, ctx.meter, &ctx.exec)?;
     // min supply cost per part among qualified suppliers.
-    let mins = hash_aggregate(&j, &[0], &[AggSpec::min(2)], ctx.meter)?;
-    let j = hash_join(&j, &mins, &[0], &[0], JoinType::Inner, ctx.meter)?; // +[partkey 15, min 16]
+    let mins = hash_aggregate_exec(&j, &[0], &[AggSpec::min(2)], ctx.meter, &ctx.exec)?;
+    let j = hash_join_exec(&j, &mins, &[0], &[0], JoinType::Inner, ctx.meter, &ctx.exec)?; // +[partkey 15, min 16]
     let j = filter_on(&j, &Expr::eq(Expr::col(2), Expr::col(16)))?;
     // Output: s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment.
     let out = j.project(&[10, 6, 13, 0, 4, 7, 9, 11]);
@@ -134,20 +161,36 @@ pub fn q3(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
         Some(Expr::lt(cx(&db.orders, "o_orderdate"), d("1995-03-15"))),
     )?;
-    let orders = hash_join(&orders, &cust, &[1], &[0], JoinType::Semi, ctx.meter)?;
+    let orders = hash_join_exec(
+        &orders,
+        &cust,
+        &[1],
+        &[0],
+        JoinType::Semi,
+        ctx.meter,
+        &ctx.exec,
+    )?;
     let line = ctx.scan(
         &db.lineitem,
         &["l_orderkey", "l_extendedprice", "l_discount"],
         Some(Expr::gt(cx(&db.lineitem, "l_shipdate"), d("1995-03-15"))),
     )?;
     // line ⋈ orders: [l_orderkey, ext, disc, o_orderkey, o_custkey, o_orderdate, o_shippriority]
-    let j = hash_join(&line, &orders, &[0], &[0], JoinType::Inner, ctx.meter)?;
+    let j = hash_join_exec(
+        &line,
+        &orders,
+        &[0],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?;
     let rev = eval_on(
         &j,
         &Expr::mul(Expr::col(1), Expr::sub(Expr::lit_f64(1.0), Expr::col(2))),
     )?;
     let j = with_col(j, rev); // revenue at 7
-    let agg = hash_aggregate(&j, &[0, 5, 6], &[AggSpec::sum(7)], ctx.meter)?;
+    let agg = hash_aggregate_exec(&j, &[0, 5, 6], &[AggSpec::sum(7)], ctx.meter, &ctx.exec)?;
     let out = sort(&agg, &[(3, SortDir::Desc), (1, SortDir::Asc)], ctx.meter);
     Ok(limit(&out, 10))
 }
@@ -171,8 +214,16 @@ pub fn q4(ctx: &Ctx<'_>) -> IqResult<Chunk> {
             cx(&db.lineitem, "l_receiptdate"),
         )),
     )?;
-    let j = hash_join(&orders, &late, &[0], &[0], JoinType::Semi, ctx.meter)?;
-    let agg = hash_aggregate(&j, &[1], &[AggSpec::count(0)], ctx.meter)?;
+    let j = hash_join_exec(
+        &orders,
+        &late,
+        &[0],
+        &[0],
+        JoinType::Semi,
+        ctx.meter,
+        &ctx.exec,
+    )?;
+    let agg = hash_aggregate_exec(&j, &[1], &[AggSpec::count(0)], ctx.meter, &ctx.exec)?;
     Ok(sort(&agg, &[(0, SortDir::Asc)], ctx.meter))
 }
 
@@ -185,7 +236,15 @@ pub fn q5(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         Some(Expr::eq(cx(&db.region, "r_name"), Expr::lit_str("ASIA"))),
     )?;
     let nations = ctx.scan(&db.nation, &["n_nationkey", "n_name", "n_regionkey"], None)?;
-    let nations = hash_join(&nations, &asia, &[2], &[0], JoinType::Semi, ctx.meter)?;
+    let nations = hash_join_exec(
+        &nations,
+        &asia,
+        &[2],
+        &[0],
+        JoinType::Semi,
+        ctx.meter,
+        &ctx.exec,
+    )?;
     let cust = ctx.scan(&db.customer, &["c_custkey", "c_nationkey"], None)?;
     let orders = ctx.scan(
         &db.orders,
@@ -196,27 +255,51 @@ pub fn q5(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         )),
     )?;
     // orders ⋈ cust: [o_orderkey, o_custkey, c_custkey, c_nationkey]
-    let oc = hash_join(&orders, &cust, &[1], &[0], JoinType::Inner, ctx.meter)?;
+    let oc = hash_join_exec(
+        &orders,
+        &cust,
+        &[1],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?;
     let line = ctx.scan(
         &db.lineitem,
         &["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"],
         None,
     )?;
     // line ⋈ oc: +4 → 8 cols, c_nationkey at 7.
-    let j = hash_join(&line, &oc, &[0], &[0], JoinType::Inner, ctx.meter)?;
+    let j = hash_join_exec(
+        &line,
+        &oc,
+        &[0],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?;
     let supp = ctx.scan(&db.supplier, &["s_suppkey", "s_nationkey"], None)?;
     // +2 → s_suppkey 8, s_nationkey 9.
-    let j = hash_join(&j, &supp, &[1], &[0], JoinType::Inner, ctx.meter)?;
+    let j = hash_join_exec(&j, &supp, &[1], &[0], JoinType::Inner, ctx.meter, &ctx.exec)?;
     // Local supplier: customer and supplier share a nation.
     let j = filter_on(&j, &Expr::eq(Expr::col(7), Expr::col(9)))?;
     // ⋈ asian nations: +3 → n_name at 11.
-    let j = hash_join(&j, &nations, &[9], &[0], JoinType::Inner, ctx.meter)?;
+    let j = hash_join_exec(
+        &j,
+        &nations,
+        &[9],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?;
     let rev = eval_on(
         &j,
         &Expr::mul(Expr::col(2), Expr::sub(Expr::lit_f64(1.0), Expr::col(3))),
     )?;
     let j = with_col(j, rev); // 13
-    let agg = hash_aggregate(&j, &[11], &[AggSpec::sum(13)], ctx.meter)?;
+    let agg = hash_aggregate_exec(&j, &[11], &[AggSpec::sum(13)], ctx.meter, &ctx.exec)?;
     Ok(sort(&agg, &[(1, SortDir::Desc)], ctx.meter))
 }
 
@@ -236,7 +319,7 @@ pub fn q6(ctx: &Ctx<'_>) -> IqResult<Chunk> {
     let c = ctx.scan(li, &["l_extendedprice", "l_discount"], Some(pred))?;
     let rev = eval_on(&c, &Expr::mul(Expr::col(0), Expr::col(1)))?;
     let c = with_col(c, rev);
-    hash_aggregate(&c, &[], &[AggSpec::sum(2)], ctx.meter)
+    hash_aggregate_exec(&c, &[], &[AggSpec::sum(2)], ctx.meter, &ctx.exec)
 }
 
 /// Q7 — volume shipping between FRANCE and GERMANY.
@@ -261,11 +344,43 @@ pub fn q7(ctx: &Ctx<'_>) -> IqResult<Chunk> {
             d("1996-12-31"),
         )),
     )?;
-    let j = hash_join(&line, &supp, &[1], &[0], JoinType::Inner, ctx.meter)?; // s_nationkey 6
-    let j = hash_join(&j, &orders, &[0], &[0], JoinType::Inner, ctx.meter)?; // o_custkey 8
-    let j = hash_join(&j, &cust, &[8], &[0], JoinType::Inner, ctx.meter)?; // c_nationkey 10
-    let j = hash_join(&j, &nations, &[6], &[0], JoinType::Inner, ctx.meter)?; // supp n_name 12
-    let j = hash_join(&j, &nations, &[10], &[0], JoinType::Inner, ctx.meter)?; // cust n_name 14
+    let j = hash_join_exec(
+        &line,
+        &supp,
+        &[1],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // s_nationkey 6
+    let j = hash_join_exec(
+        &j,
+        &orders,
+        &[0],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // o_custkey 8
+    let j = hash_join_exec(&j, &cust, &[8], &[0], JoinType::Inner, ctx.meter, &ctx.exec)?; // c_nationkey 10
+    let j = hash_join_exec(
+        &j,
+        &nations,
+        &[6],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // supp n_name 12
+    let j = hash_join_exec(
+        &j,
+        &nations,
+        &[10],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // cust n_name 14
     let fr_de = Expr::or(
         Expr::and(
             Expr::eq(Expr::col(12), Expr::lit_str("FRANCE")),
@@ -284,7 +399,7 @@ pub fn q7(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         &Expr::mul(Expr::col(2), Expr::sub(Expr::lit_f64(1.0), Expr::col(3))),
     )?;
     let j = with_col(j, vol); // 16
-    let agg = hash_aggregate(&j, &[12, 14, 15], &[AggSpec::sum(16)], ctx.meter)?;
+    let agg = hash_aggregate_exec(&j, &[12, 14, 15], &[AggSpec::sum(16)], ctx.meter, &ctx.exec)?;
     Ok(sort(
         &agg,
         &[(0, SortDir::Asc), (1, SortDir::Asc), (2, SortDir::Asc)],
@@ -301,7 +416,15 @@ pub fn q8(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         Some(Expr::eq(cx(&db.region, "r_name"), Expr::lit_str("AMERICA"))),
     )?;
     let n1 = ctx.scan(&db.nation, &["n_nationkey", "n_regionkey"], None)?;
-    let n1 = hash_join(&n1, &america, &[1], &[0], JoinType::Semi, ctx.meter)?;
+    let n1 = hash_join_exec(
+        &n1,
+        &america,
+        &[1],
+        &[0],
+        JoinType::Semi,
+        ctx.meter,
+        &ctx.exec,
+    )?;
     let n2 = ctx.scan(&db.nation, &["n_nationkey", "n_name"], None)?;
     let part = ctx.scan(
         &db.part,
@@ -322,7 +445,15 @@ pub fn q8(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         ],
         None,
     )?;
-    let j = hash_join(&line, &part, &[1], &[0], JoinType::Inner, ctx.meter)?; // 6 cols
+    let j = hash_join_exec(
+        &line,
+        &part,
+        &[1],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // 6 cols
     let orders = ctx.scan(
         &db.orders,
         &["o_orderkey", "o_custkey", "o_orderdate"],
@@ -332,13 +463,21 @@ pub fn q8(ctx: &Ctx<'_>) -> IqResult<Chunk> {
             d("1996-12-31"),
         )),
     )?;
-    let j = hash_join(&j, &orders, &[0], &[0], JoinType::Inner, ctx.meter)?; // o_custkey 7, o_orderdate 8
+    let j = hash_join_exec(
+        &j,
+        &orders,
+        &[0],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // o_custkey 7, o_orderdate 8
     let cust = ctx.scan(&db.customer, &["c_custkey", "c_nationkey"], None)?;
-    let j = hash_join(&j, &cust, &[7], &[0], JoinType::Inner, ctx.meter)?; // c_nationkey 10
-    let j = hash_join(&j, &n1, &[10], &[0], JoinType::Semi, ctx.meter)?; // customers in AMERICA
+    let j = hash_join_exec(&j, &cust, &[7], &[0], JoinType::Inner, ctx.meter, &ctx.exec)?; // c_nationkey 10
+    let j = hash_join_exec(&j, &n1, &[10], &[0], JoinType::Semi, ctx.meter, &ctx.exec)?; // customers in AMERICA
     let supp = ctx.scan(&db.supplier, &["s_suppkey", "s_nationkey"], None)?;
-    let j = hash_join(&j, &supp, &[2], &[0], JoinType::Inner, ctx.meter)?; // s_nationkey 12
-    let j = hash_join(&j, &n2, &[12], &[0], JoinType::Inner, ctx.meter)?; // n2 name 14
+    let j = hash_join_exec(&j, &supp, &[2], &[0], JoinType::Inner, ctx.meter, &ctx.exec)?; // s_nationkey 12
+    let j = hash_join_exec(&j, &n2, &[12], &[0], JoinType::Inner, ctx.meter, &ctx.exec)?; // n2 name 14
     let year = eval_on(&j, &Expr::year(Expr::col(8)))?;
     let j = with_col(j, year); // 15
     let vol = eval_on(
@@ -355,7 +494,13 @@ pub fn q8(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         ),
     )?;
     let j = with_col(j, brazil); // 17
-    let agg = hash_aggregate(&j, &[15], &[AggSpec::sum(17), AggSpec::sum(16)], ctx.meter)?;
+    let agg = hash_aggregate_exec(
+        &j,
+        &[15],
+        &[AggSpec::sum(17), AggSpec::sum(16)],
+        ctx.meter,
+        &ctx.exec,
+    )?;
     let share = eval_on(&agg, &Expr::div(Expr::col(1), Expr::col(2)))?;
     let out = with_col(agg.project(&[0]), share);
     Ok(sort(&out, &[(0, SortDir::Asc)], ctx.meter))
@@ -381,19 +526,51 @@ pub fn q9(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         ],
         None,
     )?;
-    let j = hash_join(&line, &part, &[1], &[0], JoinType::Inner, ctx.meter)?; // 7 cols
+    let j = hash_join_exec(
+        &line,
+        &part,
+        &[1],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // 7 cols
     let supp = ctx.scan(&db.supplier, &["s_suppkey", "s_nationkey"], None)?;
-    let j = hash_join(&j, &supp, &[2], &[0], JoinType::Inner, ctx.meter)?; // s_nationkey 8
+    let j = hash_join_exec(&j, &supp, &[2], &[0], JoinType::Inner, ctx.meter, &ctx.exec)?; // s_nationkey 8
     let ps = ctx.scan(
         &db.partsupp,
         &["ps_partkey", "ps_suppkey", "ps_supplycost"],
         None,
     )?;
-    let j = hash_join(&j, &ps, &[1, 2], &[0, 1], JoinType::Inner, ctx.meter)?; // cost 11
+    let j = hash_join_exec(
+        &j,
+        &ps,
+        &[1, 2],
+        &[0, 1],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // cost 11
     let orders = ctx.scan(&db.orders, &["o_orderkey", "o_orderdate"], None)?;
-    let j = hash_join(&j, &orders, &[0], &[0], JoinType::Inner, ctx.meter)?; // o_orderdate 13
+    let j = hash_join_exec(
+        &j,
+        &orders,
+        &[0],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // o_orderdate 13
     let nation = ctx.scan(&db.nation, &["n_nationkey", "n_name"], None)?;
-    let j = hash_join(&j, &nation, &[8], &[0], JoinType::Inner, ctx.meter)?; // n_name 15
+    let j = hash_join_exec(
+        &j,
+        &nation,
+        &[8],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // n_name 15
     let year = eval_on(&j, &Expr::year(Expr::col(13)))?;
     let j = with_col(j, year); // 16
                                // amount = ext*(1-disc) - cost*qty
@@ -405,7 +582,7 @@ pub fn q9(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         ),
     )?;
     let j = with_col(j, amount); // 17
-    let agg = hash_aggregate(&j, &[15, 16], &[AggSpec::sum(17)], ctx.meter)?;
+    let agg = hash_aggregate_exec(&j, &[15, 16], &[AggSpec::sum(17)], ctx.meter, &ctx.exec)?;
     Ok(sort(
         &agg,
         &[(0, SortDir::Asc), (1, SortDir::Desc)],
@@ -432,7 +609,15 @@ pub fn q10(ctx: &Ctx<'_>) -> IqResult<Chunk> {
             Expr::lit_str("R"),
         )),
     )?;
-    let j = hash_join(&line, &orders, &[0], &[0], JoinType::Inner, ctx.meter)?; // o_custkey 4
+    let j = hash_join_exec(
+        &line,
+        &orders,
+        &[0],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // o_custkey 4
     let cust = ctx.scan(
         &db.customer,
         &[
@@ -446,19 +631,28 @@ pub fn q10(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         ],
         None,
     )?;
-    let j = hash_join(&j, &cust, &[4], &[0], JoinType::Inner, ctx.meter)?; // cust 5..=11
+    let j = hash_join_exec(&j, &cust, &[4], &[0], JoinType::Inner, ctx.meter, &ctx.exec)?; // cust 5..=11
     let nation = ctx.scan(&db.nation, &["n_nationkey", "n_name"], None)?;
-    let j = hash_join(&j, &nation, &[9], &[0], JoinType::Inner, ctx.meter)?; // n_name 13
+    let j = hash_join_exec(
+        &j,
+        &nation,
+        &[9],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // n_name 13
     let rev = eval_on(
         &j,
         &Expr::mul(Expr::col(1), Expr::sub(Expr::lit_f64(1.0), Expr::col(2))),
     )?;
     let j = with_col(j, rev); // 14
-    let agg = hash_aggregate(
+    let agg = hash_aggregate_exec(
         &j,
         &[5, 6, 7, 8, 13, 10, 11],
         &[AggSpec::sum(14)],
         ctx.meter,
+        &ctx.exec,
     )?;
     let out = sort(&agg, &[(7, SortDir::Desc)], ctx.meter);
     Ok(limit(&out, 20))
@@ -473,18 +667,26 @@ pub fn q11(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         Some(Expr::eq(cx(&db.nation, "n_name"), Expr::lit_str("GERMANY"))),
     )?;
     let supp = ctx.scan(&db.supplier, &["s_suppkey", "s_nationkey"], None)?;
-    let supp = hash_join(&supp, &germany, &[1], &[0], JoinType::Semi, ctx.meter)?;
+    let supp = hash_join_exec(
+        &supp,
+        &germany,
+        &[1],
+        &[0],
+        JoinType::Semi,
+        ctx.meter,
+        &ctx.exec,
+    )?;
     let ps = ctx.scan(
         &db.partsupp,
         &["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"],
         None,
     )?;
-    let ps = hash_join(&ps, &supp, &[1], &[0], JoinType::Semi, ctx.meter)?;
+    let ps = hash_join_exec(&ps, &supp, &[1], &[0], JoinType::Semi, ctx.meter, &ctx.exec)?;
     let value = eval_on(&ps, &Expr::mul(Expr::col(3), Expr::col(2)))?;
     let ps = with_col(ps, value); // 4
-    let total = hash_aggregate(&ps, &[], &[AggSpec::sum(4)], ctx.meter)?;
+    let total = hash_aggregate_exec(&ps, &[], &[AggSpec::sum(4)], ctx.meter, &ctx.exec)?;
     let threshold = total.col(0).f64s()[0] * (0.0001 / ctx.db.sf);
-    let agg = hash_aggregate(&ps, &[0], &[AggSpec::sum(4)], ctx.meter)?;
+    let agg = hash_aggregate_exec(&ps, &[0], &[AggSpec::sum(4)], ctx.meter, &ctx.exec)?;
     let agg = filter_on(&agg, &Expr::gt(Expr::col(1), Expr::lit_f64(threshold)))?;
     Ok(sort(&agg, &[(1, SortDir::Desc)], ctx.meter))
 }

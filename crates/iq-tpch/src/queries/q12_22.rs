@@ -3,7 +3,9 @@
 use iq_common::IqResult;
 use iq_engine::chunk::{Chunk, Col};
 use iq_engine::expr::Expr;
-use iq_engine::ops::{hash_aggregate, hash_join, limit, sort, AggSpec, JoinType, SortDir};
+use iq_engine::ops::{
+    hash_aggregate_exec, hash_join_exec, limit, sort, AggSpec, JoinType, SortDir,
+};
 use iq_engine::value::Value;
 
 use super::{cx, d, eval_on, filter_on, with_col, Ctx};
@@ -24,7 +26,15 @@ pub fn q12(ctx: &Ctx<'_>) -> IqResult<Chunk> {
     ]);
     let line = ctx.scan(li, &["l_orderkey", "l_shipmode"], Some(pred))?;
     let orders = ctx.scan(&db.orders, &["o_orderkey", "o_orderpriority"], None)?;
-    let j = hash_join(&line, &orders, &[0], &[0], JoinType::Inner, ctx.meter)?; // priority 3
+    let j = hash_join_exec(
+        &line,
+        &orders,
+        &[0],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // priority 3
     let high = eval_on(
         &j,
         &Expr::case(
@@ -39,7 +49,13 @@ pub fn q12(ctx: &Ctx<'_>) -> IqResult<Chunk> {
     let j = with_col(j, high); // 4
     let low = eval_on(&j, &Expr::sub(Expr::lit_i64(1), Expr::col(4)))?;
     let j = with_col(j, low); // 5
-    let agg = hash_aggregate(&j, &[1], &[AggSpec::sum(4), AggSpec::sum(5)], ctx.meter)?;
+    let agg = hash_aggregate_exec(
+        &j,
+        &[1],
+        &[AggSpec::sum(4), AggSpec::sum(5)],
+        ctx.meter,
+        &ctx.exec,
+    )?;
     Ok(sort(&agg, &[(0, SortDir::Asc)], ctx.meter))
 }
 
@@ -57,14 +73,22 @@ pub fn q13(ctx: &Ctx<'_>) -> IqResult<Chunk> {
     let cust = ctx.scan(&db.customer, &["c_custkey"], None)?;
     // Left join keeps customers with no orders; the trailing marker column
     // is 1 for matches, 0 otherwise.
-    let j = hash_join(&cust, &orders, &[0], &[1], JoinType::Left, ctx.meter)?;
+    let j = hash_join_exec(
+        &cust,
+        &orders,
+        &[0],
+        &[1],
+        JoinType::Left,
+        ctx.meter,
+        &ctx.exec,
+    )?;
     let marker = j.cols.len() - 1;
-    let per_cust = hash_aggregate(&j, &[0], &[AggSpec::sum(marker)], ctx.meter)?;
+    let per_cust = hash_aggregate_exec(&j, &[0], &[AggSpec::sum(marker)], ctx.meter, &ctx.exec)?;
     // c_count arrives as a float sum of markers; materialize as integers
     // for grouping.
     let counts = Col::I64(per_cust.col(1).f64s().iter().map(|&x| x as i64).collect());
     let per_cust = with_col(per_cust.project(&[0]), counts);
-    let dist = hash_aggregate(&per_cust, &[1], &[AggSpec::count(0)], ctx.meter)?;
+    let dist = hash_aggregate_exec(&per_cust, &[1], &[AggSpec::count(0)], ctx.meter, &ctx.exec)?;
     Ok(sort(
         &dist,
         &[(1, SortDir::Desc), (0, SortDir::Desc)],
@@ -84,7 +108,15 @@ pub fn q14(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         )),
     )?;
     let part = ctx.scan(&db.part, &["p_partkey", "p_type"], None)?;
-    let j = hash_join(&line, &part, &[0], &[0], JoinType::Inner, ctx.meter)?; // p_type 4
+    let j = hash_join_exec(
+        &line,
+        &part,
+        &[0],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // p_type 4
     let rev = eval_on(
         &j,
         &Expr::mul(Expr::col(1), Expr::sub(Expr::lit_f64(1.0), Expr::col(2))),
@@ -99,7 +131,13 @@ pub fn q14(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         ),
     )?;
     let j = with_col(j, promo); // 6
-    let agg = hash_aggregate(&j, &[], &[AggSpec::sum(6), AggSpec::sum(5)], ctx.meter)?;
+    let agg = hash_aggregate_exec(
+        &j,
+        &[],
+        &[AggSpec::sum(6), AggSpec::sum(5)],
+        ctx.meter,
+        &ctx.exec,
+    )?;
     let pct = eval_on(
         &agg,
         &Expr::div(Expr::mul(Expr::lit_f64(100.0), Expr::col(0)), Expr::col(1)),
@@ -123,8 +161,8 @@ pub fn q15(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         &Expr::mul(Expr::col(1), Expr::sub(Expr::lit_f64(1.0), Expr::col(2))),
     )?;
     let line = with_col(line, rev); // 3
-    let revenue = hash_aggregate(&line, &[0], &[AggSpec::sum(3)], ctx.meter)?;
-    let max = hash_aggregate(&revenue, &[], &[AggSpec::max(1)], ctx.meter)?;
+    let revenue = hash_aggregate_exec(&line, &[0], &[AggSpec::sum(3)], ctx.meter, &ctx.exec)?;
+    let max = hash_aggregate_exec(&revenue, &[], &[AggSpec::max(1)], ctx.meter, &ctx.exec)?;
     let max_rev = max.col(0).f64s()[0];
     let top = filter_on(&revenue, &Expr::eq(Expr::col(1), Expr::lit_f64(max_rev)))?;
     let supp = ctx.scan(
@@ -132,7 +170,15 @@ pub fn q15(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         &["s_suppkey", "s_name", "s_address", "s_phone"],
         None,
     )?;
-    let j = hash_join(&supp, &top, &[0], &[0], JoinType::Inner, ctx.meter)?; // total 5
+    let j = hash_join_exec(
+        &supp,
+        &top,
+        &[0],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // total 5
     let out = j.project(&[0, 1, 2, 3, 5]);
     Ok(sort(&out, &[(0, SortDir::Asc)], ctx.meter))
 }
@@ -149,7 +195,7 @@ pub fn q16(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         )),
     )?;
     let ps = ctx.scan(&db.partsupp, &["ps_partkey", "ps_suppkey"], None)?;
-    let ps = hash_join(&ps, &bad, &[1], &[0], JoinType::Anti, ctx.meter)?;
+    let ps = hash_join_exec(&ps, &bad, &[1], &[0], JoinType::Anti, ctx.meter, &ctx.exec)?;
     let sizes = [49i64, 14, 23, 45, 19, 3, 36, 9].map(Value::I64).to_vec();
     let part = ctx.scan(
         &db.part,
@@ -160,8 +206,22 @@ pub fn q16(ctx: &Ctx<'_>) -> IqResult<Chunk> {
             Expr::in_list(cx(&db.part, "p_size"), sizes),
         ])),
     )?;
-    let j = hash_join(&ps, &part, &[0], &[0], JoinType::Inner, ctx.meter)?; // brand 3, type 4, size 5
-    let agg = hash_aggregate(&j, &[3, 4, 5], &[AggSpec::count_distinct(1)], ctx.meter)?;
+    let j = hash_join_exec(
+        &ps,
+        &part,
+        &[0],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // brand 3, type 4, size 5
+    let agg = hash_aggregate_exec(
+        &j,
+        &[3, 4, 5],
+        &[AggSpec::count_distinct(1)],
+        ctx.meter,
+        &ctx.exec,
+    )?;
     Ok(sort(
         &agg,
         &[
@@ -190,14 +250,22 @@ pub fn q17(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         &["l_partkey", "l_quantity", "l_extendedprice"],
         None,
     )?;
-    let j = hash_join(&line, &part, &[0], &[0], JoinType::Inner, ctx.meter)?; // 4 cols
-    let avgs = hash_aggregate(&j, &[0], &[AggSpec::avg(1)], ctx.meter)?;
-    let j = hash_join(&j, &avgs, &[0], &[0], JoinType::Inner, ctx.meter)?; // avg at 5
+    let j = hash_join_exec(
+        &line,
+        &part,
+        &[0],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // 4 cols
+    let avgs = hash_aggregate_exec(&j, &[0], &[AggSpec::avg(1)], ctx.meter, &ctx.exec)?;
+    let j = hash_join_exec(&j, &avgs, &[0], &[0], JoinType::Inner, ctx.meter, &ctx.exec)?; // avg at 5
     let j = filter_on(
         &j,
         &Expr::lt(Expr::col(1), Expr::mul(Expr::lit_f64(0.2), Expr::col(5))),
     )?;
-    let agg = hash_aggregate(&j, &[], &[AggSpec::sum(2)], ctx.meter)?;
+    let agg = hash_aggregate_exec(&j, &[], &[AggSpec::sum(2)], ctx.meter, &ctx.exec)?;
     let yearly = eval_on(&agg, &Expr::div(Expr::col(0), Expr::lit_f64(7.0)))?;
     Ok(Chunk::new(vec![yearly]))
 }
@@ -206,16 +274,24 @@ pub fn q17(ctx: &Ctx<'_>) -> IqResult<Chunk> {
 pub fn q18(ctx: &Ctx<'_>) -> IqResult<Chunk> {
     let db = ctx.db;
     let line = ctx.scan(&db.lineitem, &["l_orderkey", "l_quantity"], None)?;
-    let per_order = hash_aggregate(&line, &[0], &[AggSpec::sum(1)], ctx.meter)?;
+    let per_order = hash_aggregate_exec(&line, &[0], &[AggSpec::sum(1)], ctx.meter, &ctx.exec)?;
     let big = filter_on(&per_order, &Expr::gt(Expr::col(1), Expr::lit_f64(300.0)))?;
     let orders = ctx.scan(
         &db.orders,
         &["o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"],
         None,
     )?;
-    let j = hash_join(&orders, &big, &[0], &[0], JoinType::Inner, ctx.meter)?; // sumqty 5
+    let j = hash_join_exec(
+        &orders,
+        &big,
+        &[0],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // sumqty 5
     let cust = ctx.scan(&db.customer, &["c_custkey", "c_name"], None)?;
-    let j = hash_join(&j, &cust, &[1], &[0], JoinType::Inner, ctx.meter)?; // c_name 7
+    let j = hash_join_exec(&j, &cust, &[1], &[0], JoinType::Inner, ctx.meter, &ctx.exec)?; // c_name 7
     let out = j.project(&[7, 1, 0, 2, 3, 5]);
     let out = sort(&out, &[(4, SortDir::Desc), (3, SortDir::Asc)], ctx.meter);
     Ok(limit(&out, 100))
@@ -241,7 +317,15 @@ pub fn q19(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         &["p_partkey", "p_brand", "p_container", "p_size"],
         None,
     )?;
-    let j = hash_join(&line, &part, &[0], &[0], JoinType::Inner, ctx.meter)?;
+    let j = hash_join_exec(
+        &line,
+        &part,
+        &[0],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?;
     // Positions: qty 1, ext 2, disc 3, brand 5, container 6, size 7.
     let band = |brand: &str, containers: [&str; 4], qlo: i64, qhi: i64, smax: i64| {
         Expr::and_all(vec![
@@ -285,7 +369,13 @@ pub fn q19(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         &Expr::mul(Expr::col(2), Expr::sub(Expr::lit_f64(1.0), Expr::col(3))),
     )?;
     let j = with_col(j, rev);
-    hash_aggregate(&j, &[], &[AggSpec::sum(j.cols.len() - 1)], ctx.meter)
+    hash_aggregate_exec(
+        &j,
+        &[],
+        &[AggSpec::sum(j.cols.len() - 1)],
+        ctx.meter,
+        &ctx.exec,
+    )
 }
 
 /// Q20 — potential part promotion: CANADA suppliers of `forest%` parts
@@ -305,14 +395,30 @@ pub fn q20(ctx: &Ctx<'_>) -> IqResult<Chunk> {
             Expr::lt(cx(&db.lineitem, "l_shipdate"), d("1995-01-01")),
         )),
     )?;
-    let shipped = hash_aggregate(&line, &[0, 1], &[AggSpec::sum(2)], ctx.meter)?;
+    let shipped = hash_aggregate_exec(&line, &[0, 1], &[AggSpec::sum(2)], ctx.meter, &ctx.exec)?;
     let ps = ctx.scan(
         &db.partsupp,
         &["ps_partkey", "ps_suppkey", "ps_availqty"],
         None,
     )?;
-    let ps = hash_join(&ps, &forest, &[0], &[0], JoinType::Semi, ctx.meter)?;
-    let j = hash_join(&ps, &shipped, &[0, 1], &[0, 1], JoinType::Inner, ctx.meter)?; // sumqty 5
+    let ps = hash_join_exec(
+        &ps,
+        &forest,
+        &[0],
+        &[0],
+        JoinType::Semi,
+        ctx.meter,
+        &ctx.exec,
+    )?;
+    let j = hash_join_exec(
+        &ps,
+        &shipped,
+        &[0, 1],
+        &[0, 1],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // sumqty 5
     let j = filter_on(
         &j,
         &Expr::gt(Expr::col(2), Expr::mul(Expr::lit_f64(0.5), Expr::col(5))),
@@ -327,8 +433,16 @@ pub fn q20(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         &["s_suppkey", "s_name", "s_address", "s_nationkey"],
         None,
     )?;
-    let supp = hash_join(&supp, &canada, &[3], &[0], JoinType::Semi, ctx.meter)?;
-    let out = hash_join(&supp, &j, &[0], &[1], JoinType::Semi, ctx.meter)?;
+    let supp = hash_join_exec(
+        &supp,
+        &canada,
+        &[3],
+        &[0],
+        JoinType::Semi,
+        ctx.meter,
+        &ctx.exec,
+    )?;
+    let out = hash_join_exec(&supp, &j, &[0], &[1], JoinType::Semi, ctx.meter, &ctx.exec)?;
     let out = out.project(&[1, 2]);
     Ok(sort(&out, &[(0, SortDir::Asc)], ctx.meter))
 }
@@ -346,7 +460,15 @@ pub fn q21(ctx: &Ctx<'_>) -> IqResult<Chunk> {
         )),
     )?;
     let supp = ctx.scan(&db.supplier, &["s_suppkey", "s_name", "s_nationkey"], None)?;
-    let supp = hash_join(&supp, &saudi, &[2], &[0], JoinType::Semi, ctx.meter)?;
+    let supp = hash_join_exec(
+        &supp,
+        &saudi,
+        &[2],
+        &[0],
+        JoinType::Semi,
+        ctx.meter,
+        &ctx.exec,
+    )?;
     let orders_f = ctx.scan(
         &db.orders,
         &["o_orderkey"],
@@ -357,7 +479,13 @@ pub fn q21(ctx: &Ctx<'_>) -> IqResult<Chunk> {
     )?;
     let all_lines = ctx.scan(&db.lineitem, &["l_orderkey", "l_suppkey"], None)?;
     // Distinct suppliers per order, overall (EXISTS l2) ...
-    let n_all = hash_aggregate(&all_lines, &[0], &[AggSpec::count_distinct(1)], ctx.meter)?;
+    let n_all = hash_aggregate_exec(
+        &all_lines,
+        &[0],
+        &[AggSpec::count_distinct(1)],
+        ctx.meter,
+        &ctx.exec,
+    )?;
     // ... and among late lines (NOT EXISTS l3 with another late supplier).
     let late = ctx.scan(
         &db.lineitem,
@@ -367,12 +495,50 @@ pub fn q21(ctx: &Ctx<'_>) -> IqResult<Chunk> {
             cx(&db.lineitem, "l_commitdate"),
         )),
     )?;
-    let n_late = hash_aggregate(&late, &[0], &[AggSpec::count_distinct(1)], ctx.meter)?;
+    let n_late = hash_aggregate_exec(
+        &late,
+        &[0],
+        &[AggSpec::count_distinct(1)],
+        ctx.meter,
+        &ctx.exec,
+    )?;
     // l1: late lines of Saudi suppliers on failed orders.
-    let l1 = hash_join(&late, &supp, &[1], &[0], JoinType::Inner, ctx.meter)?; // s_name 3
-    let l1 = hash_join(&l1, &orders_f, &[0], &[0], JoinType::Semi, ctx.meter)?;
-    let l1 = hash_join(&l1, &n_all, &[0], &[0], JoinType::Inner, ctx.meter)?; // n_all 6
-    let l1 = hash_join(&l1, &n_late, &[0], &[0], JoinType::Inner, ctx.meter)?; // n_late 8
+    let l1 = hash_join_exec(
+        &late,
+        &supp,
+        &[1],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // s_name 3
+    let l1 = hash_join_exec(
+        &l1,
+        &orders_f,
+        &[0],
+        &[0],
+        JoinType::Semi,
+        ctx.meter,
+        &ctx.exec,
+    )?;
+    let l1 = hash_join_exec(
+        &l1,
+        &n_all,
+        &[0],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // n_all 6
+    let l1 = hash_join_exec(
+        &l1,
+        &n_late,
+        &[0],
+        &[0],
+        JoinType::Inner,
+        ctx.meter,
+        &ctx.exec,
+    )?; // n_late 8
     let l1 = filter_on(
         &l1,
         &Expr::and(
@@ -380,7 +546,7 @@ pub fn q21(ctx: &Ctx<'_>) -> IqResult<Chunk> {
             Expr::eq(Expr::col(8), Expr::lit_i64(1)),
         ),
     )?;
-    let agg = hash_aggregate(&l1, &[3], &[AggSpec::count(0)], ctx.meter)?;
+    let agg = hash_aggregate_exec(&l1, &[3], &[AggSpec::count(0)], ctx.meter, &ctx.exec)?;
     let out = sort(&agg, &[(1, SortDir::Desc), (0, SortDir::Asc)], ctx.meter);
     Ok(limit(&out, 100))
 }
@@ -399,16 +565,25 @@ pub fn q22(ctx: &Ctx<'_>) -> IqResult<Chunk> {
     let cust = filter_on(&cust, &Expr::in_list(Expr::col(3), codes))?;
     // Average positive balance over the candidate codes.
     let positive = filter_on(&cust, &Expr::gt(Expr::col(2), Expr::lit_f64(0.0)))?;
-    let avg = hash_aggregate(&positive, &[], &[AggSpec::avg(2)], ctx.meter)?;
+    let avg = hash_aggregate_exec(&positive, &[], &[AggSpec::avg(2)], ctx.meter, &ctx.exec)?;
     let avg_bal = avg.col(0).f64s()[0];
     let rich = filter_on(&cust, &Expr::gt(Expr::col(2), Expr::lit_f64(avg_bal)))?;
     let orders = ctx.scan(&db.orders, &["o_custkey"], None)?;
-    let no_orders = hash_join(&rich, &orders, &[0], &[0], JoinType::Anti, ctx.meter)?;
-    let agg = hash_aggregate(
+    let no_orders = hash_join_exec(
+        &rich,
+        &orders,
+        &[0],
+        &[0],
+        JoinType::Anti,
+        ctx.meter,
+        &ctx.exec,
+    )?;
+    let agg = hash_aggregate_exec(
         &no_orders,
         &[3],
         &[AggSpec::count(0), AggSpec::sum(2)],
         ctx.meter,
+        &ctx.exec,
     )?;
     Ok(sort(&agg, &[(0, SortDir::Asc)], ctx.meter))
 }

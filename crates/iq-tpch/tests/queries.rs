@@ -38,6 +38,7 @@ fn run(n: u32) -> iq_engine::Chunk {
         db: &f.db,
         store: &f.store,
         meter: &f.meter,
+        exec: iq_engine::OpExec::for_store(&f.store),
     };
     run_query(n, &ctx).unwrap_or_else(|e| panic!("Q{n} failed: {e}"))
 }
@@ -310,7 +311,52 @@ fn all_queries_run_and_are_deterministic() {
         db: &f.db,
         store: &f.store,
         meter: &f.meter,
+        exec: iq_engine::OpExec::for_store(&f.store),
     };
     assert!(run_query(23, &ctx).is_err());
     assert!(run_query(0, &ctx).is_err());
+}
+
+#[test]
+fn all_queries_bitwise_identical_at_every_fanout() {
+    // The partitioned operator paths promise *bitwise* equality with the
+    // serial oracle (f64 compared by bit pattern, not ==), so a plan's
+    // answer can never depend on the worker count it happened to run at.
+    let f = fixture();
+    let run_with = |n: u32, exec: iq_engine::OpExec| {
+        let ctx = Ctx {
+            db: &f.db,
+            store: &f.store,
+            meter: &f.meter,
+            exec,
+        };
+        run_query(n, &ctx).unwrap_or_else(|e| panic!("Q{n} failed: {e}"))
+    };
+    for n in 1..=22 {
+        let serial = run_with(n, iq_engine::OpExec::serial());
+        for workers in [2usize, 8] {
+            let parallel = run_with(n, iq_engine::OpExec::new(workers));
+            assert_eq!(
+                serial.cols.len(),
+                parallel.cols.len(),
+                "Q{n} arity @ {workers} workers"
+            );
+            for (c, (a, b)) in serial.cols.iter().zip(&parallel.cols).enumerate() {
+                use iq_engine::chunk::Col;
+                match (a, b) {
+                    (Col::F64(x), Col::F64(y)) => {
+                        assert_eq!(x.len(), y.len(), "Q{n} col {c} len @ {workers}");
+                        for (i, (u, v)) in x.iter().zip(y).enumerate() {
+                            assert_eq!(
+                                u.to_bits(),
+                                v.to_bits(),
+                                "Q{n} col {c} row {i} @ {workers} workers: {u} vs {v}"
+                            );
+                        }
+                    }
+                    _ => assert_eq!(a, b, "Q{n} col {c} @ {workers} workers"),
+                }
+            }
+        }
+    }
 }

@@ -73,6 +73,7 @@ fn queries_survive_refresh_cycles() {
             db: &db,
             store: &store,
             meter: &meter,
+            exec: iq_engine::OpExec::for_store(&store),
         };
         run_query(1, &ctx).unwrap()
     };
@@ -90,6 +91,7 @@ fn queries_survive_refresh_cycles() {
         db: &db,
         store: &store,
         meter: &meter,
+        exec: iq_engine::OpExec::for_store(&store),
     };
     let after = run_query(1, &ctx).unwrap();
     assert_eq!(after.cols.len(), baseline.cols.len());

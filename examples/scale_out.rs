@@ -65,6 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         db: &tpch,
                         store: &pager,
                         meter: db.meter(),
+                        exec: iq_engine::OpExec::for_store(&pager),
                     };
                     rows += run_query(q, &ctx).expect("query").len() as u64;
                 }

@@ -52,6 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         db: &tpch,
         store: &qpager,
         meter: db.meter(),
+        exec: iq_engine::OpExec::for_store(&qpager),
     };
     for n in 1..=22u32 {
         let mark = db.meter().total();
