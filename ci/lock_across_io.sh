@@ -33,7 +33,10 @@ for f in crates/iq-buffer/src/*.rs crates/iq-ocm/src/*.rs \
          crates/iq-objectstore/src/reactor.rs crates/iq-common/src/io.rs \
          crates/iq-core/src/group_commit.rs \
          crates/iq-core/src/log_recovery.rs \
-         crates/iq-core/src/scheduler.rs; do
+         crates/iq-core/src/scheduler.rs \
+         crates/iq-engine/src/table.rs \
+         crates/iq-engine/src/prefetch.rs \
+         crates/iq-engine/src/scanstats.rs; do
   awk -v FILE="$f" '
     BEGIN { depth = 0; nguards = 0; bad = 0 }
     # Non-doc comment-only lines cannot hold locks or do I/O.

@@ -23,6 +23,7 @@ fn bench_queries(c: &mut Criterion) {
                     store: &store,
                     meter: &meter,
                     exec: iq_engine::OpExec::for_store(&store),
+                    late_mat: true,
                 };
                 run_query(n, &ctx).unwrap()
             })

@@ -43,6 +43,9 @@ fn main() {
                        --throughput fair-queued TPC-H throughput drill: 24 query\n\
                                     + 4 refresh streams over 16 slots, weighted\n\
                                     fair vs FIFO, per-class p50/p99/$-cost\n\
+                       --prune      late-materialization scan ablation: eager vs\n\
+                                    two-phase predicate-first page reads over an\n\
+                                    unclustered selective sweep (GETs saved)\n\
                        --faults     fault sweep: retry/backoff under a flaky store\n\
                        --explain    time-model phase totals + folded event journal\n\n\
                      MACHINE-READABLE MODES (exit after running; stdout is the artifact):\n\
@@ -56,13 +59,13 @@ fn main() {
                                        and backoff counters)\n\n\
                      --sf sets the functional scale factor (default 0.01);\n\
                      results are projected to the paper's SF 1000.\n\n\
-                     The --gc, --cache, --pack, --group-commit, --recovery\n\
-                     and --throughput sections also write their measurement\n\
-                     rows to BENCH_gc.json / BENCH_cache.json /\n\
+                     The --gc, --cache, --pack, --group-commit, --recovery,\n\
+                     --throughput and --prune sections also write their\n\
+                     measurement rows to BENCH_gc.json / BENCH_cache.json /\n\
                      BENCH_pack.json / BENCH_group_commit.json /\n\
-                     BENCH_recovery.json / BENCH_throughput.json in the\n\
-                     working directory, so the perf trajectory is tracked\n\
-                     PR-over-PR."
+                     BENCH_recovery.json / BENCH_throughput.json /\n\
+                     BENCH_prune.json in the working directory, so the perf\n\
+                     trajectory is tracked PR-over-PR."
                 );
                 return;
             }
@@ -173,6 +176,9 @@ fn main() {
         if !want("recovery") {
             reports.push(experiments::ablation_recovery(sf).expect("ablation_recovery"));
         }
+        if !want("prune") {
+            reports.push(experiments::ablation_prune(sf).expect("ablation_prune"));
+        }
     }
     if want("gc") {
         let m = experiments::gc_batching_measurements(sf).expect("gc_batching_measurements");
@@ -198,6 +204,11 @@ fn main() {
         let m = experiments::recovery_measurements(sf).expect("recovery_measurements");
         write_bench("recovery", sf, &m);
         reports.push(experiments::report_recovery(&m));
+    }
+    if want("prune") {
+        let m = experiments::prune_measurements(sf).expect("prune_measurements");
+        write_bench("prune", sf, &m);
+        reports.push(experiments::report_prune(&m));
     }
     if want("throughput") {
         let m = iq_bench::throughput::throughput_measurements(sf).expect("throughput_measurements");

@@ -2043,6 +2043,255 @@ pub fn report_recovery(measures: &[RecoveryMeasure]) -> Report {
     r
 }
 
+/// One measured leg of [`ablation_prune`]: one predicate × one scan mode.
+#[derive(serde::Serialize)]
+pub struct PruneMeasure {
+    /// Row label (predicate + mode).
+    pub label: String,
+    /// Two-phase late materialization on (`false` = classic eager scan).
+    pub late_mat: bool,
+    /// Rows loaded.
+    pub rows: u64,
+    /// Row groups in the table.
+    pub groups: u64,
+    /// Rows the predicate selected (identical across modes).
+    pub matched_rows: u64,
+    /// Groups pruned before any I/O (zone maps; ~0 here by construction —
+    /// the predicate column is unclustered).
+    pub groups_zone_pruned: u64,
+    /// Surviving groups whose mask came up all-false (projection skipped).
+    pub groups_empty_mask: u64,
+    /// Surviving groups whose projection pages were materialized.
+    pub groups_materialized: u64,
+    /// Data pages demand-read for predicate evaluation.
+    pub predicate_pages_read: u64,
+    /// Data pages read for projection only.
+    pub projection_pages_read: u64,
+    /// Projection pages skipped by all-false masks.
+    pub projection_pages_skipped: u64,
+    /// String columns the scan evaluated in the dictionary code domain.
+    pub dict_filter_columns: u64,
+    /// GET-class object-store requests issued by the cold scan.
+    pub scan_gets: u64,
+    /// Modeled S3 request charges for the cold scan (USD).
+    pub scan_request_usd: f64,
+    /// FNV-1a over every result row — must be identical across modes.
+    pub checksum: u64,
+}
+
+/// Run one cold scan leg of the prune ablation: fresh database, load the
+/// unclustered table, clear the buffer, scan with `late_mat` on or off,
+/// and read GETs from the store's own epoch ledger and group/page counts
+/// from the `scan.*` counters.
+fn prune_leg(rows: i64, pred_name: &str, late_mat: bool) -> IqResult<PruneMeasure> {
+    use iq_common::TableId;
+    use iq_core::{Database, DatabaseConfig};
+    use iq_engine::{DataType, Expr, ScanOptions, Schema, TableMeta, TableWriter, Value};
+    use iq_objectstore::CostLedger;
+
+    let mut cfg = DatabaseConfig::test_small();
+    // OCM off and one page per object, so every page the scan touches is
+    // exactly one GET in the ledger — the request economy under test.
+    cfg.ocm_bytes = 0;
+    cfg.pack_pages = 1;
+    cfg.retention = None;
+    let db = Database::create(cfg)?;
+    let space = db.create_cloud_dbspace("prune")?;
+    let table = TableId(1);
+    db.create_table(table, space)?;
+    let store = db.cloud_store(space).expect("cloud dbspace is simulated");
+
+    // Unclustered data: the predicate columns are multiplicative-hash
+    // scatters, so every row group's zone spans nearly the whole value
+    // domain and min/max pruning never fires — the late-materialization
+    // worst case for eager scans.
+    let scatter =
+        |i: i64| -> i64 { ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 16) as i64 & 0xFFF };
+    let cat = |i: i64| -> &'static str {
+        match scatter(i.wrapping_add(1_000_003)) % 1000 {
+            0 => "NEEDLE",
+            1..=19 => "RARE",
+            _ => "COMMON",
+        }
+    };
+    let mut meta = TableMeta::new(
+        table,
+        "prune",
+        Schema::new(&[
+            ("k", DataType::I64),
+            ("cat", DataType::Str),
+            ("v0", DataType::I64),
+            ("v1", DataType::F64),
+            ("v2", DataType::Str),
+            ("v3", DataType::Date),
+        ]),
+        256,
+    );
+    let txn = db.begin();
+    {
+        let pager = db.pager(txn)?;
+        let meter = db.meter().clone();
+        let mut w = TableWriter::new(&mut meta, &pager, txn, &meter);
+        for i in 0..rows {
+            w.append_row(&[
+                Value::I64(scatter(i)),
+                Value::Str(cat(i).into()),
+                Value::I64(i.wrapping_mul(7)),
+                Value::F64(i as f64 * 0.25),
+                Value::Str(format!("pay{}", i % 97).into()),
+                Value::Date((i % 10_000) as i32),
+            ])?;
+        }
+        w.finish()?;
+    }
+    db.commit(txn)?;
+    if let Some(ocm) = db.ocm() {
+        ocm.quiesce();
+    }
+
+    // The sweep's predicates: an unclustered integer point probe (the
+    // headline selective leg), a rare and a common dictionary-string
+    // equality (the latter materializes everything — the late-mat
+    // break-even case).
+    let pred = match pred_name {
+        "k = 777 (selective)" => Expr::eq(Expr::col(0), Expr::lit_i64(777)),
+        "cat = 'RARE'" => Expr::eq(Expr::col(1), Expr::lit_str("RARE")),
+        "cat = 'COMMON'" => Expr::eq(Expr::col(1), Expr::lit_str("COMMON")),
+        other => panic!("unknown prune predicate {other}"),
+    };
+    let projection = [2usize, 3, 4, 5];
+
+    // Cold scan: the GETs in this epoch are the scan's and nothing else's.
+    db.shared().buffer.clear();
+    store.stats.begin_epoch();
+    let rtxn = db.begin();
+    let pager = db.pager(rtxn)?;
+    let out = meta.scan_with_options(
+        &pager,
+        &projection,
+        Some(&pred),
+        db.meter(),
+        ScanOptions {
+            workers: 4,
+            late_mat,
+        },
+    )?;
+    db.rollback(rtxn)?;
+    let snap = store.stats.snapshot();
+    let mut ledger = CostLedger::default();
+    ledger.charge_requests(&DeviceProfile::s3(), &snap);
+
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+    for r in 0..out.len() {
+        for v in out.row(r) {
+            fnv1a(&mut checksum, format!("{v:?}").as_bytes());
+        }
+    }
+
+    let sc = db.scan_stats();
+    use iq_engine::ScanStats;
+    Ok(PruneMeasure {
+        label: format!(
+            "{pred_name}, {}",
+            if late_mat { "late-mat" } else { "eager" }
+        ),
+        late_mat,
+        rows: rows as u64,
+        groups: meta.groups.len() as u64,
+        matched_rows: out.len() as u64,
+        groups_zone_pruned: ScanStats::get(&sc.groups_zone_pruned),
+        groups_empty_mask: ScanStats::get(&sc.groups_empty_mask),
+        groups_materialized: ScanStats::get(&sc.groups_materialized),
+        predicate_pages_read: ScanStats::get(&sc.predicate_pages_read),
+        projection_pages_read: ScanStats::get(&sc.projection_pages_read),
+        projection_pages_skipped: ScanStats::get(&sc.projection_pages_skipped),
+        dict_filter_columns: ScanStats::get(&sc.dict_filter_columns),
+        scan_gets: snap.total_requests,
+        scan_request_usd: ledger.request_usd(),
+        checksum,
+    })
+}
+
+/// Run the prune sweep: three unclustered predicates of decreasing
+/// selectivity, each scanned eager and late-materialized, asserting the
+/// two modes return bitwise-identical results.
+pub fn prune_measurements(sf: f64) -> IqResult<Vec<PruneMeasure>> {
+    // Row count tracks the scale factor; the floor keeps even the CI
+    // smoke at 16 row groups of 256 rows, enough for the all-false-mask
+    // population the ablation is about.
+    let rows = ((sf * 400_000.0) as i64).clamp(4_096, 32_768);
+    let mut out = Vec::new();
+    for pred in ["k = 777 (selective)", "cat = 'RARE'", "cat = 'COMMON'"] {
+        let eager = prune_leg(rows, pred, false)?;
+        let late = prune_leg(rows, pred, true)?;
+        assert_eq!(
+            eager.checksum, late.checksum,
+            "{pred}: late-materialized scan must be bitwise identical to eager"
+        );
+        assert_eq!(eager.matched_rows, late.matched_rows, "{pred}: row counts");
+        out.push(eager);
+        out.push(late);
+    }
+    Ok(out)
+}
+
+/// Ablation — late-materialization scans: predicate-first page reads over
+/// an unclustered selective sweep. Eager reads every needed page of every
+/// surviving group; the two-phase scan reads predicate pages first and
+/// skips a group's projection pages when the mask comes up all-false.
+pub fn ablation_prune(sf: f64) -> IqResult<Report> {
+    Ok(report_prune(&prune_measurements(sf)?))
+}
+
+/// Render [`prune_measurements`] rows as the ablation report (split out
+/// so `repro` can emit the same rows to `BENCH_prune.json`).
+pub fn report_prune(measures: &[PruneMeasure]) -> Report {
+    let (rows, groups) = measures
+        .first()
+        .map(|m| (m.rows, m.groups))
+        .unwrap_or((0, 0));
+    let mut r = Report::new(
+        format!(
+            "Ablation — late-materialization scan ({rows} unclustered rows, {groups} groups, \
+             4-col projection)"
+        ),
+        &[
+            "Predicate, mode",
+            "Matched",
+            "Empty masks",
+            "Pred pages",
+            "Proj pages",
+            "Proj skipped",
+            "Scan GETs",
+            "GETs vs eager",
+            "Request $",
+        ],
+    );
+    for pair in measures.chunks(2) {
+        let base = pair[0].scan_gets;
+        for m in pair {
+            r.row(vec![
+                m.label.clone(),
+                m.matched_rows.to_string(),
+                m.groups_empty_mask.to_string(),
+                m.predicate_pages_read.to_string(),
+                m.projection_pages_read.to_string(),
+                m.projection_pages_skipped.to_string(),
+                m.scan_gets.to_string(),
+                format!("{:.2}x", base as f64 / m.scan_gets.max(1) as f64),
+                format!("{:.9}", m.scan_request_usd),
+            ]);
+        }
+    }
+    r.note(
+        "the predicate columns are hash-scattered, so zone maps never prune and eager must \
+         read every page of every group; the two-phase scan pays one predicate page per group \
+         and materializes projection pages only where the mask has a hit — string predicates \
+         are evaluated in the dictionary code domain without building a single row string",
+    );
+    r
+}
+
 /// Ablation — notifying the coordinator on rollback vs not (§3.3's
 /// "conscious optimization to reduce the amount of inter-node
 /// communication for transactions rolling back, which is expected to be

@@ -239,6 +239,7 @@ impl PowerRun {
                 // Operators fan out as wide as the scans feeding them and
                 // account into the same submission-depth stats.
                 exec: iq_engine::OpExec::for_store(&qpager),
+                late_mat: true,
             };
             let out = run_query(n, &ctx)?;
             if let Some(ocm) = db.ocm() {

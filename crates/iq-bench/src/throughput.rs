@@ -237,6 +237,7 @@ pub fn throughput_measurements(sf: f64) -> IqResult<ThroughputMeasure> {
             store: &qpager,
             meter: db.meter(),
             exec: exec.clone(),
+            late_mat: true,
         };
         let out = run_query(n, &ctx)?;
         profiles.push(JobProfile {

@@ -297,6 +297,24 @@ pub enum EventKind {
         /// Rows surviving the filter in this morsel.
         rows: u64,
     },
+    /// Scan: a row group was pruned before any I/O (zone maps or the
+    /// partition-tag fallback).
+    GroupPruned {
+        /// Table id.
+        table: u64,
+        /// Row-group ordinal.
+        group: u64,
+    },
+    /// Scan: late materialization skipped a surviving group's projection
+    /// pages because the predicate mask came up all-false.
+    LateMatSkip {
+        /// Table id.
+        table: u64,
+        /// Row-group ordinal.
+        group: u64,
+        /// Projection-page GETs avoided.
+        pages_saved: u64,
+    },
     /// A named span opened (see [`span`]).
     SpanBegin {
         /// Span label.
@@ -352,6 +370,8 @@ impl EventKind {
             EventKind::PrefetchShed { .. } => "PrefetchShed",
             EventKind::PrefetchThrottle { .. } => "PrefetchThrottle",
             EventKind::ScanMorsel { .. } => "ScanMorsel",
+            EventKind::GroupPruned { .. } => "GroupPruned",
+            EventKind::LateMatSkip { .. } => "LateMatSkip",
             EventKind::SpanBegin { .. } => "SpanBegin",
             EventKind::SpanEnd { .. } => "SpanEnd",
             EventKind::Counter { .. } => "Counter",

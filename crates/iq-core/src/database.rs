@@ -10,7 +10,7 @@ use iq_common::{
     BlockNum, DbSpaceId, IoCore, IoStats, IoStatsSnapshot, IqError, IqResult, NodeId, ObjectKey,
     SimDuration, TableId, TxnId,
 };
-use iq_engine::{TableMeta, WorkMeter};
+use iq_engine::{ScanStats, TableMeta, WorkMeter};
 use iq_objectstore::{
     BlockDeviceSim, FaultInjector, IoReactor, ObjectBackend, ObjectStoreSim, ReactorStore,
 };
@@ -65,6 +65,9 @@ pub struct Shared {
     /// Descriptor-level I/O accounting shared by the reactor, the scan
     /// and flush fan-outs, and GC (the `io.*` metrics source).
     pub io_stats: Arc<IoStats>,
+    /// Late-materialization scan counters — groups pruned, predicate vs
+    /// projection pages read, GETs saved (the `scan.*` metrics source).
+    pub scan_stats: Arc<ScanStats>,
     /// The submission/completion reactor every cloud backend is routed
     /// through (see `iq_objectstore::reactor`).
     pub reactor: Arc<IoReactor>,
@@ -438,6 +441,56 @@ fn register_core_metrics(shared: &Arc<Shared>) {
         ]
     });
     let w = Arc::downgrade(shared);
+    shared.metrics.register("scan", move || {
+        let Some(s) = w.upgrade() else {
+            return Vec::new();
+        };
+        let sc = &s.scan_stats;
+        vec![
+            (
+                "groups_considered".into(),
+                MetricValue::U64(ScanStats::get(&sc.groups_considered)),
+            ),
+            (
+                "groups_zone_pruned".into(),
+                MetricValue::U64(ScanStats::get(&sc.groups_zone_pruned)),
+            ),
+            (
+                "groups_partition_pruned".into(),
+                MetricValue::U64(ScanStats::get(&sc.groups_partition_pruned)),
+            ),
+            (
+                "groups_empty_mask".into(),
+                MetricValue::U64(ScanStats::get(&sc.groups_empty_mask)),
+            ),
+            (
+                "groups_materialized".into(),
+                MetricValue::U64(ScanStats::get(&sc.groups_materialized)),
+            ),
+            (
+                "predicate_pages_read".into(),
+                MetricValue::U64(ScanStats::get(&sc.predicate_pages_read)),
+            ),
+            (
+                "projection_pages_read".into(),
+                MetricValue::U64(ScanStats::get(&sc.projection_pages_read)),
+            ),
+            (
+                "projection_pages_skipped".into(),
+                MetricValue::U64(ScanStats::get(&sc.projection_pages_skipped)),
+            ),
+            (
+                "pruned_pages_skipped".into(),
+                MetricValue::U64(ScanStats::get(&sc.pruned_pages_skipped)),
+            ),
+            (
+                "dict_filter_columns".into(),
+                MetricValue::U64(ScanStats::get(&sc.dict_filter_columns)),
+            ),
+            ("gets_saved".into(), MetricValue::U64(sc.gets_saved())),
+        ]
+    });
+    let w = Arc::downgrade(shared);
     // Always registered — with the durable log off the upload counters
     // read zero — so observability schema checks see a stable key set.
     shared.metrics.register("log", move || {
@@ -689,6 +742,7 @@ impl Database {
             metrics: Arc::new(MetricsRegistry::new()),
             pack_stats: PackStats::default(),
             io_stats,
+            scan_stats: Arc::new(ScanStats::new()),
             reactor,
             durable_log,
             log_recovery: LogRecoveryStats::default(),
@@ -1380,6 +1434,12 @@ impl Database {
         self.shared.io_stats.snapshot()
     }
 
+    /// Late-materialization scan counters (the `scan.*` metrics source;
+    /// the `--prune` ablation reads GETs saved from here).
+    pub fn scan_stats(&self) -> &Arc<ScanStats> {
+        &self.shared.scan_stats
+    }
+
     /// The durable transaction-log uploader, when `config.group_commit`
     /// is not `Off` (the group-commit ablation reads its counters).
     pub fn durable_log(&self) -> Option<&Arc<DurableLog>> {
@@ -1635,6 +1695,7 @@ impl Database {
                 metrics: Arc::new(MetricsRegistry::new()),
                 pack_stats: PackStats::default(),
                 io_stats,
+                scan_stats: Arc::new(ScanStats::new()),
                 reactor,
                 durable_log,
                 log_recovery: LogRecoveryStats::default(),

@@ -125,6 +125,10 @@ impl PageStore for Pager {
     fn io_stats(&self) -> Option<std::sync::Arc<iq_common::IoStats>> {
         Some(std::sync::Arc::clone(&self.shared.io_stats))
     }
+
+    fn scan_stats(&self) -> Option<std::sync::Arc<iq_engine::ScanStats>> {
+        Some(std::sync::Arc::clone(&self.shared.scan_stats))
+    }
 }
 
 impl FlushSink for Pager {

@@ -167,4 +167,10 @@ impl PageStore for SnapshotView {
         // Time-travel scans share the session's worker budget.
         self.shared.config.scan_workers.max(1)
     }
+
+    fn scan_stats(&self) -> Option<std::sync::Arc<iq_engine::ScanStats>> {
+        // Time-travel scans account into the same `scan.*` source as live
+        // scans — one request economy per database.
+        Some(std::sync::Arc::clone(&self.shared.scan_stats))
+    }
 }

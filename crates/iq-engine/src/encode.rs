@@ -257,6 +257,25 @@ pub fn decode_column(bytes: &[u8], dict: Option<&Dictionary>) -> IqResult<Col> {
     }
 }
 
+/// Decode a string column image to its raw dictionary codes, skipping
+/// string materialization entirely — the scan's dictionary-domain filter
+/// path compares these `u32`s against code literals instead of cloning an
+/// `Arc<str>` per row.
+pub fn decode_codes(bytes: &[u8]) -> IqResult<Vec<u32>> {
+    if bytes.len() < 5 {
+        return Err(IqError::Corruption("column image truncated".into()));
+    }
+    if bytes[0] != TAG_STR {
+        return Err(IqError::Invalid(format!(
+            "code decode on non-string column (tag {})",
+            bytes[0]
+        )));
+    }
+    let count = u32::from_le_bytes(bytes[1..5].try_into().unwrap()) as usize;
+    let codes = decode_for_nbit(&bytes[5..], count)?;
+    Ok(codes.iter().map(|&c| c as u32).collect())
+}
+
 /// The declared type of an encoded column image.
 pub fn encoded_type(bytes: &[u8]) -> Option<DataType> {
     match *bytes.first()? {
@@ -333,6 +352,23 @@ mod tests {
         let dec = decode_column(&enc, Some(&dict)).unwrap();
         assert_eq!(dec.strs(), &values[..]);
         assert_eq!(dict.len(), 3);
+    }
+
+    #[test]
+    fn decode_codes_skips_materialization() {
+        let mut dict = Dictionary::new();
+        let values: Vec<Arc<str>> = ["AIR", "RAIL", "AIR", "TRUCK"]
+            .iter()
+            .map(|s| Arc::from(*s))
+            .collect();
+        let codes: Vec<u32> = values.iter().map(|s| dict.encode(s)).collect();
+        let enc = encode_column(&Col::Str(values), Some(&codes)).unwrap();
+        // No dictionary needed: raw codes come straight off the page.
+        assert_eq!(decode_codes(&enc).unwrap(), codes);
+        // Non-string images are rejected.
+        let enc = encode_column(&Col::I64(vec![1, 2]), None).unwrap();
+        assert!(decode_codes(&enc).is_err());
+        assert!(decode_codes(&[2, 1]).is_err());
     }
 
     #[test]

@@ -12,8 +12,8 @@ use std::sync::Arc;
 use iq_common::{IqError, IqResult};
 
 use crate::chunk::{Chunk, Col};
-use crate::value::{year_of, Value};
-use crate::zonemap::PruneOp;
+use crate::value::{date_to_days, year_of, Value};
+use crate::zonemap::{PruneCheck, PruneOp};
 
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -250,31 +250,159 @@ impl Expr {
         }
     }
 
-    /// Zone-prunable checks: top-level AND conjuncts of the form
-    /// `col op literal` (either side).
-    pub fn prune_checks(&self) -> Vec<(usize, PruneOp, Value)> {
+    /// Zone-prunable checks extracted from top-level AND conjuncts:
+    /// `col op literal` (either side, `<>` included), `col IN (list)`,
+    /// prefix `LIKE` folded to a lexical range, and
+    /// `EXTRACT(YEAR FROM col) op literal` folded against date zones.
+    /// `BETWEEN` desugars to two comparisons and needs no special case.
+    pub fn prune_checks(&self) -> Vec<PruneCheck> {
         let mut out = Vec::new();
         self.collect_prunes(&mut out);
         out
     }
 
-    fn collect_prunes(&self, out: &mut Vec<(usize, PruneOp, Value)>) {
+    fn collect_prunes(&self, out: &mut Vec<PruneCheck>) {
         match self {
             Expr::And(a, b) => {
                 a.collect_prunes(out);
                 b.collect_prunes(out);
             }
-            Expr::Cmp(op, a, b) => {
-                let entry = match (a.as_ref(), b.as_ref()) {
-                    (Expr::Col(i), Expr::Lit(v)) => cmp_to_prune(*op).map(|p| (*i, p, v.clone())),
-                    (Expr::Lit(v), Expr::Col(i)) => {
-                        cmp_to_prune(flip(*op)).map(|p| (*i, p, v.clone()))
+            Expr::Cmp(op, a, b) => match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(i), Expr::Lit(v)) => push_cmp_check(out, *i, *op, v),
+                (Expr::Lit(v), Expr::Col(i)) => push_cmp_check(out, *i, flip(*op), v),
+                (Expr::Year(d), Expr::Lit(Value::I64(y))) => {
+                    if let Expr::Col(i) = d.as_ref() {
+                        push_year_check(out, *i, *op, *y);
                     }
-                    _ => None,
-                };
-                out.extend(entry);
+                }
+                (Expr::Lit(Value::I64(y)), Expr::Year(d)) => {
+                    if let Expr::Col(i) = d.as_ref() {
+                        push_year_check(out, *i, flip(*op), *y);
+                    }
+                }
+                _ => {}
+            },
+            Expr::InList(a, values) => {
+                if let Expr::Col(i) = a.as_ref() {
+                    out.push(PruneCheck::In(*i, values.clone()));
+                }
+            }
+            Expr::Like(a, pattern) => {
+                if let Expr::Col(i) = a.as_ref() {
+                    push_like_check(out, *i, pattern);
+                }
             }
             _ => {}
+        }
+    }
+
+    /// String columns safe to evaluate in the dictionary code domain:
+    /// every occurrence is `col =/<> string-literal` (either side) or
+    /// `col IN (string-literals)`. Equality is preserved by the
+    /// dictionary's injective string↔code mapping; order is not, so any
+    /// other use (range, `LIKE`, `SUBSTRING`, …) disqualifies the column.
+    /// `is_dict_str` restricts candidates to dictionary-backed string
+    /// columns of the scanned schema.
+    pub fn dict_eval_columns(&self, is_dict_str: &dyn Fn(usize) -> bool) -> Vec<usize> {
+        let mut safe: BTreeMap<usize, bool> = BTreeMap::new();
+        self.dict_walk(&mut safe);
+        safe.into_iter()
+            .filter(|&(c, ok)| ok && is_dict_str(c))
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    fn dict_walk(&self, safe: &mut BTreeMap<usize, bool>) {
+        match self {
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.dict_walk(safe);
+                b.dict_walk(safe);
+            }
+            Expr::Not(a) => a.dict_walk(safe),
+            Expr::Cmp(CmpOp::Eq | CmpOp::Ne, a, b) => match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(i), Expr::Lit(Value::Str(_)))
+                | (Expr::Lit(Value::Str(_)), Expr::Col(i)) => {
+                    safe.entry(*i).or_insert(true);
+                }
+                _ => {
+                    a.mark_dict_unsafe(safe);
+                    b.mark_dict_unsafe(safe);
+                }
+            },
+            Expr::InList(a, values) => match a.as_ref() {
+                Expr::Col(i) if values.iter().all(|v| matches!(v, Value::Str(_))) => {
+                    safe.entry(*i).or_insert(true);
+                }
+                _ => a.mark_dict_unsafe(safe),
+            },
+            other => other.mark_dict_unsafe(safe),
+        }
+    }
+
+    fn mark_dict_unsafe(&self, safe: &mut BTreeMap<usize, bool>) {
+        for c in self.columns() {
+            safe.insert(c, false);
+        }
+    }
+
+    /// Rewrite occurrences of `cols` (which must satisfy
+    /// [`dict_eval_columns`](Expr::dict_eval_columns)) into i64 code
+    /// comparisons. `lookup` resolves a literal to its dictionary code;
+    /// literals absent from a dictionary become the sentinel `-1`, which
+    /// no stored code equals — equality stays false, inequality true,
+    /// exactly matching string-domain semantics.
+    pub fn rewrite_for_dict(
+        &self,
+        cols: &[usize],
+        lookup: &dyn Fn(usize, &str) -> Option<u32>,
+    ) -> Expr {
+        let code = |i: usize, s: &str| -> i64 { lookup(i, s).map(|c| c as i64).unwrap_or(-1) };
+        match self {
+            Expr::And(a, b) => Expr::And(
+                a.rewrite_for_dict(cols, lookup).into(),
+                b.rewrite_for_dict(cols, lookup).into(),
+            ),
+            Expr::Or(a, b) => Expr::Or(
+                a.rewrite_for_dict(cols, lookup).into(),
+                b.rewrite_for_dict(cols, lookup).into(),
+            ),
+            Expr::Not(a) => Expr::Not(a.rewrite_for_dict(cols, lookup).into()),
+            Expr::Cmp(op @ (CmpOp::Eq | CmpOp::Ne), a, b) => match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(i), Expr::Lit(Value::Str(s))) if cols.contains(i) => Expr::Cmp(
+                    *op,
+                    Expr::Col(*i).into(),
+                    Expr::Lit(Value::I64(code(*i, s))).into(),
+                ),
+                (Expr::Lit(Value::Str(s)), Expr::Col(i)) if cols.contains(i) => Expr::Cmp(
+                    *op,
+                    Expr::Lit(Value::I64(code(*i, s))).into(),
+                    Expr::Col(*i).into(),
+                ),
+                _ => self.clone(),
+            },
+            Expr::InList(a, values) => match a.as_ref() {
+                Expr::Col(i) if cols.contains(i) => {
+                    // Misses drop out of the list; an all-miss list keeps
+                    // its always-false shape via the sentinel.
+                    let codes: Vec<Value> = values
+                        .iter()
+                        .filter_map(Value::as_str)
+                        .filter_map(|s| lookup(*i, s))
+                        .map(|c| Value::I64(c as i64))
+                        .collect();
+                    if codes.is_empty() {
+                        Expr::Cmp(
+                            CmpOp::Eq,
+                            Expr::Col(*i).into(),
+                            Expr::Lit(Value::I64(-1)).into(),
+                        )
+                    } else {
+                        Expr::InList(Expr::Col(*i).into(), codes)
+                    }
+                }
+                _ => self.clone(),
+            },
+            other => other.clone(),
         }
     }
 
@@ -443,6 +571,81 @@ fn flip(op: CmpOp) -> CmpOp {
         CmpOp::Ge => CmpOp::Le,
         other => other,
     }
+}
+
+fn push_cmp_check(out: &mut Vec<PruneCheck>, col: usize, op: CmpOp, lit: &Value) {
+    match cmp_to_prune(op) {
+        Some(p) => out.push(PruneCheck::Cmp(col, p, lit.clone())),
+        None => out.push(PruneCheck::Ne(col, lit.clone())),
+    }
+}
+
+/// Fold `EXTRACT(YEAR FROM col) op y` into checks on the date column's
+/// day-number zone. Years outside the calendar range are skipped —
+/// omitting a check is always conservative.
+fn push_year_check(out: &mut Vec<PruneCheck>, col: usize, op: CmpOp, y: i64) {
+    if !(1..=9998).contains(&y) {
+        return;
+    }
+    let y = y as i32;
+    let jan1 = date_to_days(y, 1, 1);
+    let dec31 = date_to_days(y, 12, 31);
+    match op {
+        CmpOp::Eq => {
+            out.push(PruneCheck::Cmp(col, PruneOp::Ge, Value::Date(jan1)));
+            out.push(PruneCheck::Cmp(col, PruneOp::Le, Value::Date(dec31)));
+        }
+        // `year <> y` holds somewhere in the group iff its range leaves
+        // the year's day interval.
+        CmpOp::Ne => out.push(PruneCheck::Outside(col, jan1 as i64, dec31 as i64)),
+        CmpOp::Lt => out.push(PruneCheck::Cmp(col, PruneOp::Lt, Value::Date(jan1))),
+        CmpOp::Le => out.push(PruneCheck::Cmp(col, PruneOp::Le, Value::Date(dec31))),
+        CmpOp::Gt => out.push(PruneCheck::Cmp(
+            col,
+            PruneOp::Ge,
+            Value::Date(date_to_days(y + 1, 1, 1)),
+        )),
+        CmpOp::Ge => out.push(PruneCheck::Cmp(col, PruneOp::Ge, Value::Date(jan1))),
+    }
+}
+
+/// Fold a prefix `LIKE` pattern (`'abc%…'`) into the lexical range
+/// `[prefix, successor(prefix))`: every match starts with the literal
+/// prefix before the first wildcard, so it sorts inside that range.
+fn push_like_check(out: &mut Vec<PruneCheck>, col: usize, pattern: &str) {
+    let prefix: String = pattern
+        .chars()
+        .take_while(|&c| c != '%' && c != '_')
+        .collect();
+    if prefix.is_empty() {
+        return;
+    }
+    out.push(PruneCheck::Cmp(
+        col,
+        PruneOp::Ge,
+        Value::Str(Arc::from(prefix.as_str())),
+    ));
+    if let Some(succ) = lexical_successor(&prefix) {
+        out.push(PruneCheck::Cmp(
+            col,
+            PruneOp::Lt,
+            Value::Str(Arc::from(succ.as_str())),
+        ));
+    }
+}
+
+/// Smallest string greater than every string starting with `prefix`:
+/// increment the last character, carrying left past unincrementable code
+/// points. `None` when no such string exists (all chars at `char::MAX`).
+fn lexical_successor(prefix: &str) -> Option<String> {
+    let mut chars: Vec<char> = prefix.chars().collect();
+    while let Some(c) = chars.pop() {
+        if let Some(next) = char::from_u32(c as u32 + 1) {
+            chars.push(next);
+            return Some(chars.into_iter().collect());
+        }
+    }
+    None
 }
 
 fn cmp_bools<T: PartialOrd>(op: CmpOp, a: &[T], b: &[T]) -> Vec<bool> {
@@ -715,17 +918,170 @@ mod tests {
             Expr::lt(Expr::col(3), Expr::lit_date(100)),
             Expr::and(
                 Expr::ge(Expr::lit_i64(5), Expr::col(0)), // flipped: col0 <= 5
-                Expr::like(Expr::col(2), "%x%"),          // not prunable
+                Expr::like(Expr::col(2), "%x%"),          // no literal prefix
             ),
         );
         let checks = e.prune_checks();
         assert_eq!(checks.len(), 2);
-        assert_eq!(checks[0].0, 3);
-        assert_eq!(checks[0].1, PruneOp::Lt);
-        assert_eq!(checks[1], (0, PruneOp::Le, Value::I64(5)));
+        assert_eq!(checks[0], PruneCheck::Cmp(3, PruneOp::Lt, Value::Date(100)));
+        assert_eq!(checks[1], PruneCheck::Cmp(0, PruneOp::Le, Value::I64(5)));
         // OR at top level: nothing prunable.
         let e = Expr::or(Expr::lt(Expr::col(0), Expr::lit_i64(1)), Expr::lit_i64(1));
         assert!(Expr::prune_checks(&e).is_empty());
+    }
+
+    #[test]
+    fn prune_checks_cover_ne_in_between_like_year() {
+        // <> extracts a Ne check (either side).
+        let checks = Expr::ne(Expr::col(0), Expr::lit_i64(9)).prune_checks();
+        assert_eq!(checks, vec![PruneCheck::Ne(0, Value::I64(9))]);
+        let checks = Expr::ne(Expr::lit_i64(9), Expr::col(0)).prune_checks();
+        assert_eq!(checks, vec![PruneCheck::Ne(0, Value::I64(9))]);
+
+        // IN lists carry every element.
+        let vals = vec![Value::Str("AIR".into()), Value::Str("SHIP".into())];
+        let checks = Expr::in_list(Expr::col(2), vals.clone()).prune_checks();
+        assert_eq!(checks, vec![PruneCheck::In(2, vals)]);
+
+        // BETWEEN desugars to both bounds.
+        let checks =
+            Expr::between(Expr::col(0), Expr::lit_i64(10), Expr::lit_i64(20)).prune_checks();
+        assert_eq!(
+            checks,
+            vec![
+                PruneCheck::Cmp(0, PruneOp::Ge, Value::I64(10)),
+                PruneCheck::Cmp(0, PruneOp::Le, Value::I64(20)),
+            ]
+        );
+
+        // Prefix LIKE folds to [prefix, successor).
+        let checks = Expr::like(Expr::col(2), "MEDIUM%").prune_checks();
+        assert_eq!(
+            checks,
+            vec![
+                PruneCheck::Cmp(2, PruneOp::Ge, Value::Str("MEDIUM".into())),
+                PruneCheck::Cmp(2, PruneOp::Lt, Value::Str("MEDIUN".into())),
+            ]
+        );
+        // `_` ends the literal prefix too.
+        let checks = Expr::like(Expr::col(2), "AB_X%").prune_checks();
+        assert_eq!(
+            checks,
+            vec![
+                PruneCheck::Cmp(2, PruneOp::Ge, Value::Str("AB".into())),
+                PruneCheck::Cmp(2, PruneOp::Lt, Value::Str("AC".into())),
+            ]
+        );
+
+        // EXTRACT(YEAR) folds to day-number ranges.
+        let jan1 = parse_date("1995-01-01").unwrap();
+        let dec31 = parse_date("1995-12-31").unwrap();
+        let checks = Expr::eq(Expr::year(Expr::col(3)), Expr::lit_i64(1995)).prune_checks();
+        assert_eq!(
+            checks,
+            vec![
+                PruneCheck::Cmp(3, PruneOp::Ge, Value::Date(jan1)),
+                PruneCheck::Cmp(3, PruneOp::Le, Value::Date(dec31)),
+            ]
+        );
+        let checks = Expr::gt(Expr::year(Expr::col(3)), Expr::lit_i64(1995)).prune_checks();
+        assert_eq!(
+            checks,
+            vec![PruneCheck::Cmp(
+                3,
+                PruneOp::Ge,
+                Value::Date(parse_date("1996-01-01").unwrap())
+            )]
+        );
+        let checks = Expr::ne(Expr::year(Expr::col(3)), Expr::lit_i64(1995)).prune_checks();
+        assert_eq!(
+            checks,
+            vec![PruneCheck::Outside(3, jan1 as i64, dec31 as i64)]
+        );
+        // Flipped literal side: `1995 <= year(d)` means `year(d) >= 1995`.
+        let checks = Expr::le(Expr::lit_i64(1995), Expr::year(Expr::col(3))).prune_checks();
+        assert_eq!(
+            checks,
+            vec![PruneCheck::Cmp(3, PruneOp::Ge, Value::Date(jan1))]
+        );
+        // Out-of-calendar years fold to nothing (conservative).
+        assert!(Expr::eq(Expr::year(Expr::col(3)), Expr::lit_i64(99_999))
+            .prune_checks()
+            .is_empty());
+    }
+
+    #[test]
+    fn lexical_successor_carries() {
+        assert_eq!(lexical_successor("MEDIUM").as_deref(), Some("MEDIUN"));
+        assert_eq!(lexical_successor("az").as_deref(), Some("a{"));
+        let top = String::from(char::MAX);
+        assert_eq!(lexical_successor(&format!("a{top}")).as_deref(), Some("b"));
+        assert_eq!(lexical_successor(&top), None);
+    }
+
+    #[test]
+    fn dict_eval_columns_require_equality_only_use() {
+        let is_str = |c: usize| c == 2 || c == 5;
+        // Pure equality/IN use: safe.
+        let e = Expr::and(
+            Expr::eq(Expr::col(2), Expr::lit_str("AIR")),
+            Expr::in_list(
+                Expr::col(5),
+                vec![Value::Str("A".into()), Value::Str("B".into())],
+            ),
+        );
+        assert_eq!(e.dict_eval_columns(&is_str), vec![2, 5]);
+        // A second, order-dependent use disqualifies the column.
+        let e = Expr::and(
+            Expr::eq(Expr::col(2), Expr::lit_str("AIR")),
+            Expr::like(Expr::col(2), "A%"),
+        );
+        assert!(e.dict_eval_columns(&is_str).is_empty());
+        // Non-string columns never qualify.
+        let e = Expr::eq(Expr::col(0), Expr::lit_str("AIR"));
+        assert!(e.dict_eval_columns(&|_| false).is_empty());
+        // Comparison against another column disqualifies both sides.
+        let e = Expr::eq(Expr::col(2), Expr::col(5));
+        assert!(e.dict_eval_columns(&is_str).is_empty());
+    }
+
+    #[test]
+    fn dict_rewrite_matches_string_semantics() {
+        // Codes: AIR=0, RAIL=1; "SHIP" missing.
+        let lookup = |_c: usize, s: &str| match s {
+            "AIR" => Some(0u32),
+            "RAIL" => Some(1),
+            _ => None,
+        };
+        let cols = [2usize];
+        let e = Expr::eq(Expr::col(2), Expr::lit_str("AIR")).rewrite_for_dict(&cols, &lookup);
+        assert_eq!(e, Expr::eq(Expr::col(2), Expr::lit_i64(0)));
+        // Missing literal becomes the never-matching sentinel.
+        let e = Expr::ne(Expr::col(2), Expr::lit_str("SHIP")).rewrite_for_dict(&cols, &lookup);
+        assert_eq!(e, Expr::ne(Expr::col(2), Expr::lit_i64(-1)));
+        // IN drops misses; all-miss keeps an always-false shape.
+        let e = Expr::in_list(
+            Expr::col(2),
+            vec![Value::Str("RAIL".into()), Value::Str("SHIP".into())],
+        )
+        .rewrite_for_dict(&cols, &lookup);
+        assert_eq!(e, Expr::in_list(Expr::col(2), vec![Value::I64(1)]));
+        let e = Expr::in_list(Expr::col(2), vec![Value::Str("SHIP".into())])
+            .rewrite_for_dict(&cols, &lookup);
+        assert_eq!(e, Expr::eq(Expr::col(2), Expr::lit_i64(-1)));
+
+        // Evaluate both domains over the same logical data.
+        let codes = Chunk::new(vec![Col::I64(vec![0, 1, 0])]);
+        let remap: BTreeMap<usize, usize> = [(2usize, 0usize)].into_iter().collect();
+        let e = Expr::or(
+            Expr::eq(Expr::col(2), Expr::lit_str("AIR")),
+            Expr::eq(Expr::col(2), Expr::lit_str("SHIP")),
+        )
+        .rewrite_for_dict(&cols, &lookup);
+        assert_eq!(
+            e.eval_mask(&codes, &remap).unwrap(),
+            vec![true, false, true]
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod meter;
 pub mod niche;
 pub mod ops;
 pub mod prefetch;
+pub mod scanstats;
 pub mod store;
 pub mod table;
 pub mod value;
@@ -52,6 +53,7 @@ pub use meter::WorkMeter;
 pub use niche::{CmpIndex, DateIndex, TextIndex};
 pub use ops::OpExec;
 pub use prefetch::{PrefetchAdmission, PrefetchTicket, PREFETCH_DEPTH};
+pub use scanstats::ScanStats;
 pub use store::{MemPageStore, PageStore};
-pub use table::{ColumnDef, RangePartitioning, Schema, TableMeta, TableWriter};
+pub use table::{ColumnDef, RangePartitioning, ScanOptions, Schema, TableMeta, TableWriter};
 pub use value::{DataType, KeyVal, Value};

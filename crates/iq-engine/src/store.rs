@@ -50,12 +50,22 @@ pub trait PageStore: Send + Sync {
     fn io_stats(&self) -> Option<std::sync::Arc<iq_common::IoStats>> {
         None
     }
+
+    /// The scan-path counters (groups pruned, pages read/skipped) scans
+    /// through this store accumulate into — the `scan.*` metrics source.
+    /// The default (test stores) accounts nothing.
+    fn scan_stats(&self) -> Option<std::sync::Arc<crate::scanstats::ScanStats>> {
+        None
+    }
 }
 
 /// In-memory page store for engine unit tests.
 #[derive(Default)]
 pub struct MemPageStore {
     pages: Mutex<HashMap<(u32, u64), Page>>,
+    scan_stats: Option<std::sync::Arc<crate::scanstats::ScanStats>>,
+    demand_reads: std::sync::atomic::AtomicU64,
+    prefetched_pages: std::sync::atomic::AtomicU64,
 }
 
 impl MemPageStore {
@@ -64,14 +74,38 @@ impl MemPageStore {
         Self::default()
     }
 
+    /// Empty store that hands scans a [`ScanStats`](crate::ScanStats)
+    /// sink, as the full cloud stack does.
+    pub fn with_scan_stats() -> Self {
+        Self {
+            scan_stats: Some(std::sync::Arc::new(crate::scanstats::ScanStats::new())),
+            ..Self::default()
+        }
+    }
+
     /// Number of stored pages.
     pub fn page_count(&self) -> usize {
         self.pages.lock().len()
     }
+
+    /// Demand (`demand=true`) reads served.
+    pub fn demand_reads(&self) -> u64 {
+        self.demand_reads.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total pages hinted through [`PageStore::prefetch`].
+    pub fn prefetched_pages(&self) -> u64 {
+        self.prefetched_pages
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
 }
 
 impl PageStore for MemPageStore {
-    fn read_page(&self, table: TableId, page: PageId, _demand: bool) -> IqResult<Page> {
+    fn read_page(&self, table: TableId, page: PageId, demand: bool) -> IqResult<Page> {
+        if demand {
+            self.demand_reads
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
         self.pages
             .lock()
             .get(&(table.0, page.0))
@@ -94,8 +128,14 @@ impl PageStore for MemPageStore {
         Ok(())
     }
 
-    fn prefetch(&self, _table: TableId, _pages: &[PageId]) -> IqResult<()> {
+    fn prefetch(&self, _table: TableId, pages: &[PageId]) -> IqResult<()> {
+        self.prefetched_pages
+            .fetch_add(pages.len() as u64, std::sync::atomic::Ordering::Relaxed);
         Ok(())
+    }
+
+    fn scan_stats(&self) -> Option<std::sync::Arc<crate::scanstats::ScanStats>> {
+        self.scan_stats.clone()
     }
 }
 

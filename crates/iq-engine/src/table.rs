@@ -7,6 +7,7 @@
 //! High-Group (HG) indexes are created on the following columns..." (§6) —
 //! the schema declarations in `iq-tpch` mirror that setup.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -17,14 +18,27 @@ use iq_storage::PageKind;
 use serde::{Deserialize, Serialize};
 
 use crate::chunk::{Chunk, Col};
-use crate::encode::{decode_column, encode_column, Dictionary};
+use crate::encode::{decode_codes, decode_column, encode_column, Dictionary};
 use crate::expr::Expr;
 use crate::hg::HgIndex;
 use crate::meter::{cost, WorkMeter};
 use crate::prefetch::{PrefetchAdmission, PREFETCH_DEPTH};
+use crate::scanstats::ScanStats;
 use crate::store::PageStore;
 use crate::value::{DataType, Value};
 use crate::zonemap::ZoneEntry;
+
+/// Options controlling a [`TableMeta::scan_with_options`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanOptions {
+    /// Morsel-parallelism degree.
+    pub workers: usize,
+    /// Two-phase late materialization: read predicate pages first and
+    /// skip a group's projection pages when its mask comes up all-false.
+    /// Off reproduces the classic eager scan (the ablation baseline);
+    /// output is bitwise identical either way.
+    pub late_mat: bool,
+}
 
 /// One column of a schema.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -185,7 +199,8 @@ impl TableMeta {
     ///
     /// The degree of morsel parallelism comes from the store (see
     /// [`PageStore::scan_parallelism`]); output is identical to a serial
-    /// scan regardless of worker count.
+    /// scan regardless of worker count. Runs the two-phase
+    /// late-materialization protocol (DESIGN.md §6h).
     pub fn scan(
         &self,
         store: &dyn PageStore,
@@ -193,16 +208,19 @@ impl TableMeta {
         pred: Option<&Expr>,
         meter: &WorkMeter,
     ) -> IqResult<Chunk> {
-        self.scan_with_workers(store, projection, pred, meter, store.scan_parallelism())
+        self.scan_with_options(
+            store,
+            projection,
+            pred,
+            meter,
+            ScanOptions {
+                workers: store.scan_parallelism(),
+                late_mat: true,
+            },
+        )
     }
 
     /// [`scan`](TableMeta::scan) with an explicit morsel-parallelism degree.
-    ///
-    /// Each surviving row group is one morsel: a worker claims it, issues
-    /// its share of the prefetch window, demand-reads and decodes the
-    /// group's pages, filters and projects. Per-group result chunks are
-    /// stitched back in group order, so the output is byte-identical to a
-    /// `workers == 1` run.
     pub fn scan_with_workers(
         &self,
         store: &dyn PageStore,
@@ -211,39 +229,164 @@ impl TableMeta {
         meter: &WorkMeter,
         workers: usize,
     ) -> IqResult<Chunk> {
+        self.scan_with_options(
+            store,
+            projection,
+            pred,
+            meter,
+            ScanOptions {
+                workers,
+                late_mat: true,
+            },
+        )
+    }
+
+    /// The scan hot path: a two-phase late-materialization morsel scan.
+    ///
+    /// Each surviving row group is one morsel: a worker claims it, issues
+    /// its share of the speculative prefetch window (predicate pages
+    /// only), demand-reads and decodes the predicate inputs, and
+    /// evaluates the mask. A group whose mask comes up all-false is
+    /// finished — its projection pages are never requested. Otherwise the
+    /// projection pages are issued and read, and only projected columns
+    /// are filtered. Per-group result chunks are stitched back in group
+    /// order, so the output is byte-identical to a `workers == 1` run —
+    /// and to an eager (`late_mat: false`) run.
+    pub fn scan_with_options(
+        &self,
+        store: &dyn PageStore,
+        projection: &[usize],
+        pred: Option<&Expr>,
+        meter: &WorkMeter,
+        opts: ScanOptions,
+    ) -> IqResult<Chunk> {
+        let workers = opts.workers;
+        let stats = store.scan_stats();
+
         // Columns needed: projection plus predicate inputs.
+        let pred_cols: Vec<usize> = pred.map(|p| p.columns()).unwrap_or_default();
         let mut needed: Vec<usize> = projection.to_vec();
-        if let Some(p) = pred {
-            for c in p.columns() {
-                if !needed.contains(&c) {
-                    needed.push(c);
-                }
-            }
-        }
+        needed.extend_from_slice(&pred_cols);
         needed.sort_unstable();
         needed.dedup();
 
+        // Group-level pruning: per-column zone entries first; when a
+        // column's zone is absent, the group's partition tag is a coarser
+        // fallback summary of the partitioning column.
         let prune_checks = pred.map(|p| p.prune_checks()).unwrap_or_default();
-        let survivors: Vec<usize> = (0..self.groups.len())
-            .filter(|&g| {
-                let zones = &self.groups[g].zones;
-                prune_checks.iter().all(|(col, op, lit)| match lit {
-                    Value::I64(v) => zones[*col].may_match_num(*op, *v),
-                    Value::Date(v) => zones[*col].may_match_num(*op, *v as i64),
-                    Value::F64(v) => zones[*col].may_match_flt(*op, *v),
-                    Value::Str(s) => zones[*col].may_match_txt(*op, s),
-                })
-            })
-            .collect();
+        let mut survivors: Vec<usize> = Vec::with_capacity(self.groups.len());
+        for g in 0..self.groups.len() {
+            let mut by_partition = false;
+            let survives = prune_checks.iter().all(|check| {
+                let zone = &self.groups[g].zones[check.col()];
+                if !check.may_match(zone) {
+                    return false;
+                }
+                if matches!(zone, ZoneEntry::None) {
+                    if let Some(pz) = self.partition_zone(g, check.col()) {
+                        if !check.may_match(&pz) {
+                            by_partition = true;
+                            return false;
+                        }
+                    }
+                }
+                true
+            });
+            if let Some(s) = &stats {
+                ScanStats::add(&s.groups_considered, 1);
+            }
+            if survives {
+                survivors.push(g);
+            } else {
+                if let Some(s) = &stats {
+                    ScanStats::add(
+                        if by_partition {
+                            &s.groups_partition_pruned
+                        } else {
+                            &s.groups_zone_pruned
+                        },
+                        1,
+                    );
+                    ScanStats::add(&s.pruned_pages_skipped, needed.len() as u64);
+                }
+                trace::emit(EventKind::GroupPruned {
+                    table: self.id.0 as u64,
+                    group: g as u64,
+                });
+            }
+        }
 
-        // Predicate evaluation sees the full needed-column chunk indexed by
-        // original column ids via a remap; projection maps back down to the
-        // requested columns. Both are loop-invariant.
+        // Two-phase split: phase 1 is the predicate's inputs, phase 2 the
+        // projection-only remainder. A predicate without column inputs
+        // (or no predicate, or `late_mat: false`) degenerates to the
+        // classic eager scan: phase 1 reads everything.
+        let late = opts.late_mat && !pred_cols.is_empty();
+        let phase1: Vec<usize> = if late {
+            pred_cols.clone()
+        } else {
+            needed.clone()
+        };
+        let phase2: Vec<usize> = if late {
+            needed
+                .iter()
+                .copied()
+                .filter(|c| phase1.binary_search(c).is_err())
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // Dictionary-domain filters: string columns used only under
+        // equality/IN rewrite to u32-code comparisons and decode straight
+        // to codes — no per-row `Arc<str>` materialization on the filter
+        // path. Projected occurrences re-decode as strings from the saved
+        // page image (no extra read) during assembly.
+        let dict_cols: Vec<usize> = match pred {
+            Some(p) if late => p.dict_eval_columns(&|c| {
+                self.schema.columns[c].dtype == DataType::Str && self.dicts[c].is_some()
+            }),
+            _ => Vec::new(),
+        };
+        if !dict_cols.is_empty() {
+            if let Some(s) = &stats {
+                ScanStats::add(&s.dict_filter_columns, dict_cols.len() as u64);
+            }
+        }
+        let eval_pred: Option<Cow<'_, Expr>> = pred.map(|p| {
+            if dict_cols.is_empty() {
+                Cow::Borrowed(p)
+            } else {
+                Cow::Owned(p.rewrite_for_dict(&dict_cols, &|c, lit| {
+                    self.dicts[c].as_ref().and_then(|d| d.lookup(lit))
+                }))
+            }
+        });
+
+        // Predicate evaluation sees the phase-1 chunk indexed by original
+        // column ids via a remap; each projected column knows which phase
+        // supplies it. All loop-invariant.
         let remap: BTreeMap<usize, usize> =
-            needed.iter().enumerate().map(|(i, &c)| (c, i)).collect();
-        let proj_idx: Vec<usize> = projection
+            phase1.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        enum Src {
+            /// Decoded in phase 1 at this position.
+            Phase1(usize),
+            /// Read in the code domain in phase 1; strings re-decode from
+            /// the saved page image.
+            Phase1Dict(usize),
+            /// Demand-read in phase 2 at this position.
+            Phase2(usize),
+        }
+        let sources: Vec<Src> = projection
             .iter()
-            .map(|c| needed.binary_search(c).expect("projected column was read"))
+            .map(|c| match phase1.binary_search(c) {
+                Ok(p) if dict_cols.binary_search(c).is_ok() => Src::Phase1Dict(p),
+                Ok(p) => Src::Phase1(p),
+                Err(_) => Src::Phase2(
+                    phase2
+                        .binary_search(c)
+                        .expect("projected column was scheduled"),
+                ),
+            })
             .collect();
 
         // Monotone prefetch cursor: morsel `i` wants groups `i+1 ..
@@ -263,8 +406,8 @@ impl TableMeta {
         // the observed queue-depth headroom instead of the fixed ceiling.
         let depth_target = survivors.len().max(workers);
         let mut admission = PrefetchAdmission::for_depth(depth_target);
-        if let Some(stats) = store.io_stats() {
-            admission = admission.with_io(stats, depth_target);
+        if let Some(io) = store.io_stats() {
+            admission = admission.with_io(io, depth_target);
         }
 
         // Every surviving morsel is submitted to the I/O core up front:
@@ -272,17 +415,21 @@ impl TableMeta {
         // the `io.*` in-flight peak reports survivors — the io_uring-style
         // depth — while execution is carried by `workers` lanes.
         let mut io = IoCore::new(workers);
-        if let Some(stats) = store.io_stats() {
-            io = io.with_stats(stats);
+        if let Some(s) = store.io_stats() {
+            io = io.with_stats(s);
         }
         let chunks = io.run_ordered(survivors.len(), |i| -> IqResult<Chunk> {
             let window_end = (i + 1 + PREFETCH_DEPTH).min(survivors.len());
             let issued = prefetch_cursor.fetch_max(window_end, Ordering::Relaxed);
             if issued < window_end {
                 if let Some(_ticket) = admission.admit(window_end - issued) {
+                    // Speculative windows carry phase-1 (predicate) pages
+                    // only: whether an upcoming group's projection pages
+                    // are needed at all is unknowable until its mask is
+                    // evaluated.
                     let upcoming: Vec<PageId> = survivors[issued..window_end]
                         .iter()
-                        .flat_map(|&ng| needed.iter().map(move |&c| self.page_id(ng, c)))
+                        .flat_map(|&ng| phase1.iter().map(move |&c| self.page_id(ng, c)))
                         .collect();
                     // Speculative read-ahead never fails the scan: a
                     // throttle-class error shrinks the admission budget
@@ -294,6 +441,7 @@ impl TableMeta {
                     }
                 }
             }
+            let g = survivors[i];
             if i > 0 {
                 // The worker that claimed this group's prefetch may not
                 // have loaded it yet; loading it here (as a prefetch,
@@ -301,29 +449,132 @@ impl TableMeta {
                 // demand/prefetch split identical to the serial scan
                 // instead of depending on which worker wins the race.
                 // Never gated — only speculative windows are shed.
-                let own: Vec<PageId> = needed
-                    .iter()
-                    .map(|&c| self.page_id(survivors[i], c))
-                    .collect();
+                let own: Vec<PageId> = phase1.iter().map(|&c| self.page_id(g, c)).collect();
                 if let Err(e) = store.prefetch(self.id, &own) {
                     admission.record_error(&e);
                 }
             }
-            let chunk = self.read_group(store, survivors[i], &needed, meter)?;
-            meter.add(cost::FILTER * chunk.len() as u64);
-            let filtered = match pred {
-                Some(p) => {
-                    let mask = p.eval_mask(&chunk, &remap)?;
-                    chunk.filter(&mask)
+
+            // Phase 1: demand-read and decode the predicate inputs (all
+            // needed columns when eager). Dictionary-domain columns keep
+            // their page image for string re-decode at assembly.
+            let mut bodies: Vec<Bytes> = Vec::with_capacity(phase1.len());
+            let mut cols1: Vec<Col> = Vec::with_capacity(phase1.len());
+            for &c in &phase1 {
+                let page = store.read_page(self.id, self.page_id(g, c), true)?;
+                let col = if dict_cols.binary_search(&c).is_ok() {
+                    Col::I64(
+                        decode_codes(&page.body)?
+                            .iter()
+                            .map(|&x| x as i64)
+                            .collect(),
+                    )
+                } else {
+                    decode_column(&page.body, self.dicts[c].as_ref())?
+                };
+                meter.add(cost::SCAN * col.len() as u64);
+                if let Some(s) = &stats {
+                    ScanStats::add(
+                        if pred_cols.binary_search(&c).is_ok() {
+                            &s.predicate_pages_read
+                        } else {
+                            &s.projection_pages_read
+                        },
+                        1,
+                    );
                 }
-                None => chunk,
+                bodies.push(page.body);
+                cols1.push(col);
+            }
+            let chunk1 = Chunk::new(cols1);
+            meter.add(cost::FILTER * chunk1.len() as u64);
+            let mask: Option<Vec<bool>> = match &eval_pred {
+                Some(p) => Some(p.eval_mask(&chunk1, &remap)?),
+                None => None,
+            };
+
+            if late {
+                // The materialization decision: depends only on the
+                // group's own mask — deterministic and worker-independent,
+                // so the metered demand/prefetch split is identical at any
+                // worker count.
+                if mask.as_ref().is_some_and(|m| !m.iter().any(|&b| b)) {
+                    if let Some(s) = &stats {
+                        ScanStats::add(&s.groups_empty_mask, 1);
+                        ScanStats::add(&s.projection_pages_skipped, phase2.len() as u64);
+                    }
+                    trace::emit(EventKind::LateMatSkip {
+                        table: self.id.0 as u64,
+                        group: g as u64,
+                        pages_saved: phase2.len() as u64,
+                    });
+                    trace::emit(EventKind::ScanMorsel {
+                        table: self.id.0 as u64,
+                        group: g as u64,
+                        rows: 0,
+                    });
+                    return Ok(Chunk::new(
+                        projection
+                            .iter()
+                            .map(|&c| Col::empty(self.schema.columns[c].dtype))
+                            .collect(),
+                    ));
+                }
+                if let Some(s) = &stats {
+                    ScanStats::add(&s.groups_materialized, 1);
+                }
+                // Mask known and non-empty: issue this group's projection
+                // pages (same first-group demand-read discipline as
+                // phase 1).
+                if !phase2.is_empty() && i > 0 {
+                    let own: Vec<PageId> = phase2.iter().map(|&c| self.page_id(g, c)).collect();
+                    if let Err(e) = store.prefetch(self.id, &own) {
+                        admission.record_error(&e);
+                    }
+                }
+            }
+
+            // Phase 2: demand-read the projection-only columns.
+            let mut cols2: Vec<Col> = Vec::with_capacity(phase2.len());
+            for &c in &phase2 {
+                let page = store.read_page(self.id, self.page_id(g, c), true)?;
+                let col = decode_column(&page.body, self.dicts[c].as_ref())?;
+                meter.add(cost::SCAN * col.len() as u64);
+                if let Some(s) = &stats {
+                    ScanStats::add(&s.projection_pages_read, 1);
+                }
+                cols2.push(col);
+            }
+
+            // Assemble the projection. Filtering each projected column is
+            // bitwise identical to filtering the whole chunk and
+            // projecting, without touching predicate-only columns.
+            let out: Vec<Col> = sources
+                .iter()
+                .map(|src| -> IqResult<Col> {
+                    let full: Cow<'_, Col> = match src {
+                        Src::Phase1(p) => Cow::Borrowed(chunk1.col(*p)),
+                        Src::Phase1Dict(p) => {
+                            Cow::Owned(decode_column(&bodies[*p], self.dicts[phase1[*p]].as_ref())?)
+                        }
+                        Src::Phase2(p) => Cow::Borrowed(&cols2[*p]),
+                    };
+                    Ok(match &mask {
+                        Some(m) => full.filter(m),
+                        None => full.into_owned(),
+                    })
+                })
+                .collect::<IqResult<_>>()?;
+            let rows = match &mask {
+                Some(m) => m.iter().filter(|&&b| b).count() as u64,
+                None => chunk1.len() as u64,
             };
             trace::emit(EventKind::ScanMorsel {
                 table: self.id.0 as u64,
-                group: survivors[i] as u64,
-                rows: filtered.len() as u64,
+                group: g as u64,
+                rows,
             });
-            Ok(filtered.project(&proj_idx))
+            Ok(Chunk::new(out))
         })?;
 
         let mut out = Chunk::default();
@@ -342,23 +593,32 @@ impl TableMeta {
         Ok(out)
     }
 
-    /// Read one row group's columns (demand reads; prefetch was issued by
-    /// the caller).
-    fn read_group(
-        &self,
-        store: &dyn PageStore,
-        group: usize,
-        cols: &[usize],
-        meter: &WorkMeter,
-    ) -> IqResult<Chunk> {
-        let mut out = Vec::with_capacity(cols.len());
-        for &c in cols {
-            let page = store.read_page(self.id, self.page_id(group, c), true)?;
-            let col = decode_column(&page.body, self.dicts[c].as_ref())?;
-            meter.add(cost::SCAN * col.len() as u64);
-            out.push(col);
+    /// Zone implied by a group's partition tag: when every row fell into
+    /// one partition of the range partitioning on `col`, that partition's
+    /// value range bounds the column even without a recorded zone entry.
+    fn partition_zone(&self, group: usize, col: usize) -> Option<ZoneEntry> {
+        let p = self.partitioning.as_ref()?;
+        if p.column != col || p.bounds.is_empty() {
+            return None;
         }
-        Ok(Chunk::new(out))
+        let part = self.groups[group].partition? as usize;
+        if part > p.bounds.len() {
+            return None;
+        }
+        // Bounds are exclusive uppers over an integral domain (I64/Date),
+        // so partition `k` covers `[bounds[k-1], bounds[k] - 1]`, open at
+        // the extremes.
+        let min = if part == 0 {
+            i64::MIN
+        } else {
+            p.bounds[part - 1]
+        };
+        let max = if part == p.bounds.len() {
+            i64::MAX
+        } else {
+            p.bounds[part] - 1
+        };
+        Some(ZoneEntry::Num { min, max })
     }
 
     /// Fetch specific rows of one column via row ids (HG index probes).
@@ -371,6 +631,26 @@ impl TableMeta {
     ) -> IqResult<Col> {
         let mut out = Col::empty(self.schema.columns[col].dtype);
         let gsize = self.row_group_size as u64;
+        // Batch-hint every distinct group page beyond the first before
+        // the demand loop: the probes below then overlap in the store
+        // instead of paying one serial GET per touched group. Mirrors
+        // the scan's admission discipline — the first group is
+        // demand-read, never prefetched; a shed or failed hint degrades
+        // to the demand read, where a real fault resurfaces.
+        let mut groups: Vec<usize> = rows.iter().map(|&r| (r / gsize) as usize).collect();
+        groups.sort_unstable();
+        groups.dedup();
+        if groups.len() > 1 {
+            let admission = PrefetchAdmission::for_depth(groups.len() - 1);
+            if let Some(_ticket) = admission.admit(groups.len() - 1) {
+                let pages: Vec<PageId> =
+                    groups[1..].iter().map(|&g| self.page_id(g, col)).collect();
+                match store.prefetch(self.id, &pages) {
+                    Ok(()) => admission.record_success(),
+                    Err(e) => admission.record_error(&e),
+                }
+            };
+        }
         let mut i = 0usize;
         while i < rows.len() {
             let group = (rows[i] / gsize) as usize;
@@ -638,6 +918,183 @@ mod tests {
         assert_eq!(p.partition_of(99), 0);
         assert_eq!(p.partition_of(100), 1);
         assert_eq!(p.partition_of(250), 2);
+    }
+
+    #[test]
+    fn late_mat_skips_projection_pages_on_empty_masks() {
+        let store = MemPageStore::with_scan_stats();
+        let mut meta = TableMeta::new(TableId(1), "t", schema(), 64);
+        load_rows(&mut meta, &store, 256); // 4 groups
+        let stats = store.scan_stats().unwrap();
+        let meter = WorkMeter::new();
+        // Unclustered predicate (k % 64 == 5 is true somewhere in every
+        // group's zone, but k == 5 matches only group 0's rows) on an
+        // unprunable shape: modulo defeats the zone map entirely.
+        let pred = Expr::eq(
+            Expr::modulo(Expr::col(0), Expr::lit_i64(256)),
+            Expr::lit_i64(5),
+        );
+        let out = meta
+            .scan_with_options(
+                &store,
+                &[0, 1, 2],
+                Some(&pred),
+                &meter,
+                ScanOptions {
+                    workers: 1,
+                    late_mat: true,
+                },
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        // Group 0 materialized; the other three skipped their projection
+        // pages (price and region: k is a predicate input).
+        assert_eq!(ScanStats::get(&stats.groups_materialized), 1);
+        assert_eq!(ScanStats::get(&stats.groups_empty_mask), 3);
+        assert_eq!(ScanStats::get(&stats.projection_pages_skipped), 6);
+        assert_eq!(ScanStats::get(&stats.predicate_pages_read), 4);
+        assert_eq!(ScanStats::get(&stats.projection_pages_read), 2);
+        assert_eq!(stats.gets_saved(), 6);
+    }
+
+    #[test]
+    fn dict_domain_filter_matches_string_semantics() {
+        let store = MemPageStore::with_scan_stats();
+        let mut meta = TableMeta::new(TableId(1), "t", schema(), 64);
+        load_rows(&mut meta, &store, 200);
+        let stats = store.scan_stats().unwrap();
+        let meter = WorkMeter::new();
+        let pred = Expr::eq(Expr::col(2), Expr::lit_str("EAST"));
+        let out = meta.scan(&store, &[0, 2], Some(&pred), &meter).unwrap();
+        assert_eq!(out.len(), 100);
+        assert!(out.col(1).strs().iter().all(|s| s.as_ref() == "EAST"));
+        assert_eq!(ScanStats::get(&stats.dict_filter_columns), 1);
+        // A literal absent from the dictionary matches nothing but keeps
+        // the projected arity.
+        let meter = WorkMeter::new();
+        let pred = Expr::eq(Expr::col(2), Expr::lit_str("NOWHERE"));
+        let out = meta.scan(&store, &[0, 2], Some(&pred), &meter).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.cols.len(), 2);
+    }
+
+    #[test]
+    fn partition_tag_prunes_when_zone_is_absent() {
+        // Hand-build metadata whose zones were lost (None) but whose
+        // groups carry partition tags: the coarser summary must still
+        // prune, and untagged groups must survive.
+        let store = MemPageStore::new();
+        let mut meta = TableMeta::new(TableId(1), "t", Schema::new(&[("k", DataType::I64)]), 4)
+            .with_partitioning(RangePartitioning {
+                column: 0,
+                bounds: vec![100, 200],
+            });
+        load_rows_i64(&mut meta, &store, &[(0..4).collect(), (100..104).collect()]);
+        // Wipe the zones; tag group 0 → partition 0, group 1 → partition 1.
+        for g in &mut meta.groups {
+            g.zones = vec![ZoneEntry::None];
+        }
+        meta.groups[0].partition = Some(0);
+        meta.groups[1].partition = Some(1);
+        let meter = WorkMeter::new();
+        let pred = Expr::ge(Expr::col(0), Expr::lit_i64(150));
+        let stats_store = MemPageStore::with_scan_stats();
+        // Reload pages into the stats store for observability assertions.
+        let mut meta2 = TableMeta::new(TableId(1), "t", Schema::new(&[("k", DataType::I64)]), 4)
+            .with_partitioning(RangePartitioning {
+                column: 0,
+                bounds: vec![100, 200],
+            });
+        load_rows_i64(
+            &mut meta2,
+            &stats_store,
+            &[(0..4).collect(), (100..104).collect()],
+        );
+        for g in &mut meta2.groups {
+            g.zones = vec![ZoneEntry::None];
+        }
+        let out = meta2.scan(&stats_store, &[0], Some(&pred), &meter).unwrap();
+        // Group 0 (partition 0: values < 100) pruned by the tag; group 1
+        // survives (partition 1 spans [100, 199]) and filters to empty.
+        assert!(out.is_empty());
+        let stats = stats_store.scan_stats().unwrap();
+        assert_eq!(ScanStats::get(&stats.groups_partition_pruned), 1);
+        assert_eq!(ScanStats::get(&stats.groups_zone_pruned), 0);
+        // Without tags, nothing can be pruned: both groups are read.
+        let meter2 = WorkMeter::new();
+        let untagged = MemPageStore::with_scan_stats();
+        let mut meta3 = TableMeta::new(TableId(1), "t", Schema::new(&[("k", DataType::I64)]), 4)
+            .with_partitioning(RangePartitioning {
+                column: 0,
+                bounds: vec![100, 200],
+            });
+        load_rows_i64(
+            &mut meta3,
+            &untagged,
+            &[(0..4).collect(), (100..104).collect()],
+        );
+        for g in &mut meta3.groups {
+            g.zones = vec![ZoneEntry::None];
+            g.partition = None;
+        }
+        meta3.scan(&untagged, &[0], Some(&pred), &meter2).unwrap();
+        let stats = untagged.scan_stats().unwrap();
+        assert_eq!(ScanStats::get(&stats.groups_partition_pruned), 0);
+        assert_eq!(ScanStats::get(&stats.groups_zone_pruned), 0);
+        // `meta`'s hand-tagged copy agrees with the straight scan result.
+        let meter3 = WorkMeter::new();
+        let out = meta.scan(&store, &[0], Some(&pred), &meter3).unwrap();
+        assert!(out.is_empty());
+    }
+
+    fn load_rows_i64(meta: &mut TableMeta, store: &MemPageStore, groups: &[Vec<i64>]) {
+        let meter = WorkMeter::new();
+        let mut w = TableWriter::new(meta, store, TxnId(1), &meter);
+        for g in groups {
+            for &v in g {
+                w.append_row(&[Value::I64(v)]).unwrap();
+            }
+        }
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn bool_zone_prunes_through_scan() {
+        // Booleans never persist as pages, but their zone summaries do
+        // prune derived predicates; exercise ZoneEntry::of(Bool) → Num
+        // via hand-built zones on an i64 flag column (0/1).
+        let store = MemPageStore::with_scan_stats();
+        let mut meta = TableMeta::new(TableId(1), "t", Schema::new(&[("flag", DataType::I64)]), 4);
+        load_rows_i64(&mut meta, &store, &[vec![0, 0, 0, 0], vec![0, 1, 1, 0]]);
+        // Overwrite zones with what ZoneEntry::of(Col::Bool) yields.
+        meta.groups[0].zones = vec![ZoneEntry::of(&Col::Bool(vec![false; 4]))];
+        meta.groups[1].zones = vec![ZoneEntry::of(&Col::Bool(vec![false, true, true, false]))];
+        let meter = WorkMeter::new();
+        let pred = Expr::eq(Expr::col(0), Expr::lit_i64(1));
+        let out = meta.scan(&store, &[0], Some(&pred), &meter).unwrap();
+        assert_eq!(out.len(), 2);
+        let stats = store.scan_stats().unwrap();
+        // The all-false group pruned; the mixed group stayed conservative.
+        assert_eq!(ScanStats::get(&stats.groups_zone_pruned), 1);
+        assert_eq!(ScanStats::get(&stats.groups_materialized), 1);
+    }
+
+    #[test]
+    fn gather_rows_batches_prefetch_of_touched_groups() {
+        let store = MemPageStore::new();
+        let mut meta = TableMeta::new(TableId(1), "t", schema(), 64);
+        load_rows(&mut meta, &store, 256); // 4 groups
+        let meter = WorkMeter::new();
+        let before = store.prefetched_pages();
+        // Rows spread over groups 0, 2 and 3: the two groups beyond the
+        // first are hinted in one batch before the demand loop.
+        let col = meta.gather_rows(&store, 0, &[1, 130, 200], &meter).unwrap();
+        assert_eq!(col.i64s(), &[1, 130, 200]);
+        assert_eq!(store.prefetched_pages() - before, 2);
+        // A single-group probe issues no hint at all.
+        let before = store.prefetched_pages();
+        meta.gather_rows(&store, 0, &[10, 11], &meter).unwrap();
+        assert_eq!(store.prefetched_pages(), before);
     }
 
     #[test]

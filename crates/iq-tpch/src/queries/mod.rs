@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 use iq_common::{IqError, IqResult};
 use iq_engine::chunk::{Chunk, Col};
 use iq_engine::expr::Expr;
-use iq_engine::table::TableMeta;
+use iq_engine::table::{ScanOptions, TableMeta};
 use iq_engine::value::parse_date;
 use iq_engine::{OpExec, PageStore, WorkMeter};
 
@@ -33,6 +33,11 @@ pub struct Ctx<'a> {
     /// (worker fan-out + submission-depth accounting). Results are
     /// byte-identical at every worker count, so plans never need to care.
     pub exec: OpExec,
+    /// Two-phase late-materialization scans (the default); `false` runs
+    /// the classic eager scan. Results are byte-identical either way, so
+    /// plans never need to care — the knob exists for the `--prune`
+    /// ablation and the equivalence sweep.
+    pub late_mat: bool,
 }
 
 impl Ctx<'_> {
@@ -48,7 +53,16 @@ impl Ctx<'_> {
                     .ok_or_else(|| IqError::NotFound(format!("{}.{c}", table.name)))
             })
             .collect::<IqResult<_>>()?;
-        table.scan(self.store, &proj, pred.as_ref(), self.meter)
+        table.scan_with_options(
+            self.store,
+            &proj,
+            pred.as_ref(),
+            self.meter,
+            ScanOptions {
+                workers: self.store.scan_parallelism(),
+                late_mat: self.late_mat,
+            },
+        )
     }
 }
 

@@ -39,6 +39,7 @@ fn run(n: u32) -> iq_engine::Chunk {
         store: &f.store,
         meter: &f.meter,
         exec: iq_engine::OpExec::for_store(&f.store),
+        late_mat: true,
     };
     run_query(n, &ctx).unwrap_or_else(|e| panic!("Q{n} failed: {e}"))
 }
@@ -312,6 +313,7 @@ fn all_queries_run_and_are_deterministic() {
         store: &f.store,
         meter: &f.meter,
         exec: iq_engine::OpExec::for_store(&f.store),
+        late_mat: true,
     };
     assert!(run_query(23, &ctx).is_err());
     assert!(run_query(0, &ctx).is_err());
@@ -329,6 +331,7 @@ fn all_queries_bitwise_identical_at_every_fanout() {
             store: &f.store,
             meter: &f.meter,
             exec,
+            late_mat: true,
         };
         run_query(n, &ctx).unwrap_or_else(|e| panic!("Q{n} failed: {e}"))
     };
@@ -356,6 +359,45 @@ fn all_queries_bitwise_identical_at_every_fanout() {
                     }
                     _ => assert_eq!(a, b, "Q{n} col {c} @ {workers} workers"),
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_queries_bitwise_identical_late_mat_on_vs_off() {
+    // The two-phase late-materialization scan promises *bitwise* equality
+    // with the classic eager scan — a query's answer can never depend on
+    // whether its projection pages were read before or after the mask.
+    let f = fixture();
+    let run_with = |n: u32, late_mat: bool| {
+        let ctx = Ctx {
+            db: &f.db,
+            store: &f.store,
+            meter: &f.meter,
+            exec: iq_engine::OpExec::for_store(&f.store),
+            late_mat,
+        };
+        run_query(n, &ctx).unwrap_or_else(|e| panic!("Q{n} failed: {e}"))
+    };
+    for n in 1..=22 {
+        let eager = run_with(n, false);
+        let late = run_with(n, true);
+        assert_eq!(eager.cols.len(), late.cols.len(), "Q{n} arity");
+        for (c, (a, b)) in eager.cols.iter().zip(&late.cols).enumerate() {
+            use iq_engine::chunk::Col;
+            match (a, b) {
+                (Col::F64(x), Col::F64(y)) => {
+                    assert_eq!(x.len(), y.len(), "Q{n} col {c} len");
+                    for (i, (u, v)) in x.iter().zip(y).enumerate() {
+                        assert_eq!(
+                            u.to_bits(),
+                            v.to_bits(),
+                            "Q{n} col {c} row {i} late-mat vs eager: {u} vs {v}"
+                        );
+                    }
+                }
+                _ => assert_eq!(a, b, "Q{n} col {c} late-mat vs eager"),
             }
         }
     }

@@ -74,6 +74,7 @@ fn queries_survive_refresh_cycles() {
             store: &store,
             meter: &meter,
             exec: iq_engine::OpExec::for_store(&store),
+            late_mat: true,
         };
         run_query(1, &ctx).unwrap()
     };
@@ -92,6 +93,7 @@ fn queries_survive_refresh_cycles() {
         store: &store,
         meter: &meter,
         exec: iq_engine::OpExec::for_store(&store),
+        late_mat: true,
     };
     let after = run_query(1, &ctx).unwrap();
     assert_eq!(after.cols.len(), baseline.cols.len());

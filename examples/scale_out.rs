@@ -66,6 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         store: &pager,
                         meter: db.meter(),
                         exec: iq_engine::OpExec::for_store(&pager),
+                        late_mat: true,
                     };
                     rows += run_query(q, &ctx).expect("query").len() as u64;
                 }

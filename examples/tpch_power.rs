@@ -53,6 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         store: &qpager,
         meter: db.meter(),
         exec: iq_engine::OpExec::for_store(&qpager),
+        late_mat: true,
     };
     for n in 1..=22u32 {
         let mark = db.meter().total();
